@@ -1,0 +1,134 @@
+// Command boomsim runs one simulation: a control-flow-delivery scheme on a
+// workload under a configurable core, and prints the headline statistics.
+//
+// Examples:
+//
+//	boomsim -scheme Boomerang -workload DB2
+//	boomsim -scheme FDIP -workload Apache -btb 32768 -llc 18
+//	boomsim -scheme FDIP -workload Zeus -predictor never-taken
+//	boomsim -scheme Boomerang -workload Oracle -cores 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"boomerang/internal/config"
+	"boomerang/internal/frontend"
+	"boomerang/internal/scheme"
+	"boomerang/internal/sim"
+	"boomerang/internal/workload"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "Boomerang", "scheme: "+strings.Join(schemeNames(), ", "))
+		wlName     = flag.String("workload", "Apache", "workload: "+strings.Join(workload.Names(), ", "))
+		btb        = flag.Int("btb", 0, "override BTB entries (default Table I: 2048)")
+		llc        = flag.Int("llc", 0, "override LLC round-trip latency in cycles (default 30)")
+		predictor  = flag.String("predictor", "", "FDIP direction predictor: tage|bimodal|never-taken")
+		warm       = flag.Uint64("warm", 300_000, "warmup instructions")
+		measure    = flag.Uint64("measure", 1_000_000, "measured instructions")
+		imageSeed  = flag.Uint64("image-seed", 1, "code image generation seed")
+		walkSeed   = flag.Uint64("walk-seed", 1, "oracle execution seed")
+		cores      = flag.Int("cores", 1, "simulate a CMP with this many cores")
+		baseline   = flag.Bool("baseline", false, "also run the Base scheme and report speedup/coverage")
+	)
+	flag.Parse()
+
+	s, ok := scheme.ByName(*schemeName)
+	if !ok {
+		fatalf("unknown scheme %q (have: %s)", *schemeName, strings.Join(schemeNames(), ", "))
+	}
+	w, ok := workload.ByName(*wlName)
+	if !ok {
+		fatalf("unknown workload %q (have: %s)", *wlName, strings.Join(workload.Names(), ", "))
+	}
+
+	spec := sim.DefaultSpec(s, w)
+	spec.Cfg = config.Default()
+	if *btb > 0 {
+		spec.Cfg = spec.Cfg.WithBTB(*btb)
+	}
+	if *llc > 0 {
+		spec.Cfg = spec.Cfg.WithLLCLatency(*llc)
+	}
+	spec.Predictor = *predictor
+	spec.WarmInstrs = *warm
+	spec.MeasureInstrs = *measure
+	spec.ImageSeed = *imageSeed
+	spec.WalkSeed = *walkSeed
+
+	if *cores > 1 {
+		runCMP(spec, *cores)
+		return
+	}
+
+	r, err := sim.Run(spec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printResult(r)
+
+	if *baseline {
+		bspec := spec
+		bspec.Scheme = scheme.Base()
+		b, err := sim.Run(bspec)
+		if err != nil {
+			fatalf("baseline: %v", err)
+		}
+		fmt.Printf("\nvs Base (IPC %.3f):\n", b.IPC)
+		fmt.Printf("  speedup             %.3fx\n", sim.Speedup(b, r))
+		fmt.Printf("  stall cycle coverage %.1f%%\n", 100*sim.Coverage(b, r))
+	}
+}
+
+func runCMP(spec sim.Spec, cores int) {
+	res, err := sim.RunCMP(sim.CMPSpec{Spec: spec, Cores: cores})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%s on %s, %d cores\n", spec.Scheme.Name, spec.Workload.Name, cores)
+	fmt.Printf("  chip throughput      %.3f instructions/cycle\n", res.Throughput)
+	var minIPC, maxIPC float64
+	for i, r := range res.PerCore {
+		if i == 0 || r.IPC < minIPC {
+			minIPC = r.IPC
+		}
+		if r.IPC > maxIPC {
+			maxIPC = r.IPC
+		}
+	}
+	fmt.Printf("  per-core IPC         %.3f .. %.3f\n", minIPC, maxIPC)
+}
+
+func printResult(r sim.Result) {
+	st := r.Stats
+	fmt.Printf("%s on %s\n", r.SchemeName, r.WorkloadName)
+	fmt.Printf("  instructions retired %d in %d cycles (IPC %.3f)\n",
+		st.RetiredInstrs, st.Cycles, r.IPC)
+	fmt.Printf("  fetch stall cycles   %d (%.1f%% of cycles)\n",
+		st.FetchStallCycles, 100*st.StallFraction())
+	fmt.Printf("  stalls by class      seq=%d cond=%d uncond=%d\n",
+		st.StallByClass[0], st.StallByClass[1], st.StallByClass[2])
+	fmt.Printf("  squashes/kilo-instr  mispredict=%.2f btb-miss=%.2f\n",
+		st.MispredictSquashesPerKI(), st.SquashesPerKI(frontend.SquashBTBMiss))
+	fmt.Printf("  BTB miss rate        %.2f%% (%d/%d lookups)\n",
+		100*st.BTBMissRate(), st.BTBMisses, st.BTBLookups)
+	fmt.Printf("  L1-I demand misses   %.2f MPKI\n",
+		float64(st.DemandLineMisses)*1000/float64(st.RetiredInstrs))
+	fmt.Printf("  hierarchy            prefetches=%d LLC accesses=%d LLC misses=%d\n",
+		r.Hier.Prefetches, r.Hier.LLCAccesses, r.Hier.LLCMisses)
+}
+
+func schemeNames() []string {
+	return []string{"Base", "Next Line", "DIP", "FDIP", "PIF", "SHIFT",
+		"Confluence", "Boomerang", "Perfect L1-I", "Perfect L1-I + BTB"}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "boomsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+// Command boomtrace inspects and records the workload substrate: static
+// code-image statistics, dynamic execution properties (the quantities the
+// profiles are calibrated against), and compact control-flow traces that can
+// be replayed into the simulator.
+//
+// Examples:
+//
+//	boomtrace -workload DB2 -info
+//	boomtrace -workload Apache -dynamic -steps 500000
+//	boomtrace -workload Zeus -record zeus.trc -steps 2000000
+//	boomtrace -workload Zeus -verify zeus.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"boomerang/internal/isa"
+	"boomerang/internal/trace"
+	"boomerang/internal/workload"
+)
+
+func main() {
+	var (
+		wlName  = flag.String("workload", "Apache", "workload profile")
+		seed    = flag.Uint64("image-seed", 1, "code image seed")
+		walk    = flag.Uint64("walk-seed", 1, "execution seed")
+		steps   = flag.Uint64("steps", 200_000, "basic blocks to execute")
+		info    = flag.Bool("info", false, "print static image statistics")
+		dynamic = flag.Bool("dynamic", false, "print dynamic execution statistics")
+		record  = flag.String("record", "", "record a trace to this file")
+		verify  = flag.String("verify", "", "verify a trace file replays against this workload")
+	)
+	flag.Parse()
+
+	w, ok := workload.ByName(*wlName)
+	if !ok {
+		fatalf("unknown workload %q", *wlName)
+	}
+	img, err := w.Image(*seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ran := false
+	if *info {
+		ran = true
+		st := img.ComputeStats()
+		fmt.Printf("%s — %s\n", w.Name, w.Description)
+		fmt.Printf("  text segment   %d KB (%#x .. %#x)\n", img.Bytes()/1024, img.Base, img.Limit)
+		fmt.Printf("  functions      %d across %d layers\n", st.Functions, img.Modules)
+		fmt.Printf("  basic blocks   %d (mean %.2f instructions)\n", st.Blocks, st.MeanBlock)
+		fmt.Printf("  branch mix     cond=%d jump=%d call=%d ret=%d ijump=%d icall=%d\n",
+			st.ByKind[isa.CondDirect], st.ByKind[isa.UncondDirect], st.ByKind[isa.CallDirect],
+			st.ByKind[isa.Return], st.ByKind[isa.IndirectJump], st.ByKind[isa.IndirectCall])
+	}
+
+	if *dynamic {
+		ran = true
+		wk := workload.NewWalker(img, *walk)
+		st := workload.Measure(wk, *steps, 9)
+		fmt.Printf("%s dynamic over %d blocks (%d instructions):\n", w.Name, st.Steps, st.Instrs)
+		fmt.Printf("  mean block       %.2f instructions\n", float64(st.Instrs)/float64(st.Steps))
+		fmt.Printf("  conditionals     %d (%.1f%% taken)\n", st.CondBranches,
+			100*float64(st.TakenConds)/float64(st.CondBranches))
+		fmt.Printf("  calls/returns    %d/%d (max depth %d)\n", st.Calls, st.Returns, wk.MaxCallDepthSeen())
+		fmt.Printf("  touched code     %d KB\n", st.TouchedLines*64/1024)
+		cdf := workload.CDF(st.TakenCondDist)
+		fmt.Printf("  taken-cond CDF   <=1 block %.2f, <=4 blocks %.2f (Figure 4)\n", cdf[1], cdf[4])
+	}
+
+	if *record != "" {
+		ran = true
+		f, err := os.Create(*record)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		n, err := trace.Record(img, *walk, *steps, f)
+		if err2 := f.Close(); err == nil {
+			err = err2
+		}
+		if err != nil {
+			fatalf("record: %v", err)
+		}
+		fi, _ := os.Stat(*record)
+		fmt.Printf("recorded %d blocks to %s (%.2f bytes/block)\n",
+			n, *record, float64(fi.Size())/float64(n))
+	}
+
+	if *verify != "" {
+		ran = true
+		f, err := os.Open(*verify)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f, img)
+		if err != nil {
+			fatalf("verify: %v", err)
+		}
+		wk := workload.NewWalker(img, *walk)
+		for {
+			got, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fatalf("verify: %v", err)
+			}
+			want := wk.Next()
+			if got.Block != want.Block || got.Taken != want.Taken || got.Target != want.Target {
+				fatalf("verify: divergence at block %d", r.Count())
+			}
+		}
+		fmt.Printf("trace verified: %d blocks match walk seed %d\n", r.Count(), *walk)
+	}
+
+	if !ran {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -info, -dynamic, -record or -verify")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "boomtrace: "+format+"\n", args...)
+	os.Exit(1)
+}

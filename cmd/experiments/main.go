@@ -1,0 +1,227 @@
+// Command experiments regenerates the paper's evaluation: every figure of
+// Kumar et al., "Boomerang: a Metadata-Free Architecture for Control Flow
+// Delivery" (HPCA 2017), as text tables whose rows and series match what the
+// paper plots.
+//
+// Examples:
+//
+//	experiments -run all            # full methodology (minutes, parallel)
+//	experiments -run fig9 -quick    # one figure at CI scale
+//	experiments -run fig2,fig5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"boomerang/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated: fig1..fig11,storage,cmp,traffic,energy,motivation,misspolicy,btbalt,ablations or all")
+		quick = flag.Bool("quick", false, "CI-scale parameters (3 workloads, small footprints)")
+		out   = flag.String("out", "", "also write output to this file")
+		csv   = flag.String("csv", "", "also write every table as CSV to this file")
+		chart = flag.Bool("chart", false, "render each table as ASCII bar charts too")
+	)
+	flag.Parse()
+
+	p := experiments.Full()
+	if *quick {
+		p = experiments.Quick()
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	var csvOut io.Writer
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		csvOut = f
+	}
+	emit := func(tables ...*experiments.Table) {
+		for _, t := range tables {
+			fmt.Fprintln(w, t)
+			if *chart {
+				fmt.Fprintln(w, t.Chart(40))
+			}
+			if csvOut != nil {
+				fmt.Fprintln(csvOut, t.CSV())
+			}
+		}
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+
+	start := time.Now()
+	runOne := func(name string, f func() error) {
+		if !all && !want[name] {
+			return
+		}
+		t0 := time.Now()
+		if err := f(); err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		fmt.Fprintf(w, "(%s took %s)\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	runOne("fig1", func() error {
+		t, err := experiments.Fig1(p)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		return nil
+	})
+	runOne("fig2", func() error {
+		t, err := experiments.Fig2(p, nil)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		return nil
+	})
+	runOne("fig3", func() error {
+		t, err := experiments.Fig3(p)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		return nil
+	})
+	runOne("fig4", func() error {
+		t, err := experiments.Fig4(p, 0)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		return nil
+	})
+	runOne("fig5", func() error {
+		t, err := experiments.Fig5(p, nil, nil)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		return nil
+	})
+	runOne("fig789", func() error {
+		f7, f8, f9, err := experiments.Figures789(p)
+		if err != nil {
+			return err
+		}
+		emit(f7, f8, f9)
+		return nil
+	})
+	runOne("fig10", func() error {
+		t, err := experiments.Fig10(p, nil)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		return nil
+	})
+	runOne("fig11", func() error {
+		t, err := experiments.Fig11(p, 18)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		return nil
+	})
+	runOne("storage", func() error {
+		emit(experiments.StorageTable())
+		return nil
+	})
+	runOne("cmp", func() error {
+		t, err := experiments.CMPTable(p, 16, nil)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		return nil
+	})
+	runOne("traffic", func() error {
+		t, err := experiments.TrafficTable(p)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		return nil
+	})
+	runOne("energy", func() error {
+		t, err := experiments.EnergyTable(p)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		return nil
+	})
+	runOne("motivation", func() error {
+		t, err := experiments.MotivationTable(p)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		return nil
+	})
+	runOne("misspolicy", func() error {
+		t, err := experiments.MissPolicyTable(p)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		return nil
+	})
+	runOne("btbalt", func() error {
+		t1, t2, err := experiments.BTBAlternativesTable(p)
+		if err != nil {
+			return err
+		}
+		emit(t1, t2)
+		return nil
+	})
+	runOne("ablations", func() error {
+		t1, err := experiments.AblationBTBPrefetchBuffer(p, nil)
+		if err != nil {
+			return err
+		}
+		t2, err := experiments.AblationFTQDepth(p, nil)
+		if err != nil {
+			return err
+		}
+		t3, err := experiments.AblationPredecodeScan(p, nil)
+		if err != nil {
+			return err
+		}
+		emit(t1, t2, t3)
+		return nil
+	})
+
+	fmt.Fprintf(w, "total: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package boomerang is a from-scratch Go reproduction of Kumar, Huang, Grot
+// and Nagarajan, "Boomerang: a Metadata-Free Architecture for Control Flow
+// Delivery" (HPCA 2017): a cycle-level front-end simulator with a synthetic
+// server-workload substrate, the complete lineup of control-flow-delivery
+// schemes the paper evaluates (next-line, DIP, FDIP, PIF, SHIFT, Confluence,
+// Boomerang), and a benchmark harness that regenerates every figure of the
+// paper's evaluation.
+//
+// The implementation lives under internal/: see internal/core for the
+// Boomerang mechanism itself, internal/scheme for the evaluated
+// configurations, internal/sim for the run harness, and
+// internal/experiments for the per-figure reproductions. The cmd/boomsim and
+// cmd/experiments binaries and the examples/ programs are the entry points.
+package boomerang

@@ -1,0 +1,141 @@
+// Package backend models the core's execution window as seen by the front
+// end: an in-order retire approximation of the paper's 3-way out-of-order
+// core. Instruction groups (fetched basic blocks) enter when fetch completes,
+// resolve their terminating branch BackendDepth cycles later (the point where
+// a misprediction squashes), and retire in order at RetireWidth instructions
+// per cycle. This level of detail is what front-end studies need: IPC is
+// shaped by fetch stalls, squash bubbles, and refill latency, not by
+// data-flow scheduling.
+package backend
+
+import "boomerang/internal/config"
+
+// Group is one fetched basic block (or sequential pseudo-block) in flight.
+type Group struct {
+	// ID is the engine-assigned monotonically increasing identity.
+	ID uint64
+	// NInstr is the instruction count the group contributes.
+	NInstr int
+	// FetchDone is the cycle the last instruction was fetched.
+	FetchDone int64
+	// WrongPath marks groups fetched past an unresolved misprediction;
+	// they occupy the window but never count as retired work.
+	WrongPath bool
+}
+
+type inflight struct {
+	Group
+	resolveAt int64
+	resolved  bool
+	remaining int // unretired instructions
+}
+
+// Backend is the retire/resolve window.
+type Backend struct {
+	cfg    config.Core
+	window []inflight // in fetch order; head retires first
+
+	retired       uint64 // correct-path instructions retired
+	retiredGroups uint64
+	inflightCount int // instructions in window
+}
+
+// New builds a backend window from core parameters.
+func New(cfg config.Core) *Backend {
+	return &Backend{cfg: cfg}
+}
+
+// Push admits a fetched group. IDs must be strictly increasing and
+// FetchDone non-decreasing (in-order fetch).
+func (b *Backend) Push(g Group) {
+	if n := len(b.window); n > 0 {
+		last := &b.window[n-1]
+		if g.ID <= last.ID {
+			panic("backend: group IDs must increase")
+		}
+		if g.FetchDone < last.FetchDone {
+			g.FetchDone = last.FetchDone
+		}
+	}
+	b.window = append(b.window, inflight{
+		Group:     g,
+		resolveAt: g.FetchDone + int64(b.cfg.BackendDepth),
+		remaining: g.NInstr,
+	})
+	b.inflightCount += g.NInstr
+}
+
+// InFlightInstrs returns the instructions currently occupying the window
+// (the ROB occupancy the fetch engine throttles on).
+func (b *Backend) InFlightInstrs() int { return b.inflightCount }
+
+// Retired returns correct-path instructions retired so far.
+func (b *Backend) Retired() uint64 { return b.retired }
+
+// RetiredGroups returns correct-path groups retired so far.
+func (b *Backend) RetiredGroups() uint64 { return b.retiredGroups }
+
+// Tick advances one cycle: emits branch resolutions due at now and retires
+// up to RetireWidth instructions in order. resolved lists group IDs whose
+// terminator resolves this cycle (the engine trains predictors and triggers
+// squashes on these); retired lists correct-path groups fully retired this
+// cycle (temporal-streaming prefetchers record these).
+func (b *Backend) Tick(now int64) (resolved, retired []uint64) {
+	for i := range b.window {
+		g := &b.window[i]
+		if !g.resolved && g.resolveAt <= now {
+			g.resolved = true
+			resolved = append(resolved, g.ID)
+		}
+		if g.resolveAt > now {
+			break // resolution is in fetch order; later groups can't be due
+		}
+	}
+
+	budget := b.cfg.RetireWidth
+	for budget > 0 && len(b.window) > 0 {
+		head := &b.window[0]
+		if head.resolveAt > now {
+			break // head not old enough to retire
+		}
+		n := head.remaining
+		if n > budget {
+			n = budget
+		}
+		head.remaining -= n
+		budget -= n
+		b.inflightCount -= n
+		if !head.WrongPath {
+			b.retired += uint64(n)
+		}
+		if head.remaining == 0 {
+			if !head.WrongPath {
+				b.retiredGroups++
+				retired = append(retired, head.ID)
+			}
+			b.window = b.window[1:]
+		}
+	}
+	return resolved, retired
+}
+
+// Squash drops every group younger than keepID (exclusive). The squashing
+// branch's own group stays: its block is on the correct path; only the
+// fetch stream after it was wrong.
+func (b *Backend) Squash(keepID uint64) int {
+	dropped := 0
+	for i := range b.window {
+		if b.window[i].ID > keepID {
+			for j := i; j < len(b.window); j++ {
+				b.inflightCount -= b.window[j].remaining
+				dropped++
+			}
+			b.window = b.window[:i]
+			break
+		}
+	}
+	return dropped
+}
+
+// Drain reports whether the window is empty.
+func (b *Backend) Drain() bool { return len(b.window) == 0 }

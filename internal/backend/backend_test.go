@@ -1,0 +1,163 @@
+package backend
+
+import (
+	"testing"
+
+	"boomerang/internal/config"
+)
+
+func cfg() config.Core {
+	c := config.Default()
+	c.RetireWidth = 3
+	c.BackendDepth = 12
+	return c
+}
+
+func TestResolveTiming(t *testing.T) {
+	b := New(cfg())
+	b.Push(Group{ID: 1, NInstr: 6, FetchDone: 10})
+	for now := int64(0); now < 22; now++ {
+		resolved, _ := b.Tick(now)
+		if len(resolved) != 0 {
+			t.Fatalf("resolved early at cycle %d", now)
+		}
+	}
+	resolved, _ := b.Tick(22)
+	if len(resolved) != 1 || resolved[0] != 1 {
+		t.Fatalf("expected resolution at fetchDone+depth, got %v", resolved)
+	}
+	// Resolution is emitted exactly once.
+	resolved, _ = b.Tick(23)
+	if len(resolved) != 0 {
+		t.Fatal("duplicate resolution")
+	}
+}
+
+func TestRetireWidthAndOrder(t *testing.T) {
+	b := New(cfg())
+	b.Push(Group{ID: 1, NInstr: 5, FetchDone: 0})
+	b.Push(Group{ID: 2, NInstr: 4, FetchDone: 1})
+	now := int64(12) // group 1 resolves at 12, group 2 at 13
+	b.Tick(now)      // retires 3 of group 1
+	if b.Retired() != 3 {
+		t.Fatalf("retired %d, want 3", b.Retired())
+	}
+	now++
+	_, retired := b.Tick(now) // retires 2 of g1 + 1 of g2
+	if b.Retired() != 6 {
+		t.Fatalf("retired %d, want 6", b.Retired())
+	}
+	if len(retired) != 1 || retired[0] != 1 {
+		t.Fatalf("retired groups %v, want [1]", retired)
+	}
+	now++
+	_, retired = b.Tick(now)
+	if b.Retired() != 9 || len(retired) != 1 || retired[0] != 2 {
+		t.Fatalf("retired=%d groups=%v", b.Retired(), retired)
+	}
+}
+
+func TestInFlightTracking(t *testing.T) {
+	b := New(cfg())
+	b.Push(Group{ID: 1, NInstr: 10, FetchDone: 0})
+	b.Push(Group{ID: 2, NInstr: 20, FetchDone: 0})
+	if b.InFlightInstrs() != 30 {
+		t.Fatalf("in-flight %d, want 30", b.InFlightInstrs())
+	}
+	for now := int64(0); b.InFlightInstrs() > 0; now++ {
+		if now > 100 {
+			t.Fatal("window never drained")
+		}
+		b.Tick(now)
+	}
+	if !b.Drain() {
+		t.Fatal("window should be empty")
+	}
+}
+
+func TestWrongPathNotRetired(t *testing.T) {
+	b := New(cfg())
+	b.Push(Group{ID: 1, NInstr: 3, FetchDone: 0})
+	b.Push(Group{ID: 2, NInstr: 3, FetchDone: 0, WrongPath: true})
+	for now := int64(0); now < 20; now++ {
+		b.Tick(now)
+	}
+	if b.Retired() != 3 {
+		t.Fatalf("wrong-path instructions retired: %d", b.Retired())
+	}
+	if b.RetiredGroups() != 1 {
+		t.Fatalf("wrong-path group counted: %d", b.RetiredGroups())
+	}
+}
+
+func TestSquashDropsYounger(t *testing.T) {
+	b := New(cfg())
+	b.Push(Group{ID: 1, NInstr: 3, FetchDone: 0})
+	b.Push(Group{ID: 2, NInstr: 3, FetchDone: 1, WrongPath: true})
+	b.Push(Group{ID: 3, NInstr: 3, FetchDone: 2, WrongPath: true})
+	dropped := b.Squash(1)
+	if dropped != 2 {
+		t.Fatalf("dropped %d, want 2", dropped)
+	}
+	if b.InFlightInstrs() != 3 {
+		t.Fatalf("in-flight %d after squash, want 3", b.InFlightInstrs())
+	}
+	for now := int64(0); now < 20; now++ {
+		b.Tick(now)
+	}
+	if b.Retired() != 3 {
+		t.Fatalf("retired %d, want 3", b.Retired())
+	}
+}
+
+func TestSquashKeepsOlderAndSelf(t *testing.T) {
+	b := New(cfg())
+	b.Push(Group{ID: 5, NInstr: 2, FetchDone: 0})
+	b.Push(Group{ID: 6, NInstr: 2, FetchDone: 0})
+	if d := b.Squash(6); d != 0 {
+		t.Fatalf("squash dropped older/self groups: %d", d)
+	}
+}
+
+func TestFetchDoneMonotonicityEnforced(t *testing.T) {
+	b := New(cfg())
+	b.Push(Group{ID: 1, NInstr: 1, FetchDone: 100})
+	b.Push(Group{ID: 2, NInstr: 1, FetchDone: 50}) // clamped to 100
+	resolved, _ := b.Tick(112)
+	if len(resolved) != 2 {
+		t.Fatalf("both groups should resolve at 112, got %v", resolved)
+	}
+}
+
+func TestPushPanicsOnDuplicateID(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := New(cfg())
+	b.Push(Group{ID: 3, NInstr: 1})
+	b.Push(Group{ID: 3, NInstr: 1})
+}
+
+func TestThroughputBound(t *testing.T) {
+	// With everything instantly fetched, IPC caps at RetireWidth.
+	b := New(cfg())
+	id := uint64(0)
+	now := int64(0)
+	for b.Retired() < 3000 {
+		for b.InFlightInstrs() < 60 {
+			id++
+			b.Push(Group{ID: id, NInstr: 6, FetchDone: now})
+		}
+		now++
+		b.Tick(now)
+	}
+	ipc := float64(b.Retired()) / float64(now)
+	if ipc > 3.01 {
+		t.Fatalf("IPC %v exceeds retire width", ipc)
+	}
+	if ipc < 2.5 {
+		t.Fatalf("IPC %v unexpectedly low for a perfect front end", ipc)
+	}
+}

@@ -1,0 +1,82 @@
+package bpu
+
+import "boomerang/internal/isa"
+
+// RAS is a circular return address stack with checkpoint-based recovery.
+// Recovery restores the top pointer and the top-of-stack value (the standard
+// hardware scheme); deeper entries clobbered by wrong-path pushes stay
+// corrupted, which faithfully models the residual return mispredictions a
+// real front end sees.
+type RAS struct {
+	buf   []isa.Addr
+	top   int // index of the current top element (valid when count > 0)
+	count int
+}
+
+// RASCheckpoint captures recovery state at prediction time.
+type RASCheckpoint struct {
+	top, count int
+	tos        isa.Addr
+}
+
+// NewRAS builds a stack with the given depth.
+func NewRAS(depth int) *RAS {
+	if depth < 1 {
+		depth = 1
+	}
+	return &RAS{buf: make([]isa.Addr, depth), top: -1}
+}
+
+// Push records a return address (wrapping and overwriting on overflow, as
+// hardware does).
+func (r *RAS) Push(ret isa.Addr) {
+	r.top = (r.top + 1) % len(r.buf)
+	r.buf[r.top] = ret
+	if r.count < len(r.buf) {
+		r.count++
+	}
+}
+
+// Pop predicts a return target. ok is false when the stack is empty.
+func (r *RAS) Pop() (ret isa.Addr, ok bool) {
+	if r.count == 0 {
+		return 0, false
+	}
+	ret = r.buf[r.top]
+	r.top--
+	if r.top < 0 {
+		r.top += len(r.buf)
+	}
+	r.count--
+	return ret, true
+}
+
+// Peek returns the top without popping.
+func (r *RAS) Peek() (ret isa.Addr, ok bool) {
+	if r.count == 0 {
+		return 0, false
+	}
+	return r.buf[r.top], true
+}
+
+// Depth returns the current element count.
+func (r *RAS) Depth() int { return r.count }
+
+// Checkpoint captures top pointer + TOS value.
+func (r *RAS) Checkpoint() RASCheckpoint {
+	cp := RASCheckpoint{top: r.top, count: r.count}
+	if r.count > 0 {
+		cp.tos = r.buf[r.top]
+	}
+	return cp
+}
+
+// Restore rewinds to a checkpoint. Entries below the checkpointed top that
+// were overwritten by wrong-path activity are not repaired.
+func (r *RAS) Restore(cp RASCheckpoint) {
+	r.top = cp.top
+	r.count = cp.count
+	if r.count > 0 {
+		r.buf[r.top] = cp.tos
+	}
+}

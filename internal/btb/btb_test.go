@@ -1,0 +1,272 @@
+package btb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"boomerang/internal/isa"
+	"boomerang/internal/program"
+)
+
+func mkEntry(start isa.Addr) Entry {
+	return Entry{Start: start, NInstr: 4, Kind: isa.CondDirect, Target: start + 64}
+}
+
+func TestLookupMissIsGenuine(t *testing.T) {
+	b := New(2048, 4)
+	if _, ok := b.Lookup(0x1000, 0); ok {
+		t.Fatal("hit in empty BTB")
+	}
+	hits, misses := b.Stats()
+	if hits != 0 || misses != 1 {
+		t.Fatalf("stats %d/%d", hits, misses)
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	b := New(2048, 4)
+	e := mkEntry(0x1000)
+	b.Insert(e, 1)
+	got, ok := b.Lookup(0x1000, 2)
+	if !ok || got != e {
+		t.Fatalf("lookup = %+v ok=%v", got, ok)
+	}
+}
+
+func TestEntryGeometry(t *testing.T) {
+	e := Entry{Start: 0x1000, NInstr: 5}
+	if e.FallThrough() != 0x1000+20 {
+		t.Fatal("FallThrough wrong")
+	}
+	if e.BranchPC() != 0x1000+16 {
+		t.Fatal("BranchPC wrong")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	b := New(8, 2) // 4 sets x 2 ways
+	sets := uint64(len(b.sets))
+	stride := isa.Addr(sets * 4) // same set
+	a1, a2, a3 := isa.Addr(0x1000), isa.Addr(0x1000)+stride, isa.Addr(0x1000)+2*stride
+	b.Insert(mkEntry(a1), 1)
+	b.Insert(mkEntry(a2), 2)
+	b.Lookup(a1, 3) // refresh a1
+	b.Insert(mkEntry(a3), 4)
+	if b.Contains(a2) {
+		t.Fatal("LRU should have evicted a2")
+	}
+	if !b.Contains(a1) || !b.Contains(a3) {
+		t.Fatal("wrong entries evicted")
+	}
+}
+
+func TestInsertPreservesLearnedIndirectTarget(t *testing.T) {
+	b := New(64, 4)
+	// Learned entry with a target.
+	b.Insert(Entry{Start: 0x100, NInstr: 3, Kind: isa.IndirectCall, Target: 0x9000}, 1)
+	// Predecoder refill carries no target.
+	b.Insert(Entry{Start: 0x100, NInstr: 3, Kind: isa.IndirectCall, Target: 0}, 2)
+	e, ok := b.Lookup(0x100, 3)
+	if !ok || e.Target != 0x9000 {
+		t.Fatalf("learned target lost: %+v", e)
+	}
+}
+
+func TestUpdateTarget(t *testing.T) {
+	b := New(64, 4)
+	b.Insert(Entry{Start: 0x200, NInstr: 2, Kind: isa.IndirectJump}, 1)
+	b.UpdateTarget(0x200, 0x5555, 2)
+	e, _ := b.Lookup(0x200, 3)
+	if e.Target != 0x5555 {
+		t.Fatal("UpdateTarget did not stick")
+	}
+	b.UpdateTarget(0x9999, 1, 4) // absent: no-op, no panic
+}
+
+func TestBTBProperty(t *testing.T) {
+	b := New(1024, 4)
+	now := int64(0)
+	if err := quick.Check(func(raw uint32) bool {
+		now++
+		start := isa.Addr(raw) &^ 3
+		b.Insert(mkEntry(start), now)
+		e, ok := b.Lookup(start, now)
+		return ok && e.Start == start
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchBufferFIFO(t *testing.T) {
+	p := NewPrefetchBuffer(2)
+	p.Insert(mkEntry(0x100))
+	p.Insert(mkEntry(0x200))
+	p.Insert(mkEntry(0x300)) // evicts 0x100
+	if _, ok := p.Take(0x100); ok {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	if _, ok := p.Take(0x200); !ok {
+		t.Fatal("0x200 missing")
+	}
+	if _, ok := p.Take(0x300); !ok {
+		t.Fatal("0x300 missing")
+	}
+	if p.Len() != 0 {
+		t.Fatal("Take should remove entries")
+	}
+}
+
+func TestPrefetchBufferDedup(t *testing.T) {
+	p := NewPrefetchBuffer(4)
+	p.Insert(mkEntry(0x100))
+	e2 := mkEntry(0x100)
+	e2.Target = 0x7777
+	p.Insert(e2)
+	if p.Len() != 1 {
+		t.Fatal("duplicate starts must replace, not append")
+	}
+	got, _ := p.Take(0x100)
+	if got.Target != 0x7777 {
+		t.Fatal("replacement did not update entry")
+	}
+}
+
+func TestPrefetchBufferZeroCapacity(t *testing.T) {
+	p := NewPrefetchBuffer(0)
+	p.Insert(mkEntry(0x100))
+	if p.Len() != 0 {
+		t.Fatal("zero-capacity buffer stored an entry")
+	}
+}
+
+func testImage(t testing.TB) *program.Image {
+	t.Helper()
+	g := program.DefaultGenParams()
+	g.FootprintKB = 128
+	g.Layers = 4
+	img, err := program.Generate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestDecodeLineMatchesImage(t *testing.T) {
+	img := testImage(t)
+	d := NewPredecoder(img)
+	for i := 0; i < len(img.Blocks); i += 37 {
+		b := &img.Blocks[i]
+		line := isa.BlockAddr(b.BranchPC())
+		found := false
+		for _, e := range d.DecodeLine(line) {
+			if e.Start == b.Addr {
+				found = true
+				if e.NInstr != b.NInstr || e.Kind != b.Term.Kind {
+					t.Fatalf("entry mismatch for block %#x", b.Addr)
+				}
+				if b.Term.Kind.IsIndirect() && e.Target != 0 {
+					t.Fatalf("predecoder leaked indirect target at %#x", b.Addr)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("block %#x terminator not decoded", b.Addr)
+		}
+	}
+	if d.LinesDecoded == 0 {
+		t.Fatal("decode counter not advancing")
+	}
+}
+
+func TestResolveMissAtBlockStart(t *testing.T) {
+	img := testImage(t)
+	d := NewPredecoder(img)
+	for i := 0; i < len(img.Blocks); i += 11 {
+		b := &img.Blocks[i]
+		missing, _, lines := d.ResolveMiss(b.Addr, 16)
+		if missing.Start != b.Addr || missing.NInstr != b.NInstr || missing.Kind != b.Term.Kind {
+			t.Fatalf("ResolveMiss(%#x) = %+v, want block %+v", b.Addr, missing, b)
+		}
+		if len(lines) == 0 {
+			t.Fatal("no lines probed")
+		}
+		// The scan must cover exactly the lines from start to the branch.
+		wantLines := int(isa.BlockIndex(b.BranchPC())-isa.BlockIndex(b.Addr)) + 1
+		if len(lines) != wantLines {
+			t.Fatalf("probed %d lines, want %d", len(lines), wantLines)
+		}
+	}
+}
+
+func TestResolveMissMidBlock(t *testing.T) {
+	// A wrong-path miss can land mid-block; the synthesised entry must end
+	// at the block's terminator.
+	img := testImage(t)
+	d := NewPredecoder(img)
+	for i := 0; i < len(img.Blocks); i += 53 {
+		b := &img.Blocks[i]
+		if b.NInstr < 3 {
+			continue
+		}
+		start := b.Addr + 2*isa.InstrBytes
+		missing, _, _ := d.ResolveMiss(start, 16)
+		if missing.Start != start {
+			t.Fatalf("entry start %#x, want %#x", missing.Start, start)
+		}
+		if missing.BranchPC() != b.BranchPC() {
+			t.Fatalf("entry branch %#x, want %#x", missing.BranchPC(), b.BranchPC())
+		}
+	}
+}
+
+func TestResolveMissExtrasExcludeTerminator(t *testing.T) {
+	img := testImage(t)
+	d := NewPredecoder(img)
+	for i := 0; i < len(img.Blocks); i += 17 {
+		b := &img.Blocks[i]
+		missing, extras, _ := d.ResolveMiss(b.Addr, 16)
+		for _, e := range extras {
+			if e.BranchPC() == missing.BranchPC() {
+				t.Fatal("terminating branch duplicated into extras")
+			}
+		}
+	}
+}
+
+func TestResolveMissBeyondText(t *testing.T) {
+	img := testImage(t)
+	d := NewPredecoder(img)
+	missing, _, lines := d.ResolveMiss(img.Limit+4096, 4)
+	if missing.Kind.IsBranch() {
+		t.Fatal("found a branch beyond the text segment")
+	}
+	if len(lines) != 4 {
+		t.Fatalf("scan should exhaust maxLines, probed %d", len(lines))
+	}
+}
+
+func BenchmarkBTBLookup(b *testing.B) {
+	btb := New(2048, 4)
+	for i := 0; i < 2048; i++ {
+		btb.Insert(mkEntry(isa.Addr(0x1000+i*16)), int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		btb.Lookup(isa.Addr(0x1000+(i%2048)*16), int64(i))
+	}
+}
+
+func BenchmarkResolveMiss(b *testing.B) {
+	g := program.DefaultGenParams()
+	g.FootprintKB = 256
+	img, err := program.Generate(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := NewPredecoder(img)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := &img.Blocks[i%len(img.Blocks)]
+		d.ResolveMiss(blk.Addr, 8)
+	}
+}

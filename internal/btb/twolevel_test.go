@@ -1,0 +1,90 @@
+package btb
+
+import (
+	"testing"
+
+	"boomerang/internal/isa"
+)
+
+func tlEntry(start isa.Addr) Entry {
+	return Entry{Start: start, NInstr: 4, Kind: isa.CondDirect, Target: start + 256}
+}
+
+func TestTwoLevelMissThenFill(t *testing.T) {
+	l1 := New(64, 4)
+	tl := NewTwoLevel(BulkPreloadConfig(), l1)
+	if _, _, ok := tl.Handle(0x1000, 0); ok {
+		t.Fatal("empty L2 resolved a miss")
+	}
+	if tl.Stats().L2Misses != 1 {
+		t.Fatal("L2 miss not counted")
+	}
+	// Discovery fill trains the L2.
+	tl.OnBTBFill(tlEntry(0x1000), 1)
+	e, resume, ok := tl.Handle(0x1000, 10)
+	if !ok || e.Start != 0x1000 {
+		t.Fatal("L2 did not serve the trained entry")
+	}
+	if resume != 10+BulkPreloadConfig().L2Latency {
+		t.Fatalf("L2 latency not charged: resume=%d", resume)
+	}
+}
+
+func TestTwoLevelSpatialPreload(t *testing.T) {
+	l1 := New(64, 4)
+	tl := NewTwoLevel(BulkPreloadConfig(), l1)
+	// Train three entries in the same neighbourhood.
+	tl.OnBTBFill(tlEntry(0x1000), 1)
+	tl.OnBTBFill(tlEntry(0x1010), 2)
+	tl.OnBTBFill(tlEntry(0x1040), 3)
+	// A miss on the first must preload its neighbours into the L1.
+	tl.Handle(0x1000, 10)
+	if !l1.Contains(0x1010) || !l1.Contains(0x1040) {
+		t.Fatal("spatial neighbours not preloaded")
+	}
+	if tl.Stats().Preloaded < 2 {
+		t.Fatalf("preload count %d", tl.Stats().Preloaded)
+	}
+}
+
+func TestTwoLevelTemporalPreload(t *testing.T) {
+	l1 := New(64, 4)
+	tl := NewTwoLevel(PhantomBTBConfig(30), l1)
+	// Fill order: A then B then C (far apart, so spatial would not help).
+	a, b, c := isa.Addr(0x1000), isa.Addr(0x8000), isa.Addr(0x20000)
+	tl.OnBTBFill(tlEntry(a), 1)
+	tl.OnBTBFill(tlEntry(b), 2)
+	tl.OnBTBFill(tlEntry(c), 3)
+	_, resume, ok := tl.Handle(a, 10)
+	if !ok {
+		t.Fatal("temporal L2 missed a trained entry")
+	}
+	if resume != 10+30 {
+		t.Fatalf("LLC latency not charged: resume=%d", resume)
+	}
+	if !l1.Contains(b) || !l1.Contains(c) {
+		t.Fatal("temporal group not preloaded")
+	}
+}
+
+func TestTwoLevelTemporalRingWraps(t *testing.T) {
+	l1 := New(64, 4)
+	cfg := PhantomBTBConfig(30)
+	cfg.L2Entries = 2048
+	tl := NewTwoLevel(cfg, l1)
+	for i := 0; i < 3000; i++ {
+		tl.OnBTBFill(tlEntry(isa.Addr(0x1000+i*16)), int64(i))
+	}
+	if tl.Stats().GroupWraps == 0 {
+		t.Fatal("ring never wrapped")
+	}
+	// A stale index entry (overwritten ring slot) must not preload garbage.
+	tl.Handle(0x1000, 5000) // first fill, long since overwritten
+}
+
+func TestTwoLevelStorage(t *testing.T) {
+	tl := NewTwoLevel(BulkPreloadConfig(), New(64, 4))
+	if kb := tl.StorageKB(); kb < 100 {
+		t.Fatalf("16K-entry L2 BTB storage %d KB implausibly small (paper: >200KB class)", kb)
+	}
+}

@@ -1,0 +1,145 @@
+// Package cache models the instruction-side memory hierarchy: a generic
+// set-associative cache, the L1-I with its prefetch buffer and MSHRs, and a
+// shared LLC backed by memory. Timing is expressed as absolute cycle numbers:
+// an access at cycle t returns the cycle its data is ready, so in-flight
+// prefetches naturally provide partial latency coverage — the effect the
+// paper's "stall cycles covered" metric is designed to capture.
+package cache
+
+import (
+	"fmt"
+
+	"boomerang/internal/isa"
+)
+
+// Line is a cache-line index (address / 64).
+type Line = uint64
+
+// LineOf maps an instruction address to its line index.
+func LineOf(pc isa.Addr) Line { return pc / isa.BlockBytes }
+
+type way struct {
+	tag     uint64
+	valid   bool
+	lastUse int64
+}
+
+// SetAssoc is a set-associative cache with true-LRU replacement over line
+// indices. It stores presence only (instruction caches are read-only here).
+type SetAssoc struct {
+	sets    [][]way
+	nsets   uint64
+	isPow2  bool
+	setMask uint64
+	hits    uint64
+	misses  uint64
+}
+
+// NewSetAssoc builds a cache of the given capacity with sets =
+// size/(assoc*line). Power-of-two set counts index with a mask; other set
+// counts (e.g. an LLC with capacity carved out for prefetcher metadata)
+// index by modulo so the configured capacity is preserved exactly.
+func NewSetAssoc(sizeKB, assoc int) *SetAssoc {
+	if sizeKB <= 0 || assoc <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	lines := sizeKB * 1024 / isa.BlockBytes
+	nsets := lines / assoc
+	if nsets == 0 {
+		nsets = 1
+	}
+	sets := make([][]way, nsets)
+	backing := make([]way, nsets*assoc)
+	for i := range sets {
+		sets[i] = backing[i*assoc : (i+1)*assoc]
+	}
+	return &SetAssoc{
+		sets:    sets,
+		nsets:   uint64(nsets),
+		isPow2:  nsets&(nsets-1) == 0,
+		setMask: uint64(nsets - 1),
+	}
+}
+
+// Ways returns the associativity.
+func (c *SetAssoc) Ways() int { return len(c.sets[0]) }
+
+// Sets returns the set count.
+func (c *SetAssoc) Sets() int { return len(c.sets) }
+
+// Lines returns total capacity in lines.
+func (c *SetAssoc) Lines() int { return len(c.sets) * len(c.sets[0]) }
+
+func (c *SetAssoc) set(line Line) []way {
+	if c.isPow2 {
+		return c.sets[line&c.setMask]
+	}
+	return c.sets[line%c.nsets]
+}
+
+// Lookup checks for the line, updating LRU and hit/miss counters on use.
+func (c *SetAssoc) Lookup(line Line, now int64) bool {
+	s := c.set(line)
+	for i := range s {
+		if s[i].valid && s[i].tag == line {
+			s[i].lastUse = now
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Contains probes without perturbing LRU or counters (prefetch probes use
+// this so probing does not distort replacement).
+func (c *SetAssoc) Contains(line Line) bool {
+	s := c.set(line)
+	for i := range s {
+		if s[i].valid && s[i].tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the line, evicting the LRU way if needed. It returns the
+// victim line when a valid entry was displaced.
+func (c *SetAssoc) Insert(line Line, now int64) (victim Line, evicted bool) {
+	s := c.set(line)
+	lru := 0
+	for i := range s {
+		if s[i].valid && s[i].tag == line {
+			s[i].lastUse = now // already present; refresh
+			return 0, false
+		}
+		if !s[i].valid {
+			s[i] = way{tag: line, valid: true, lastUse: now}
+			return 0, false
+		}
+		if s[i].lastUse < s[lru].lastUse {
+			lru = i
+		}
+	}
+	victim = s[lru].tag
+	s[lru] = way{tag: line, valid: true, lastUse: now}
+	return victim, true
+}
+
+// Invalidate drops the line if present.
+func (c *SetAssoc) Invalidate(line Line) {
+	s := c.set(line)
+	for i := range s {
+		if s[i].valid && s[i].tag == line {
+			s[i].valid = false
+			return
+		}
+	}
+}
+
+// Stats returns lifetime hit/miss counts from Lookup calls.
+func (c *SetAssoc) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+func (c *SetAssoc) String() string {
+	return fmt.Sprintf("cache{%d sets x %d ways}", c.Sets(), c.Ways())
+}

@@ -1,0 +1,375 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"boomerang/internal/config"
+)
+
+func TestGeometry(t *testing.T) {
+	c := NewSetAssoc(32, 2) // 32KB, 2-way, 64B lines
+	if c.Lines() != 512 {
+		t.Fatalf("32KB/64B = 512 lines, got %d", c.Lines())
+	}
+	if c.Sets() != 256 || c.Ways() != 2 {
+		t.Fatalf("expected 256 sets x 2 ways, got %d x %d", c.Sets(), c.Ways())
+	}
+}
+
+func TestGeometryExactCapacity(t *testing.T) {
+	// Non-power-of-two capacities (an LLC with metadata carved out) must be
+	// preserved exactly, not rounded down.
+	c := NewSetAssoc(8032, 16) // 8MB minus a 160KB carve
+	if got := c.Lines() * 64 / 1024; got != 8032 {
+		t.Fatalf("capacity %d KB, want 8032", got)
+	}
+	// Lines mapping to distinct sets must coexist.
+	c.Insert(1, 1)
+	c.Insert(2, 2)
+	if !c.Contains(1) || !c.Contains(2) {
+		t.Fatal("distinct sets interfering")
+	}
+}
+
+func TestLookupInsert(t *testing.T) {
+	c := NewSetAssoc(4, 2)
+	if c.Lookup(42, 0) {
+		t.Fatal("hit in empty cache")
+	}
+	c.Insert(42, 1)
+	if !c.Lookup(42, 2) {
+		t.Fatal("miss after insert")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewSetAssoc(1, 2) // 16 lines, 8 sets x 2 ways
+	sets := uint64(c.Sets())
+	// Three lines mapping to set 0.
+	a, b, d := sets*0, sets*1, sets*2
+	c.Insert(a, 1)
+	c.Insert(b, 2)
+	c.Lookup(a, 3) // a is now MRU
+	victim, evicted := c.Insert(d, 4)
+	if !evicted || victim != b {
+		t.Fatalf("expected b evicted, got %v (evicted=%v)", victim, evicted)
+	}
+	if !c.Contains(a) || !c.Contains(d) || c.Contains(b) {
+		t.Fatal("LRU state wrong after eviction")
+	}
+}
+
+func TestInsertExistingRefreshes(t *testing.T) {
+	c := NewSetAssoc(1, 2)
+	sets := uint64(c.Sets())
+	a, b, d := sets*0, sets*1, sets*2
+	c.Insert(a, 1)
+	c.Insert(b, 2)
+	c.Insert(a, 3) // refresh, not duplicate
+	_, evicted := c.Insert(d, 4)
+	if !evicted {
+		t.Fatal("expected an eviction")
+	}
+	if !c.Contains(a) {
+		t.Fatal("refreshed line was evicted")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := NewSetAssoc(4, 4)
+	c.Insert(7, 1)
+	c.Invalidate(7)
+	if c.Contains(7) {
+		t.Fatal("line present after invalidate")
+	}
+	c.Invalidate(7) // idempotent
+}
+
+func TestContainsNoLRUEffect(t *testing.T) {
+	c := NewSetAssoc(1, 2)
+	sets := uint64(c.Sets())
+	a, b, d := sets*0, sets*1, sets*2
+	c.Insert(a, 1)
+	c.Insert(b, 2)
+	c.Contains(a) // must NOT refresh a
+	victim, _ := c.Insert(d, 3)
+	if victim != a {
+		t.Fatal("Contains perturbed LRU")
+	}
+}
+
+func TestCachePropertyInsertThenFound(t *testing.T) {
+	c := NewSetAssoc(8, 4)
+	now := int64(0)
+	if err := quick.Check(func(line uint64) bool {
+		now++
+		c.Insert(line, now)
+		return c.Contains(line)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testCfg() config.Core {
+	c := config.Default()
+	return c
+}
+
+func TestHierarchyDemandMiss(t *testing.T) {
+	h := NewHierarchy(testCfg(), 0)
+	ready, src := h.Demand(100, 0)
+	if src != HitMemory {
+		t.Fatalf("cold demand should go to memory, got %v", src)
+	}
+	want := int64(testCfg().LLCLatency + testCfg().MemLatency)
+	if ready != want {
+		t.Fatalf("ready = %d, want %d", ready, want)
+	}
+	// After the fill completes the line is an L1 hit.
+	h.Tick(ready)
+	r2, src2 := h.Demand(100, ready)
+	if src2 != HitL1 || r2 != ready+int64(testCfg().L1ILatency) {
+		t.Fatalf("after fill: src=%v ready=%d", src2, r2)
+	}
+}
+
+func TestHierarchyLLCHitAfterEviction(t *testing.T) {
+	cfg := testCfg()
+	cfg.L1ISizeKB = 1
+	cfg.L1IAssoc = 1
+	h := NewHierarchy(cfg, 0)
+	// Fill line 0, then evict it by filling conflicting lines.
+	r, _ := h.Demand(0, 0)
+	h.Tick(r)
+	conflict := uint64(16) // 1KB/64B = 16 sets... 16 lines, 16 sets, so line 16 maps to set 0
+	r2, _ := h.Demand(conflict, r)
+	h.Tick(r2)
+	// Line 0 evicted from L1 but still in LLC.
+	r3, src := h.Demand(0, r2)
+	if src != HitLLC {
+		t.Fatalf("expected LLC hit, got %v", src)
+	}
+	if r3 != r2+int64(cfg.LLCLatency) {
+		t.Fatalf("LLC latency wrong: %d", r3-r2)
+	}
+}
+
+func TestPrefetchThenDemandHitsPFB(t *testing.T) {
+	cfg := testCfg()
+	h := NewHierarchy(cfg, 0)
+	if !h.Prefetch(5, 0) {
+		t.Fatal("prefetch not issued")
+	}
+	fill := int64(cfg.LLCLatency + cfg.MemLatency)
+	h.Tick(fill)
+	if !h.Present(5, fill) {
+		t.Fatal("line not present after prefetch fill")
+	}
+	ready, src := h.Demand(5, fill)
+	if src != HitPrefetchBuffer {
+		t.Fatalf("expected PFB hit, got %v", src)
+	}
+	if ready != fill+int64(cfg.L1ILatency) {
+		t.Fatalf("PFB hit latency wrong")
+	}
+	// Promotion: now an L1 hit.
+	_, src = h.Demand(5, ready)
+	if src != HitL1 {
+		t.Fatalf("expected L1 hit after promotion, got %v", src)
+	}
+}
+
+func TestInFlightPrefetchPartialCoverage(t *testing.T) {
+	cfg := testCfg()
+	h := NewHierarchy(cfg, 0)
+	h.Prefetch(9, 0)
+	fill := int64(cfg.LLCLatency + cfg.MemLatency)
+	// Demand arrives mid-flight: must wait only the remaining time.
+	ready, src := h.Demand(9, fill/2)
+	if src != HitInFlight {
+		t.Fatalf("expected in-flight merge, got %v", src)
+	}
+	if ready != fill {
+		t.Fatalf("in-flight demand ready=%d, want %d", ready, fill)
+	}
+	// The merged fill must land in the L1 (demand upgrade).
+	h.Tick(fill)
+	_, src = h.Demand(9, fill+1)
+	if src != HitL1 {
+		t.Fatalf("upgraded fill should land in L1, got %v", src)
+	}
+}
+
+func TestPrefetchDedup(t *testing.T) {
+	h := NewHierarchy(testCfg(), 0)
+	if !h.Prefetch(3, 0) {
+		t.Fatal("first prefetch should issue")
+	}
+	if h.Prefetch(3, 1) {
+		t.Fatal("duplicate prefetch should not issue")
+	}
+	st := h.Stats()
+	if st.Prefetches != 1 {
+		t.Fatalf("prefetch count %d, want 1", st.Prefetches)
+	}
+}
+
+func TestMSHRExhaustionDropsPrefetches(t *testing.T) {
+	cfg := testCfg()
+	cfg.MSHREntries = 2
+	h := NewHierarchy(cfg, 0)
+	h.Prefetch(1, 0)
+	h.Prefetch(2, 0)
+	if h.Prefetch(3, 0) {
+		t.Fatal("prefetch should be dropped when MSHRs are full")
+	}
+	if h.Stats().PrefetchDropped != 1 {
+		t.Fatal("dropped prefetch not counted")
+	}
+}
+
+func TestPFBFIFOEviction(t *testing.T) {
+	cfg := testCfg()
+	cfg.PrefetchBufEntries = 2
+	h := NewHierarchy(cfg, 0)
+	fill := int64(cfg.LLCLatency + cfg.MemLatency)
+	h.Prefetch(1, 0)
+	h.Prefetch(2, 0)
+	h.Prefetch(3, 0)
+	// Port serialisation staggers the fills; tick past the last one.
+	fill += 3 * int64(cfg.LLCPortOccupancy)
+	h.Tick(fill)
+	// All three fills completed into a 2-entry FIFO: line 1 (oldest) evicted.
+	if h.Present(1, fill) {
+		t.Fatal("oldest PFB entry should have been evicted")
+	}
+	if !h.Present(2, fill) || !h.Present(3, fill) {
+		t.Fatal("younger PFB entries missing")
+	}
+	if h.Stats().PFBEvictions != 1 {
+		t.Fatal("PFB eviction not counted")
+	}
+}
+
+func TestLLCReservationShrinksLLC(t *testing.T) {
+	full := NewHierarchy(testCfg(), 0)
+	carved := NewHierarchy(testCfg(), 4096)
+	if carved.llc.Lines() >= full.llc.Lines() {
+		t.Fatal("reservation did not shrink LLC")
+	}
+}
+
+func TestWarmLLC(t *testing.T) {
+	cfg := testCfg()
+	h := NewHierarchy(cfg, 0)
+	h.WarmLLC([]Line{77})
+	_, src := h.Demand(77, 0)
+	if src != HitLLC {
+		t.Fatalf("warmed line should be an LLC hit, got %v", src)
+	}
+}
+
+func TestDemandNotReadyBeforeL1Latency(t *testing.T) {
+	cfg := testCfg()
+	h := NewHierarchy(cfg, 0)
+	h.Prefetch(4, 0)
+	fill := int64(cfg.LLCLatency + cfg.MemLatency)
+	// Demand arriving just before completion still pays at least L1 latency.
+	ready, _ := h.Demand(4, fill-1)
+	if ready < fill-1+int64(cfg.L1ILatency) && ready != fill {
+		t.Fatalf("ready=%d violates latency floor", ready)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for _, l := range []Level{HitL1, HitPrefetchBuffer, HitInFlight, HitLLC, HitMemory} {
+		if l.String() == "?" {
+			t.Fatalf("missing name for level %d", l)
+		}
+	}
+}
+
+func BenchmarkDemandHit(b *testing.B) {
+	h := NewHierarchy(testCfg(), 0)
+	r, _ := h.Demand(1, 0)
+	h.Tick(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Demand(1, r)
+	}
+}
+
+func BenchmarkPrefetchProbe(b *testing.B) {
+	h := NewHierarchy(testCfg(), 0)
+	for i := 0; i < b.N; i++ {
+		h.Present(uint64(i%512), int64(i))
+	}
+}
+
+func TestFetchChargesAndReturnsTime(t *testing.T) {
+	cfg := testCfg()
+	h := NewHierarchy(cfg, 0)
+	// Cold: goes to memory.
+	r1 := h.Fetch(11, 0)
+	if r1 < int64(cfg.LLCLatency) {
+		t.Fatalf("cold Fetch ready=%d too fast", r1)
+	}
+	// Repeat while in flight: same completion time.
+	if r2 := h.Fetch(11, 5); r2 != r1 {
+		t.Fatalf("in-flight Fetch returned %d, want %d", r2, r1)
+	}
+	// After the fill lands in the prefetch buffer, Fetch reports it.
+	h.Tick(r1)
+	r3 := h.Fetch(11, r1)
+	if r3 > r1+int64(cfg.L1ILatency) {
+		t.Fatalf("present line Fetch ready=%d", r3)
+	}
+}
+
+func TestFetchBypassesMSHRCap(t *testing.T) {
+	cfg := testCfg()
+	cfg.MSHREntries = 1
+	h := NewHierarchy(cfg, 0)
+	h.Prefetch(1, 0) // occupies the only MSHR
+	if h.Prefetch(2, 0) {
+		t.Fatal("prefetch should be capped")
+	}
+	// A BTB miss probe must still go through (demand priority).
+	if r := h.Fetch(3, 0); r <= 0 {
+		t.Fatal("Fetch blocked by MSHR cap")
+	}
+	if !h.InFlight(3) {
+		t.Fatal("Fetch did not allocate a fill")
+	}
+}
+
+func TestDemandPriorityOverPrefetchPort(t *testing.T) {
+	cfg := testCfg()
+	h := NewHierarchy(cfg, 0)
+	// Saturate the prefetch port with a burst.
+	for i := uint64(0); i < 8; i++ {
+		h.Prefetch(100+i, 0)
+	}
+	// A demand at the same cycle must not queue behind the burst.
+	ready, _ := h.Demand(500, 0)
+	want := int64(cfg.LLCLatency + cfg.MemLatency)
+	if ready != want {
+		t.Fatalf("demand delayed by prefetch port: ready=%d want=%d", ready, want)
+	}
+	// The prefetch burst itself, though, is staggered by the port: read the
+	// in-flight completion times back through Fetch (which reports the
+	// existing MSHR's ready time).
+	pFirst := h.Fetch(100, 1)
+	pLast := h.Fetch(107, 1)
+	if pLast <= pFirst {
+		t.Fatalf("prefetch port serialisation missing: first=%d last=%d", pFirst, pLast)
+	}
+	if pLast-pFirst < 7*int64(cfg.LLCPortOccupancy) {
+		t.Fatalf("stagger %d below 7 port slots", pLast-pFirst)
+	}
+}

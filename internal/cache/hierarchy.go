@@ -1,0 +1,333 @@
+package cache
+
+import (
+	"container/heap"
+
+	"boomerang/internal/config"
+)
+
+// Level identifies where an instruction access was satisfied.
+type Level uint8
+
+const (
+	// HitL1 means the line was in the L1-I.
+	HitL1 Level = iota
+	// HitPrefetchBuffer means the line was in the L1-I prefetch buffer.
+	HitPrefetchBuffer
+	// HitInFlight means an earlier (prefetch) request is outstanding; the
+	// access completes when that fill arrives.
+	HitInFlight
+	// HitLLC means the line came from the LLC.
+	HitLLC
+	// HitMemory means the line came from memory beyond the LLC.
+	HitMemory
+)
+
+func (l Level) String() string {
+	switch l {
+	case HitL1:
+		return "L1"
+	case HitPrefetchBuffer:
+		return "PFB"
+	case HitInFlight:
+		return "inflight"
+	case HitLLC:
+		return "LLC"
+	case HitMemory:
+		return "mem"
+	}
+	return "?"
+}
+
+// HierarchyStats aggregates instruction-supply traffic.
+type HierarchyStats struct {
+	DemandAccesses  uint64
+	DemandL1Hits    uint64
+	DemandPFBHits   uint64
+	DemandInFlight  uint64
+	DemandLLCFills  uint64
+	DemandMemFills  uint64
+	Prefetches      uint64
+	PrefetchDropped uint64 // MSHRs full
+	LLCAccesses     uint64
+	LLCMisses       uint64
+	PFBEvictions    uint64
+	UselessPrefetch uint64 // evicted from PFB without a demand hit
+}
+
+type mshr struct {
+	line    Line
+	readyAt int64
+	demand  bool // at least one demand is waiting on this fill
+}
+
+// pbufEntry is one prefetch-buffer slot.
+type pbufEntry struct {
+	line  Line
+	seq   uint64 // FIFO order
+	ready int64
+}
+
+type fillHeap []*mshr
+
+func (h fillHeap) Len() int            { return len(h) }
+func (h fillHeap) Less(i, j int) bool  { return h[i].readyAt < h[j].readyAt }
+func (h fillHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *fillHeap) Push(x interface{}) { *h = append(*h, x.(*mshr)) }
+func (h *fillHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Hierarchy is one core's instruction-supply path: L1-I + prefetch buffer +
+// MSHRs in front of a shared LLC and memory. The LLC is modelled privately
+// per simulated core (the multi-core harness runs one hierarchy per core with
+// the shared capacity divided), with its round-trip latency taken from the
+// interconnect model.
+type Hierarchy struct {
+	cfg config.Core
+
+	l1   *SetAssoc
+	llc  *SetAssoc
+	pbuf []pbufEntry
+	pseq uint64
+
+	mshrs   map[Line]*mshr
+	pending fillHeap
+	// portFree is when the core's LLC port next becomes available.
+	portFree int64
+
+	// fillHook, when set, observes every completed line fill (demand or
+	// prefetch). Confluence's predecode-into-BTB path attaches here.
+	fillHook func(line Line, now int64)
+
+	stats HierarchyStats
+}
+
+// SetFillHook registers a callback invoked for every line fill as it
+// completes (at the fill's ready time).
+func (h *Hierarchy) SetFillHook(hook func(line Line, now int64)) {
+	h.fillHook = hook
+}
+
+// NewHierarchy builds the hierarchy from core parameters. llcReservedKB
+// carves capacity out of the LLC (SHIFT/Confluence virtualise prefetcher
+// metadata into the LLC; the paper charges them that capacity).
+func NewHierarchy(cfg config.Core, llcReservedKB int) *Hierarchy {
+	llcKB := cfg.LLCSizeKB - llcReservedKB
+	if llcKB < 64 {
+		llcKB = 64
+	}
+	return &Hierarchy{
+		cfg:   cfg,
+		l1:    NewSetAssoc(cfg.L1ISizeKB, cfg.L1IAssoc),
+		llc:   NewSetAssoc(llcKB, cfg.LLCAssoc),
+		mshrs: make(map[Line]*mshr),
+	}
+}
+
+// Stats returns accumulated traffic counters.
+func (h *Hierarchy) Stats() HierarchyStats { return h.stats }
+
+// Tick completes any fills that are ready at cycle now. Call once per cycle
+// (cheap when nothing is pending).
+func (h *Hierarchy) Tick(now int64) {
+	for len(h.pending) > 0 && h.pending[0].readyAt <= now {
+		m := heap.Pop(&h.pending).(*mshr)
+		if h.mshrs[m.line] != m {
+			continue // superseded
+		}
+		delete(h.mshrs, m.line)
+		if m.demand {
+			h.l1.Insert(m.line, now)
+		} else {
+			h.pbufInsert(m.line, m.readyAt)
+		}
+		if h.fillHook != nil {
+			h.fillHook(m.line, m.readyAt)
+		}
+	}
+}
+
+// Fetch ensures a fill for the line is under way (prefetch semantics: the
+// fill lands in the prefetch buffer) and returns the cycle the line will be
+// available. Unlike Prefetch it always reports a time, even when the line is
+// already present or in flight, and it bypasses the MSHR occupancy cap —
+// Boomerang's BTB miss probes use it, as they take priority over ordinary
+// prefetch traffic through the L1-I request mux.
+func (h *Hierarchy) Fetch(line Line, now int64) int64 {
+	if h.l1.Contains(line) {
+		return now + int64(h.cfg.L1ILatency)
+	}
+	if i := h.pbufFind(line); i >= 0 {
+		r := h.pbuf[i].ready
+		if r < now+int64(h.cfg.L1ILatency) {
+			r = now + int64(h.cfg.L1ILatency)
+		}
+		return r
+	}
+	if m, ok := h.mshrs[line]; ok {
+		return m.readyAt
+	}
+	// BTB miss probes have demand priority at the request mux.
+	ready, _ := h.fillFrom(line, now, true)
+	h.allocMSHR(line, ready, false)
+	h.stats.Prefetches++
+	return ready
+}
+
+// Present reports whether the line would hit in L1 or the prefetch buffer at
+// cycle now, without any side effects. Prefetch probes use this.
+func (h *Hierarchy) Present(line Line, now int64) bool {
+	if h.l1.Contains(line) {
+		return true
+	}
+	if i := h.pbufFind(line); i >= 0 && h.pbuf[i].ready <= now {
+		return true
+	}
+	return false
+}
+
+// InFlight reports whether a fill for the line is outstanding.
+func (h *Hierarchy) InFlight(line Line) bool {
+	_, ok := h.mshrs[line]
+	return ok
+}
+
+// Demand performs a demand fetch of the line at cycle now, returning the
+// cycle the instructions are available and where they came from. A prefetch
+// buffer hit promotes the line into the L1-I; an outstanding prefetch is
+// upgraded to demand so its fill lands in the L1-I.
+func (h *Hierarchy) Demand(line Line, now int64) (readyAt int64, src Level) {
+	h.stats.DemandAccesses++
+	lat := int64(h.cfg.L1ILatency)
+	if h.l1.Lookup(line, now) {
+		h.stats.DemandL1Hits++
+		return now + lat, HitL1
+	}
+	if i := h.pbufFind(line); i >= 0 && h.pbuf[i].ready <= now {
+		h.stats.DemandPFBHits++
+		h.pbufRemove(i)
+		h.l1.Insert(line, now)
+		return now + lat, HitPrefetchBuffer
+	}
+	if m, ok := h.mshrs[line]; ok {
+		h.stats.DemandInFlight++
+		m.demand = true
+		if m.readyAt < now+lat {
+			return now + lat, HitInFlight
+		}
+		return m.readyAt, HitInFlight
+	}
+	ready, lvl := h.fillFrom(line, now, true)
+	h.allocMSHR(line, ready, true)
+	if lvl == HitLLC {
+		h.stats.DemandLLCFills++
+	} else {
+		h.stats.DemandMemFills++
+	}
+	return ready, lvl
+}
+
+// Prefetch requests the line into the prefetch buffer. It returns false when
+// no request was issued (already present, in flight, or MSHRs exhausted).
+func (h *Hierarchy) Prefetch(line Line, now int64) bool {
+	if h.l1.Contains(line) || h.pbufFind(line) >= 0 || h.InFlight(line) {
+		return false
+	}
+	if len(h.mshrs) >= h.cfg.MSHREntries {
+		h.stats.PrefetchDropped++
+		return false
+	}
+	ready, _ := h.fillFrom(line, now, false)
+	h.allocMSHR(line, ready, false)
+	h.stats.Prefetches++
+	return true
+}
+
+// DemandLatencyBound returns when a demand issued now for a line absent
+// everywhere would complete — used by schemes that want the worst case.
+func (h *Hierarchy) DemandLatencyBound(now int64) int64 {
+	return now + int64(h.cfg.LLCLatency+h.cfg.MemLatency)
+}
+
+// LLCRoundTrip exposes the configured LLC round-trip latency (prefetchers
+// with LLC-resident metadata pay this per metadata access).
+func (h *Hierarchy) LLCRoundTrip() int64 { return int64(h.cfg.LLCLatency) }
+
+// fillFrom models the shared-LLC access: LLC hit costs the round trip, a
+// miss adds the memory latency and installs the line in the LLC. Prefetch
+// requests serialise on the core's LLC port/link, so bursts of (possibly
+// useless) prefetch traffic delay later prefetches — the bandwidth cost the
+// paper's throttled prefetch policy is designed around. Demand fills take
+// priority and bypass the prefetch queue.
+func (h *Hierarchy) fillFrom(line Line, now int64, demand bool) (int64, Level) {
+	h.stats.LLCAccesses++
+	start := now
+	if !demand {
+		if start < h.portFree {
+			start = h.portFree
+		}
+		h.portFree = start + int64(h.cfg.LLCPortOccupancy)
+	}
+	if h.llc.Lookup(line, now) {
+		return start + int64(h.cfg.LLCLatency), HitLLC
+	}
+	h.stats.LLCMisses++
+	h.llc.Insert(line, now)
+	return start + int64(h.cfg.LLCLatency+h.cfg.MemLatency), HitMemory
+}
+
+func (h *Hierarchy) allocMSHR(line Line, ready int64, demand bool) {
+	m := &mshr{line: line, readyAt: ready, demand: demand}
+	h.mshrs[line] = m
+	heap.Push(&h.pending, m)
+}
+
+func (h *Hierarchy) pbufFind(line Line) int {
+	for i := range h.pbuf {
+		if h.pbuf[i].line == line {
+			return i
+		}
+	}
+	return -1
+}
+
+func (h *Hierarchy) pbufInsert(line Line, ready int64) {
+	if h.cfg.PrefetchBufEntries == 0 {
+		// No prefetch buffer configured: fill straight into the L1.
+		h.l1.Insert(line, ready)
+		return
+	}
+	if len(h.pbuf) >= h.cfg.PrefetchBufEntries {
+		// FIFO eviction of the oldest entry.
+		oldest := 0
+		for i := range h.pbuf {
+			if h.pbuf[i].seq < h.pbuf[oldest].seq {
+				oldest = i
+			}
+		}
+		h.pbufRemove(oldest)
+		h.stats.PFBEvictions++
+		h.stats.UselessPrefetch++
+	}
+	h.pseq++
+	h.pbuf = append(h.pbuf, pbufEntry{line: line, seq: h.pseq, ready: ready})
+}
+
+func (h *Hierarchy) pbufRemove(i int) {
+	h.pbuf[i] = h.pbuf[len(h.pbuf)-1]
+	h.pbuf = h.pbuf[:len(h.pbuf)-1]
+}
+
+// WarmLLC preloads lines into the LLC (checkpoint-style warmup, mirroring the
+// paper's SMARTS methodology of starting from warmed microarchitectural
+// state).
+func (h *Hierarchy) WarmLLC(lines []Line) {
+	for _, l := range lines {
+		h.llc.Insert(l, 0)
+	}
+}

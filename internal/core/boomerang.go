@@ -1,0 +1,189 @@
+// Package core implements Boomerang, the paper's contribution: a
+// metadata-free control flow delivery architecture. Boomerang augments a
+// branch-predictor-directed prefetcher (FDIP) so that the same in-core
+// structures that prefetch instruction cache blocks also discover and prefill
+// missing BTB entries:
+//
+//  1. A basic-block-oriented BTB makes misses detectable (package btb).
+//  2. On a BTB miss the branch prediction unit stops feeding the FTQ and a
+//     BTB miss probe is sent to the L1-I, with priority over ordinary
+//     prefetch probes.
+//  3. The returned cache block is predecoded; the first branch at or after
+//     the missing entry's start address terminates the missing basic block.
+//     If the block holds no such branch, the next sequential block is probed
+//     (step 2) until the terminator is found.
+//  4. Remaining predecoded branches fill a small FIFO BTB prefetch buffer
+//     that is probed in parallel with the BTB; hits move into the BTB.
+//  5. If the miss could not be filled from the L1-I, the next-N sequential
+//     blocks are prefetched ("throttled prefetch", N=2 in the evaluated
+//     design) so a not-taken resolution loses no prefetch opportunity.
+//
+// The hardware cost is the FTQ (204 bytes) plus the BTB prefetch buffer
+// (336 bytes): 540 bytes total, against the 200KB+ of metadata that
+// temporal-streaming prefetchers and two-level BTBs require.
+package core
+
+import (
+	"boomerang/internal/btb"
+	"boomerang/internal/cache"
+	"boomerang/internal/isa"
+)
+
+// Config tunes the Boomerang miss handler.
+type Config struct {
+	// ThrottleN is how many sequential blocks to prefetch on a BTB miss
+	// that was not filled from the L1-I (Section IV-C1; next-2 is the
+	// evaluated design, Figure 10 sweeps 0/1/2/4/8).
+	ThrottleN int
+	// PredecodeLatency is the per-line predecode cost in cycles.
+	PredecodeLatency int64
+	// MaxScanLines bounds the sequential scan for the terminating branch.
+	MaxScanLines int
+	// PrefetchBufferEntries sizes the FIFO BTB prefetch buffer (32).
+	PrefetchBufferEntries int
+	// Unthrottled selects Section IV-C1's alternative design point: instead
+	// of stalling the BPU while a miss resolves, speculatively assume
+	// not-taken and keep feeding the FTQ sequentially; the predecoded entry
+	// still fills the BTB for future lookups. (The evaluated Boomerang
+	// stalls; unthrottled over-prefetches on the wrong path when the hidden
+	// branch is taken.)
+	Unthrottled bool
+}
+
+// DefaultConfig returns the evaluated design point.
+func DefaultConfig() Config {
+	return Config{
+		ThrottleN:             2,
+		PredecodeLatency:      1,
+		MaxScanLines:          8,
+		PrefetchBufferEntries: 32,
+	}
+}
+
+// Stats counts Boomerang-specific activity.
+type Stats struct {
+	// Probes counts BTB miss probes issued to the L1-I.
+	Probes uint64
+	// ProbeL1Hits counts probes satisfied by the L1-I (no stall beyond
+	// predecode).
+	ProbeL1Hits uint64
+	// LinesScanned counts cache lines fetched+predecoded during misses.
+	LinesScanned uint64
+	// PrefetchBufferHits counts BTB misses satisfied by the prefetch
+	// buffer (no probe needed at all).
+	PrefetchBufferHits uint64
+	// ThrottlePrefetches counts next-N lines prefetched under misses.
+	ThrottlePrefetches uint64
+	// Unresolvable counts probes that found no branch within MaxScanLines.
+	Unresolvable uint64
+}
+
+// Boomerang is the BTB miss handler. It implements the front-end engine's
+// MissHandler interface.
+type Boomerang struct {
+	cfg  Config
+	hier *cache.Hierarchy
+	dec  *btb.Predecoder
+	pbuf *btb.PrefetchBuffer
+	// l1btb is set only for the unthrottled variant, which prefills the
+	// BTB asynchronously instead of stalling the BPU on the result.
+	l1btb *btb.BTB
+
+	stats Stats
+}
+
+// New builds a Boomerang unit over the core's L1-I hierarchy and predecoder.
+func New(cfg Config, hier *cache.Hierarchy, dec *btb.Predecoder) *Boomerang {
+	return &Boomerang{
+		cfg:  cfg,
+		hier: hier,
+		dec:  dec,
+		pbuf: btb.NewPrefetchBuffer(cfg.PrefetchBufferEntries),
+	}
+}
+
+// SetBTB attaches the core's first-level BTB; required by the unthrottled
+// variant so miss resolutions can prefill it without stalling the BPU.
+func (b *Boomerang) SetBTB(l1 *btb.BTB) { b.l1btb = l1 }
+
+// Stats returns a snapshot of Boomerang activity counters.
+func (b *Boomerang) Stats() Stats { return b.stats }
+
+// PrefetchBuffer exposes the BTB prefetch buffer (tests, storage accounting).
+func (b *Boomerang) PrefetchBuffer() *btb.PrefetchBuffer { return b.pbuf }
+
+// Handle implements the frontend MissHandler contract: resolve the BTB miss
+// at pc, returning the new entry and the cycle the BPU may resume.
+func (b *Boomerang) Handle(pc isa.Addr, now int64) (btb.Entry, int64, bool) {
+	// The BTB prefetch buffer is probed in parallel with the BTB, so a hit
+	// here resolves the miss instantly; the engine moves the entry into the
+	// BTB.
+	if e, hit := b.pbuf.Take(pc); hit {
+		b.stats.PrefetchBufferHits++
+		return e, now, true
+	}
+
+	b.stats.Probes++
+	missing, extras, lines := b.dec.ResolveMiss(pc, b.cfg.MaxScanLines)
+
+	// Timing: chase the needed line(s) through the L1-I. BTB miss probes
+	// have priority over prefetch probes at the L1-I request mux
+	// (Section IV-C2), which Fetch models by bypassing the probe queue and
+	// the MSHR occupancy cap.
+	firstInL1 := b.hier.Present(cache.LineOf(lines[0]), now)
+	if firstInL1 {
+		b.stats.ProbeL1Hits++
+	}
+	t := now
+	for _, ln := range lines {
+		t = b.hier.Fetch(cache.LineOf(ln), t)
+		t += b.cfg.PredecodeLatency
+	}
+	b.stats.LinesScanned += uint64(len(lines))
+
+	if !missing.Kind.IsBranch() {
+		// No terminator within the scan bound (wild wrong-path address):
+		// fall back to sequential fetch.
+		b.stats.Unresolvable++
+		return btb.Entry{}, now, false
+	}
+
+	// Store the non-terminating predecoded branches for future misses.
+	for _, x := range extras {
+		b.pbuf.Insert(x)
+	}
+
+	// Throttled prefetch: when the miss was not filled from the L1-I,
+	// prefetch the next N sequential blocks so a not-taken outcome keeps
+	// the sequential stream warm (Section IV-C1).
+	if !firstInL1 && b.cfg.ThrottleN > 0 {
+		lastLine := cache.LineOf(lines[len(lines)-1])
+		for i := 1; i <= b.cfg.ThrottleN; i++ {
+			if b.hier.Prefetch(lastLine+uint64(i), now) {
+				b.stats.ThrottlePrefetches++
+			}
+		}
+	}
+
+	if b.cfg.Unthrottled && b.l1btb != nil {
+		// Unthrottled design point: prefill the BTB for future lookups but
+		// tell the engine to continue sequentially now (no BPU stall). The
+		// front end keeps fetching the fall-through path until the branch
+		// resolves or a later lookup hits the prefilled entry.
+		b.l1btb.Insert(missing, now)
+		return btb.Entry{}, now, false
+	}
+
+	return missing, t, true
+}
+
+// StorageBytes reports Boomerang's total additional storage beyond the
+// baseline front end, per the paper's Section VI-D accounting: a 32-entry
+// FTQ (46-bit start + 5-bit size = 51 bits/entry = 204 bytes) and the
+// 32-entry BTB prefetch buffer (46-bit tag + 30-bit target + 3-bit type +
+// 5-bit size = 84 bits/entry = 336 bytes).
+func StorageBytes(ftqEntries, pbufEntries int) int {
+	ftqBits := ftqEntries * (46 + 5)
+	pbufBits := pbufEntries * (46 + 30 + 3 + 5)
+	return (ftqBits + pbufBits) / 8
+}

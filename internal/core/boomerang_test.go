@@ -1,0 +1,228 @@
+package core
+
+import (
+	"testing"
+
+	"boomerang/internal/btb"
+	"boomerang/internal/cache"
+	"boomerang/internal/config"
+	"boomerang/internal/isa"
+	"boomerang/internal/program"
+)
+
+func testSetup(t testing.TB) (*program.Image, *cache.Hierarchy, *Boomerang) {
+	t.Helper()
+	g := program.DefaultGenParams()
+	g.FootprintKB = 128
+	g.Layers = 4
+	img, err := program.Generate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier := cache.NewHierarchy(config.Default(), 0)
+	bm := New(DefaultConfig(), hier, btb.NewPredecoder(img))
+	return img, hier, bm
+}
+
+func TestHandleResolvesRealBlocks(t *testing.T) {
+	img, _, bm := testSetup(t)
+	for i := 0; i < len(img.Blocks); i += 97 {
+		blk := &img.Blocks[i]
+		e, resumeAt, ok := bm.Handle(blk.Addr, 1000)
+		if !ok {
+			t.Fatalf("Handle failed for block %#x", blk.Addr)
+		}
+		if e.Start != blk.Addr || e.NInstr != blk.NInstr || e.Kind != blk.Term.Kind {
+			t.Fatalf("resolved entry %+v does not match block", e)
+		}
+		if resumeAt < 1000 {
+			t.Fatal("resumeAt in the past")
+		}
+	}
+}
+
+func TestHandleChargesL1MissLatency(t *testing.T) {
+	img, hier, bm := testSetup(t)
+	blk := &img.Blocks[100]
+	// Cold hierarchy: the probe must go to memory.
+	_, resumeAt, ok := bm.Handle(blk.Addr, 0)
+	if !ok {
+		t.Fatal("handle failed")
+	}
+	cfg := config.Default()
+	minLatency := int64(cfg.LLCLatency) // at least an LLC trip
+	if resumeAt < minLatency {
+		t.Fatalf("resumeAt %d too fast for a cold miss", resumeAt)
+	}
+	// Warm path: the same line is now present; resolution is near-instant.
+	hier.Tick(resumeAt)
+	_, resumeAt2, _ := bm.Handle(blk.Addr, resumeAt)
+	if resumeAt2-resumeAt > int64(cfg.L1ILatency)*4+DefaultConfig().PredecodeLatency*4 {
+		t.Fatalf("warm probe took %d cycles", resumeAt2-resumeAt)
+	}
+	st := bm.Stats()
+	if st.Probes != 2 || st.ProbeL1Hits != 1 {
+		t.Fatalf("probe stats %+v", st)
+	}
+}
+
+func TestPrefetchBufferShortCircuit(t *testing.T) {
+	img, _, bm := testSetup(t)
+	// Find a line with at least two branches so resolving one block buffers
+	// another.
+	for i := 0; i < len(img.Blocks)-1; i++ {
+		a, b := &img.Blocks[i], &img.Blocks[i+1]
+		if isa.BlockAddr(a.BranchPC()) != isa.BlockAddr(b.BranchPC()) {
+			continue
+		}
+		_, _, ok := bm.Handle(a.Addr, 0)
+		if !ok {
+			t.Fatal("first handle failed")
+		}
+		if bm.PrefetchBuffer().Len() == 0 {
+			t.Fatal("no extras buffered despite a second branch in the line")
+		}
+		e, resumeAt, ok := bm.Handle(b.Addr, 500)
+		if !ok || resumeAt != 500 {
+			t.Fatalf("prefetch-buffer hit should resolve instantly: ok=%v resume=%d", ok, resumeAt)
+		}
+		if e.Start != b.Addr {
+			t.Fatal("wrong buffered entry")
+		}
+		if bm.Stats().PrefetchBufferHits != 1 {
+			t.Fatal("prefetch buffer hit not counted")
+		}
+		return
+	}
+	t.Skip("no line with two branches found")
+}
+
+func TestThrottlePrefetchOnColdMiss(t *testing.T) {
+	img, hier, bm := testSetup(t)
+	blk := &img.Blocks[50]
+	_, resumeAt, _ := bm.Handle(blk.Addr, 0)
+	if bm.Stats().ThrottlePrefetches == 0 {
+		t.Fatal("cold BTB miss should trigger throttled next-N prefetch")
+	}
+	// The next-2 lines after the scanned region must be arriving.
+	hier.Tick(resumeAt + 200)
+	line := cache.LineOf(blk.Addr)
+	found := 0
+	for i := uint64(1); i <= 4; i++ {
+		if hier.Present(line+i, resumeAt+200) {
+			found++
+		}
+	}
+	if found < 2 {
+		t.Fatalf("throttled prefetch lines not present (found %d)", found)
+	}
+}
+
+func TestNoThrottleOnL1Hit(t *testing.T) {
+	img, hier, bm := testSetup(t)
+	blk := &img.Blocks[60]
+	// Warm the line first.
+	_, r, _ := bm.Handle(blk.Addr, 0)
+	hier.Tick(r)
+	before := bm.Stats().ThrottlePrefetches
+	bm.Handle(blk.Addr, r)
+	if bm.Stats().ThrottlePrefetches != before {
+		t.Fatal("throttle prefetch fired despite L1 hit")
+	}
+}
+
+func TestThrottleDisabled(t *testing.T) {
+	g := program.DefaultGenParams()
+	g.FootprintKB = 64
+	g.Layers = 3
+	img := program.MustGenerate(g)
+	hier := cache.NewHierarchy(config.Default(), 0)
+	cfg := DefaultConfig()
+	cfg.ThrottleN = 0
+	bm := New(cfg, hier, btb.NewPredecoder(img))
+	bm.Handle(img.Blocks[10].Addr, 0)
+	if bm.Stats().ThrottlePrefetches != 0 {
+		t.Fatal("throttle disabled but prefetches issued")
+	}
+}
+
+func TestHandleUnresolvable(t *testing.T) {
+	img, _, bm := testSetup(t)
+	_, _, ok := bm.Handle(img.Limit+64*1024, 0)
+	if ok {
+		t.Fatal("resolved a miss beyond the text segment")
+	}
+	if bm.Stats().Unresolvable != 1 {
+		t.Fatal("unresolvable probe not counted")
+	}
+}
+
+func TestMultiLineScanCharged(t *testing.T) {
+	img, _, bm := testSetup(t)
+	// Find a block whose terminator is in a later line than its start.
+	for i := range img.Blocks {
+		blk := &img.Blocks[i]
+		span := isa.BlockIndex(blk.BranchPC()) - isa.BlockIndex(blk.Addr)
+		if span < 1 {
+			continue
+		}
+		before := bm.Stats().LinesScanned
+		_, _, ok := bm.Handle(blk.Addr, 0)
+		if !ok {
+			t.Fatal("handle failed")
+		}
+		scanned := bm.Stats().LinesScanned - before
+		if scanned != span+1 {
+			t.Fatalf("scanned %d lines, want %d", scanned, span+1)
+		}
+		return
+	}
+	t.Skip("no multi-line block in image")
+}
+
+func TestStorageBytesMatchesPaper(t *testing.T) {
+	// Section VI-D: 204B FTQ + 336B BTB prefetch buffer = 540B total.
+	if got := StorageBytes(32, 32); got != 540 {
+		t.Fatalf("storage = %d bytes, paper says 540", got)
+	}
+}
+
+func BenchmarkHandle(b *testing.B) {
+	img, hier, bm := testSetup(b)
+	_ = hier
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := &img.Blocks[i%len(img.Blocks)]
+		bm.Handle(blk.Addr, int64(i))
+	}
+}
+
+func TestUnthrottledPrefillsWithoutStall(t *testing.T) {
+	img, _, _ := testSetup(t)
+	hier := cache.NewHierarchy(config.Default(), 0)
+	cfg := DefaultConfig()
+	cfg.Unthrottled = true
+	bm := New(cfg, hier, btb.NewPredecoder(img))
+	l1 := btb.New(2048, 4)
+	bm.SetBTB(l1)
+	blk := &img.Blocks[30]
+	_, _, ok := bm.Handle(blk.Addr, 0)
+	if ok {
+		t.Fatal("unthrottled handler must tell the engine to continue sequentially")
+	}
+	if !l1.Contains(blk.Addr) {
+		t.Fatal("unthrottled handler must still prefill the BTB")
+	}
+}
+
+func TestUnthrottledWithoutBTBFallsBackToStall(t *testing.T) {
+	img, _, _ := testSetup(t)
+	hier := cache.NewHierarchy(config.Default(), 0)
+	cfg := DefaultConfig()
+	cfg.Unthrottled = true
+	bm := New(cfg, hier, btb.NewPredecoder(img)) // no SetBTB
+	blk := &img.Blocks[30]
+	if _, _, ok := bm.Handle(blk.Addr, 0); !ok {
+		t.Fatal("without an attached BTB the handler must behave as stalling Boomerang")
+	}
+}

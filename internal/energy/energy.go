@@ -1,0 +1,119 @@
+// Package energy provides an event-based energy proxy for the front end,
+// backing the paper's Section VI-D argument: Boomerang adds no
+// storage-intensive structures and causes no metadata movement, so its
+// energy overhead is bounded by its (demand-shaped) prefetch traffic, while
+// temporal-streaming prefetchers move hundreds of kilobytes of history
+// through the LLC.
+//
+// The per-event costs are order-of-magnitude CACTI-class estimates for a
+// 22nm server core; the point of the model is the *relative* comparison
+// between schemes driven by the simulator's exact event counts, not
+// absolute joules.
+package energy
+
+import (
+	"fmt"
+
+	"boomerang/internal/cache"
+	"boomerang/internal/frontend"
+)
+
+// Model holds per-event energies in picojoules.
+type Model struct {
+	// L1IAccess is one L1-I read (demand or probe fill).
+	L1IAccess float64
+	// LLCAccess is one LLC bank access including NOC traversal.
+	LLCAccess float64
+	// MemAccess is one memory access beyond the LLC.
+	MemAccess float64
+	// BTBLookup is one basic-block BTB lookup.
+	BTBLookup float64
+	// DirLookup is one direction-predictor (TAGE) lookup.
+	DirLookup float64
+	// PredecodeLine is predecoding one 64B line.
+	PredecodeLine float64
+	// MetadataByte is moving one byte of prefetcher metadata (temporal
+	// history reads/writes through the LLC).
+	MetadataByte float64
+}
+
+// Default returns the reference model (pJ).
+func Default() Model {
+	return Model{
+		L1IAccess:     15,
+		LLCAccess:     250,
+		MemAccess:     2500,
+		BTBLookup:     8,
+		DirLookup:     10,
+		PredecodeLine: 12,
+		MetadataByte:  2.5,
+	}
+}
+
+// Events collects the activity counts the model prices. Fill it from the
+// simulator's statistics.
+type Events struct {
+	L1IAccesses   uint64
+	LLCAccesses   uint64
+	MemAccesses   uint64
+	BTBLookups    uint64
+	DirLookups    uint64
+	PredecodedLns uint64
+	MetadataBytes uint64
+	RetiredInstrs uint64
+}
+
+// FromStats assembles Events from engine and hierarchy statistics.
+// predecoded is the scheme's predecoder line count (0 for schemes without
+// one) and metadataBytes the prefetcher metadata volume moved (temporal
+// streamers: ~5 bytes per replayed record).
+func FromStats(st frontend.Stats, h cache.HierarchyStats, predecoded, metadataBytes uint64) Events {
+	return Events{
+		L1IAccesses:   h.DemandAccesses + h.Prefetches,
+		LLCAccesses:   h.LLCAccesses,
+		MemAccesses:   h.LLCMisses,
+		BTBLookups:    st.BTBLookups,
+		DirLookups:    st.BTBLookups, // one direction lookup per BB prediction
+		PredecodedLns: predecoded,
+		MetadataBytes: metadataBytes,
+		RetiredInstrs: st.RetiredInstrs,
+	}
+}
+
+// Breakdown is the priced result in nanojoules.
+type Breakdown struct {
+	L1I, LLC, Mem, BTB, Dir, Predecode, Metadata float64
+}
+
+// Total sums all components (nJ).
+func (b Breakdown) Total() float64 {
+	return b.L1I + b.LLC + b.Mem + b.BTB + b.Dir + b.Predecode + b.Metadata
+}
+
+// String renders the breakdown.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("total=%.1fnJ (L1I=%.1f LLC=%.1f mem=%.1f btb=%.1f dir=%.1f predec=%.1f meta=%.1f)",
+		b.Total(), b.L1I, b.LLC, b.Mem, b.BTB, b.Dir, b.Predecode, b.Metadata)
+}
+
+// Estimate prices the events (result in nJ).
+func (m Model) Estimate(ev Events) Breakdown {
+	const pJtoNJ = 1e-3
+	return Breakdown{
+		L1I:       float64(ev.L1IAccesses) * m.L1IAccess * pJtoNJ,
+		LLC:       float64(ev.LLCAccesses) * m.LLCAccess * pJtoNJ,
+		Mem:       float64(ev.MemAccesses) * m.MemAccess * pJtoNJ,
+		BTB:       float64(ev.BTBLookups) * m.BTBLookup * pJtoNJ,
+		Dir:       float64(ev.DirLookups) * m.DirLookup * pJtoNJ,
+		Predecode: float64(ev.PredecodedLns) * m.PredecodeLine * pJtoNJ,
+		Metadata:  float64(ev.MetadataBytes) * m.MetadataByte * pJtoNJ,
+	}
+}
+
+// PerKI normalises a breakdown total to nJ per kilo-instruction.
+func PerKI(b Breakdown, retired uint64) float64 {
+	if retired == 0 {
+		return 0
+	}
+	return b.Total() * 1000 / float64(retired)
+}

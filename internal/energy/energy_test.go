@@ -1,0 +1,68 @@
+package energy
+
+import (
+	"testing"
+
+	"boomerang/internal/cache"
+	"boomerang/internal/frontend"
+)
+
+func TestEstimateArithmetic(t *testing.T) {
+	m := Model{L1IAccess: 10, LLCAccess: 100, MemAccess: 1000,
+		BTBLookup: 1, DirLookup: 2, PredecodeLine: 5, MetadataByte: 0.5}
+	ev := Events{
+		L1IAccesses: 1000, LLCAccesses: 10, MemAccesses: 1,
+		BTBLookups: 100, DirLookups: 100, PredecodedLns: 20, MetadataBytes: 200,
+	}
+	b := m.Estimate(ev)
+	if b.L1I != 10 || b.LLC != 1 || b.Mem != 1 {
+		t.Fatalf("memory components wrong: %+v", b)
+	}
+	if b.BTB != 0.1 || b.Dir != 0.2 || b.Predecode != 0.1 || b.Metadata != 0.1 {
+		t.Fatalf("core components wrong: %+v", b)
+	}
+	want := 10 + 1 + 1 + 0.1 + 0.2 + 0.1 + 0.1
+	if diff := b.Total() - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("total %v, want %v", b.Total(), want)
+	}
+}
+
+func TestFromStats(t *testing.T) {
+	st := frontend.Stats{BTBLookups: 500, RetiredInstrs: 10_000}
+	h := cache.HierarchyStats{
+		DemandAccesses: 2000, Prefetches: 300, LLCAccesses: 100, LLCMisses: 7,
+	}
+	ev := FromStats(st, h, 42, 1234)
+	if ev.L1IAccesses != 2300 {
+		t.Fatalf("L1I accesses %d", ev.L1IAccesses)
+	}
+	if ev.LLCAccesses != 100 || ev.MemAccesses != 7 {
+		t.Fatal("LLC/mem wrong")
+	}
+	if ev.BTBLookups != 500 || ev.DirLookups != 500 {
+		t.Fatal("lookup counts wrong")
+	}
+	if ev.PredecodedLns != 42 || ev.MetadataBytes != 1234 {
+		t.Fatal("extras wrong")
+	}
+}
+
+func TestPerKI(t *testing.T) {
+	b := Breakdown{L1I: 100}
+	if got := PerKI(b, 10_000); got != 10 {
+		t.Fatalf("PerKI = %v, want 10", got)
+	}
+	if PerKI(b, 0) != 0 {
+		t.Fatal("zero instructions must not divide")
+	}
+}
+
+func TestDefaultOrdering(t *testing.T) {
+	m := Default()
+	if !(m.L1IAccess < m.LLCAccess && m.LLCAccess < m.MemAccess) {
+		t.Fatal("memory hierarchy energies must increase with distance")
+	}
+	if b := (Breakdown{L1I: 1}); b.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+func TestAblationBTBPrefetchBuffer(t *testing.T) {
+	tab, err := AblationBTBPrefetchBuffer(tiny(t, "DB2"), []int{0, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := tab.Get("DB2", "pbuf=0")
+	full := tab.Get("DB2", "pbuf=32")
+	if none <= 1 || full <= 1 {
+		t.Fatalf("Boomerang variants must still beat Base: %v / %v", none, full)
+	}
+	if full < none*0.98 {
+		t.Fatalf("the prefetch buffer should not hurt: %v vs %v", full, none)
+	}
+}
+
+func TestAblationFTQDepth(t *testing.T) {
+	tab, err := AblationFTQDepth(tiny(t, "Apache"), []int{4, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow := tab.Get("Apache", "FTQ=4")
+	deep := tab.Get("Apache", "FTQ=32")
+	if deep <= shallow {
+		t.Fatalf("deep FTQ coverage %v should beat shallow %v", deep, shallow)
+	}
+}
+
+func TestAblationPredecodeScan(t *testing.T) {
+	tab, err := AblationPredecodeScan(tiny(t, "DB2"), []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"scan=1", "scan=8"} {
+		if v := tab.Get("DB2", c); v < 0.9 || v > 2.5 {
+			t.Fatalf("%s speedup %v implausible", c, v)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package experiments defines one runnable experiment per table/figure of
+// the paper's evaluation (Section VI) plus the motivation studies (Section
+// II-III). Each experiment returns formatted tables whose rows/series match
+// what the paper plots; cmd/experiments regenerates them all and
+// EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"boomerang/internal/config"
+	"boomerang/internal/scheme"
+	"boomerang/internal/sim"
+	"boomerang/internal/viz"
+	"boomerang/internal/workload"
+)
+
+// Params scales the experiments: Full is paper-shaped, Quick is sized for
+// CI and tests.
+type Params struct {
+	// Workloads to evaluate (default: all six of Table II).
+	Workloads []workload.Profile
+	// Cfg is the base core configuration.
+	Cfg config.Core
+	// FootprintKB overrides every workload's code footprint when > 0
+	// (Quick mode shrinks the images).
+	FootprintKB int
+	// WarmInstrs/MeasureInstrs set the per-run windows.
+	WarmInstrs, MeasureInstrs uint64
+	// ImageSeed/WalkSeed control randomness.
+	ImageSeed, WalkSeed uint64
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Full returns paper-scale parameters: full workload footprints, 300K warm
+// + 1.5M measured instructions per configuration point.
+func Full() Params {
+	return Params{
+		Workloads:     workload.Profiles,
+		Cfg:           config.Default(),
+		WarmInstrs:    300_000,
+		MeasureInstrs: 1_500_000,
+		ImageSeed:     1,
+		WalkSeed:      1,
+	}
+}
+
+// Quick returns CI-sized parameters: three workloads at reduced footprint,
+// short windows. Shapes survive; absolute numbers wobble.
+func Quick() Params {
+	apache, _ := workload.ByName("Apache")
+	db2, _ := workload.ByName("DB2")
+	streaming, _ := workload.ByName("Streaming")
+	return Params{
+		Workloads:     []workload.Profile{apache, db2, streaming},
+		Cfg:           config.Default(),
+		FootprintKB:   384,
+		WarmInstrs:    100_000,
+		MeasureInstrs: 400_000,
+		ImageSeed:     1,
+		WalkSeed:      1,
+	}
+}
+
+func (p Params) workloads() []workload.Profile {
+	ws := p.Workloads
+	if len(ws) == 0 {
+		ws = workload.Profiles
+	}
+	if p.FootprintKB <= 0 {
+		return ws
+	}
+	out := make([]workload.Profile, len(ws))
+	for i, w := range ws {
+		w.Gen.FootprintKB = p.FootprintKB
+		out[i] = w
+	}
+	return out
+}
+
+func (p Params) spec(s simScheme, w workload.Profile) sim.Spec {
+	spec := sim.DefaultSpec(s.Scheme, w)
+	spec.Cfg = s.cfg(p.Cfg)
+	spec.Predictor = s.Predictor
+	spec.WarmInstrs = p.WarmInstrs
+	spec.MeasureInstrs = p.MeasureInstrs
+	spec.ImageSeed = p.ImageSeed
+	spec.WalkSeed = p.WalkSeed
+	return spec
+}
+
+func (p Params) parallelism() int {
+	if p.Parallelism > 0 {
+		return p.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Table is one formatted result grid: rows x columns of values, matching a
+// paper figure's series.
+type Table struct {
+	Title string
+	Note  string
+	Cols  []string
+	Rows  []string
+	Cells [][]float64
+	// Format is the cell printf verb (default %.3f).
+	Format string
+}
+
+// NewTable allocates an empty grid.
+func NewTable(title string, rows, cols []string) *Table {
+	cells := make([][]float64, len(rows))
+	for i := range cells {
+		cells[i] = make([]float64, len(cols))
+	}
+	return &Table{Title: title, Cols: cols, Rows: rows, Cells: cells}
+}
+
+// Set stores a cell by names (panics on unknown names: experiment bug).
+func (t *Table) Set(row, col string, v float64) {
+	t.Cells[t.rowIdx(row)][t.colIdx(col)] = v
+}
+
+// Get reads a cell by names.
+func (t *Table) Get(row, col string) float64 {
+	return t.Cells[t.rowIdx(row)][t.colIdx(col)]
+}
+
+func (t *Table) rowIdx(name string) int {
+	for i, r := range t.Rows {
+		if r == name {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("experiments: unknown row %q in %q", name, t.Title))
+}
+
+func (t *Table) colIdx(name string) int {
+	for i, c := range t.Cols {
+		if c == name {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("experiments: unknown column %q in %q", name, t.Title))
+}
+
+// AddAvgRow appends a column-mean row labelled "Avg".
+func (t *Table) AddAvgRow() {
+	avg := make([]float64, len(t.Cols))
+	for _, row := range t.Cells {
+		for j, v := range row {
+			avg[j] += v
+		}
+	}
+	for j := range avg {
+		avg[j] /= float64(len(t.Cells))
+	}
+	t.Rows = append(t.Rows, "Avg")
+	t.Cells = append(t.Cells, avg)
+}
+
+// Chart renders the table as grouped ASCII bar charts (one group per
+// column), for terminal inspection without a plotting tool.
+func (t *Table) Chart(width int) string {
+	return viz.GroupedBars(t.Title, t.Rows, t.Cols, t.Cells, width)
+}
+
+// CSV renders the table as comma-separated values (header row + one row per
+// table row), for downstream plotting.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.Title))
+	for _, c := range t.Cols {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		b.WriteString(csvEscape(r))
+		for _, v := range t.Cells[i] {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	format := t.Format
+	if format == "" {
+		format = "%.3f"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	width := 12
+	for _, c := range t.Cols {
+		if len(c)+2 > width {
+			width = len(c) + 2
+		}
+	}
+	rowW := 14
+	for _, r := range t.Rows {
+		if len(r)+2 > rowW {
+			rowW = len(r) + 2
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", rowW, "")
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "%*s", width, c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", rowW, r)
+		for _, v := range t.Cells[i] {
+			fmt.Fprintf(&b, "%*s", width, fmt.Sprintf(format, v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// simScheme couples a scheme with per-point configuration edits (BTB size,
+// LLC latency, predictor).
+type simScheme struct {
+	Scheme    scheme.Scheme
+	Predictor string
+	BTB       int
+	LLC       int
+}
+
+func (s simScheme) cfg(base config.Core) config.Core {
+	c := base
+	if s.BTB > 0 {
+		c = c.WithBTB(s.BTB)
+	}
+	if s.LLC > 0 {
+		c = c.WithLLCLatency(s.LLC)
+	}
+	return c
+}
+
+// runKey identifies a point in the run matrix.
+type runKey struct {
+	scheme   string
+	workload string
+}
+
+// runMatrix executes every (scheme, workload) pair concurrently and returns
+// results keyed by (scheme label, workload name). Labels must be unique.
+type labeledScheme struct {
+	label string
+	simScheme
+}
+
+func runMatrix(p Params, schemes []labeledScheme) (map[runKey]sim.Result, error) {
+	ws := p.workloads()
+	type job struct {
+		key  runKey
+		spec sim.Spec
+	}
+	var jobs []job
+	for _, s := range schemes {
+		for _, w := range ws {
+			jobs = append(jobs, job{
+				key:  runKey{scheme: s.label, workload: w.Name},
+				spec: p.spec(s.simScheme, w),
+			})
+		}
+	}
+	// Deterministic order for any tie-breaking; execution is parallel but
+	// each run is self-contained and deterministic.
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].key.scheme != jobs[j].key.scheme {
+			return jobs[i].key.scheme < jobs[j].key.scheme
+		}
+		return jobs[i].key.workload < jobs[j].key.workload
+	})
+
+	results := make(map[runKey]sim.Result, len(jobs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, p.parallelism())
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := sim.Run(j.spec)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s/%s: %w", j.key.scheme, j.key.workload, err)
+				}
+				return
+			}
+			results[j.key] = r
+		}(j)
+	}
+	wg.Wait()
+	return results, firstErr
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"boomerang/internal/workload"
+)
+
+// tiny returns the smallest parameter set that still exercises the full
+// experiment machinery.
+func tiny(t *testing.T, names ...string) Params {
+	t.Helper()
+	p := Quick()
+	p.FootprintKB = 256
+	p.WarmInstrs = 50_000
+	p.MeasureInstrs = 200_000
+	if len(names) > 0 {
+		p.Workloads = nil
+		for _, n := range names {
+			w, ok := workload.ByName(n)
+			if !ok {
+				t.Fatalf("unknown workload %s", n)
+			}
+			p.Workloads = append(p.Workloads, w)
+		}
+	}
+	return p
+}
+
+func TestTableBasics(t *testing.T) {
+	tb := NewTable("demo", []string{"r1", "r2"}, []string{"c1", "c2"})
+	tb.Set("r1", "c2", 3.5)
+	if tb.Get("r1", "c2") != 3.5 {
+		t.Fatal("set/get roundtrip failed")
+	}
+	tb.AddAvgRow()
+	if tb.Get("Avg", "c2") != 1.75 {
+		t.Fatalf("avg row wrong: %v", tb.Get("Avg", "c2"))
+	}
+	s := tb.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "Avg") {
+		t.Fatal("formatting lost content")
+	}
+}
+
+func TestTablePanicsOnUnknownName(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb := NewTable("demo", []string{"r"}, []string{"c"})
+	tb.Set("nope", "c", 1)
+}
+
+func TestFig1(t *testing.T) {
+	tab, err := Fig1(tiny(t, "Apache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := tab.Get("Apache", "Perfect L1-I")
+	both := tab.Get("Apache", "Perfect L1-I + BTB")
+	if l1 <= 1.0 {
+		t.Fatalf("perfect L1-I speedup %v <= 1", l1)
+	}
+	if both <= l1 {
+		t.Fatalf("perfect BTB adds nothing: %v <= %v", both, l1)
+	}
+}
+
+func TestFig2(t *testing.T) {
+	tab, err := Fig2(tiny(t, "Apache"), []int{10, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []string{"LLC=10", "LLC=50"} {
+		tage := tab.Get(row, "FDIP TAGE")
+		if tage < 0.2 || tage > 1 {
+			t.Fatalf("%s FDIP TAGE coverage %v implausible", row, tage)
+		}
+		nt := tab.Get(row, "FDIP Never-Taken")
+		if nt < 0.1 {
+			t.Fatalf("never-taken coverage %v too low — paper says it retains much of the benefit", nt)
+		}
+	}
+}
+
+func TestFig3(t *testing.T) {
+	tab, err := Fig3(tiny(t, "Apache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseTotal := tab.Get("Base 2KBTB", "Total%")
+	if baseTotal < 99 || baseTotal > 101 {
+		t.Fatalf("Base total should be ~100%%, got %v", baseTotal)
+	}
+	seq := tab.Get("Base 2KBTB", "Sequential%")
+	if seq < 30 {
+		t.Fatalf("sequential share %v%% too small (paper: 40-54%%)", seq)
+	}
+	if tab.Get("FDIP 32KBTB", "Total%") >= baseTotal {
+		t.Fatal("FDIP-32K must reduce stall cycles vs Base")
+	}
+	// The 2K->32K BTB improvement should be visible in unconditional misses.
+	if tab.Get("FDIP 32KBTB", "Unconditional%") > tab.Get("FDIP 2KBTB", "Unconditional%") {
+		t.Fatal("bigger BTB should not increase unconditional misses")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	tab, err := Fig4(tiny(t, "Apache", "DB2"), 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"Apache", "DB2"} {
+		if cdf4 := tab.Get(w, "4"); cdf4 < 0.8 {
+			t.Fatalf("%s: CDF(4 blocks)=%v, paper says ~0.92", w, cdf4)
+		}
+		if last := tab.Get(w, "8+"); last < 0.999 {
+			t.Fatalf("%s: CDF must reach 1, got %v", w, last)
+		}
+	}
+}
+
+func TestFig5(t *testing.T) {
+	tab, err := Fig5(tiny(t, "Apache"), []int{30}, []int{2048, 32768})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := tab.Get("LLC=30", "BTB2K")
+	big := tab.Get("LLC=30", "BTB32K")
+	if big < small {
+		t.Fatalf("bigger BTB lowered coverage: %v < %v", big, small)
+	}
+}
+
+func TestFigures789(t *testing.T) {
+	f7, f8, f9, err := Figures789(tiny(t, "DB2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 7: Boomerang eliminates most BTB-miss squashes vs FDIP.
+	fdipBTB := f7.Get("FDIP (BTB miss)", "DB2")
+	boomBTB := f7.Get("Boomerang (BTB miss)", "DB2")
+	if fdipBTB == 0 {
+		t.Fatal("FDIP shows no BTB-miss squashes on DB2")
+	}
+	if boomBTB > fdipBTB*0.15 {
+		t.Fatalf("Boomerang left %.1f%% of BTB-miss squashes", 100*boomBTB/fdipBTB)
+	}
+	// Fig 8: coverage in range.
+	for _, s := range []string{"FDIP", "Boomerang", "Confluence"} {
+		c := f8.Get(s, "DB2")
+		if c < 0.1 || c > 1 {
+			t.Fatalf("%s coverage %v implausible", s, c)
+		}
+	}
+	// Fig 9: complete CF delivery beats L1-I-only prefetching.
+	if f9.Get("Boomerang", "DB2") <= f9.Get("FDIP", "DB2") {
+		t.Fatal("Boomerang must outperform FDIP on DB2")
+	}
+	if f9.Get("Boomerang", "DB2") <= 1 {
+		t.Fatal("Boomerang speedup must exceed 1")
+	}
+}
+
+func TestFig10(t *testing.T) {
+	tab, err := Fig10(tiny(t, "DB2"), []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := tab.Get("DB2", "None")
+	two := tab.Get("DB2", "2 Blocks")
+	if two <= none {
+		t.Fatalf("DB2 should gain from next-2 prefetch: %v <= %v (paper: +12%%)", two, none)
+	}
+}
+
+func TestFig11(t *testing.T) {
+	tab, err := Fig11(tiny(t, "Apache"), 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range tab.Cols {
+		if v := tab.Get("Apache", c); v < 0.9 || v > 2.5 {
+			t.Fatalf("%s speedup %v implausible at low latency", c, v)
+		}
+	}
+}
+
+func TestStorageTable(t *testing.T) {
+	tab := StorageTable()
+	boom := tab.Get("Boomerang", "KB")
+	if boom > 1 {
+		t.Fatalf("Boomerang storage %v KB, want < 1", boom)
+	}
+	if tab.Get("PIF", "KB") < 100*boom {
+		t.Fatal("PIF must dwarf Boomerang's storage")
+	}
+}
+
+func TestQuickAndFullParams(t *testing.T) {
+	q, f := Quick(), Full()
+	if len(q.Workloads) == 0 || len(f.Workloads) != 6 {
+		t.Fatal("parameter presets malformed")
+	}
+	if q.MeasureInstrs >= f.MeasureInstrs {
+		t.Fatal("Quick must be smaller than Full")
+	}
+	if q.FootprintKB == 0 {
+		t.Fatal("Quick must shrink footprints")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t,1", []string{`r"x`, "r2"}, []string{"c1"})
+	tb.Set("r2", "c1", 1.5)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"t,1",c1`) {
+		t.Fatalf("header not escaped: %q", csv)
+	}
+	if !strings.Contains(csv, `"r""x",0`) {
+		t.Fatalf("quote not escaped: %q", csv)
+	}
+	if !strings.Contains(csv, "r2,1.5") {
+		t.Fatalf("value row wrong: %q", csv)
+	}
+}

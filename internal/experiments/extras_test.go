@@ -1,0 +1,127 @@
+package experiments
+
+import "testing"
+
+func TestCMPTable(t *testing.T) {
+	p := tiny(t, "Zeus")
+	p.WarmInstrs = 30_000
+	p.MeasureInstrs = 100_000
+	tab, err := CMPTable(p, 4, []string{"Base", "Boomerang"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tab.Get("Zeus", "Base")
+	boom := tab.Get("Zeus", "Boomerang")
+	if base <= 0 || boom <= base {
+		t.Fatalf("CMP throughput base=%v boomerang=%v", base, boom)
+	}
+	// 4 cores must beat one core's IPC ceiling floor.
+	if boom < 1 {
+		t.Fatalf("4-core Boomerang throughput %v implausibly low", boom)
+	}
+}
+
+func TestCMPTableUnknownScheme(t *testing.T) {
+	p := tiny(t, "Zeus")
+	if _, err := CMPTable(p, 2, []string{"NoSuch"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestTrafficTable(t *testing.T) {
+	tab, err := TrafficTable(tiny(t, "Apache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Get("Base", "prefetch/KI") != 0 {
+		t.Fatal("Base must not prefetch")
+	}
+	if tab.Get("FDIP", "prefetch/KI") <= 0 {
+		t.Fatal("FDIP must prefetch")
+	}
+	if tab.Get("Boomerang", "LLC acc/KI") <= 0 {
+		t.Fatal("traffic accounting missing")
+	}
+}
+
+func TestBTBAlternativesTable(t *testing.T) {
+	p := tiny(t, "DB2")
+	fig, squashes, err := BTBAlternativesTable(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdipSq := squashes.Get("DB2", "FDIP")
+	twoSq := squashes.Get("DB2", "2-Level BTB")
+	boomSq := squashes.Get("DB2", "Boomerang")
+	if fdipSq == 0 {
+		t.Fatal("FDIP must suffer BTB-miss squashes on DB2")
+	}
+	if twoSq >= fdipSq {
+		t.Fatalf("2-level BTB squashes %v should be below FDIP %v", twoSq, fdipSq)
+	}
+	if boomSq != 0 {
+		t.Fatalf("Boomerang squashes %v, want 0", boomSq)
+	}
+	if fig.Get("DB2", "Boomerang") <= 1 {
+		t.Fatal("Boomerang speedup must exceed 1")
+	}
+}
+
+func TestMotivationTable(t *testing.T) {
+	p := tiny(t, "DB2")
+	tab, err := MotivationTable(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tab.Get("SPEC-like", "stall frac")
+	db2 := tab.Get("DB2", "stall frac")
+	if spec > db2/3 {
+		t.Fatalf("SPEC-like stall fraction %v should be far below DB2's %v", spec, db2)
+	}
+	if tab.Get("SPEC-like", "BTB sq/KI") > tab.Get("DB2", "BTB sq/KI") {
+		t.Fatal("SPEC-like must have lower BTB pressure than DB2")
+	}
+	if tab.Get("SPEC-like", "IPC") <= tab.Get("DB2", "IPC") {
+		t.Fatal("SPEC-like kernel should run faster than DB2 on the baseline")
+	}
+}
+
+func TestMissPolicyTable(t *testing.T) {
+	tab, err := MissPolicyTable(tiny(t, "DB2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall := tab.Get("DB2", "Stall, no prefetch")
+	unthr := tab.Get("DB2", "Unthrottled")
+	thr := tab.Get("DB2", "Throttled next-2")
+	for _, v := range []float64{stall, unthr, thr} {
+		if v <= 1 {
+			t.Fatalf("every Boomerang variant must beat Base: %v/%v/%v", stall, unthr, thr)
+		}
+	}
+	if thr <= stall {
+		t.Fatalf("throttled next-2 (%v) should beat stalling without prefetch (%v)", thr, stall)
+	}
+}
+
+func TestEnergyTable(t *testing.T) {
+	tab, err := EnergyTable(tiny(t, "Apache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tab.Get("Base", "total nJ/KI")
+	boom := tab.Get("Boomerang", "total nJ/KI")
+	pif := tab.Get("PIF", "total nJ/KI")
+	if base <= 0 || boom <= 0 {
+		t.Fatal("energy estimates missing")
+	}
+	if tab.Get("Base", "metadata nJ/KI") != 0 || tab.Get("Boomerang", "metadata nJ/KI") != 0 {
+		t.Fatal("metadata-free schemes must show zero metadata energy")
+	}
+	if tab.Get("PIF", "metadata nJ/KI") <= 0 {
+		t.Fatal("PIF must pay metadata energy")
+	}
+	if pif <= boom*0.5 {
+		t.Fatalf("PIF energy %v implausibly below Boomerang %v", pif, boom)
+	}
+}

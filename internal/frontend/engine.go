@@ -1,0 +1,615 @@
+package frontend
+
+import (
+	"fmt"
+
+	"boomerang/internal/backend"
+	"boomerang/internal/bpu"
+	"boomerang/internal/btb"
+	"boomerang/internal/cache"
+	"boomerang/internal/config"
+	"boomerang/internal/isa"
+	"boomerang/internal/program"
+)
+
+// Entry is one FTQ entry: a predicted basic block (or, under a BTB miss with
+// the sequential policy, a pseudo-block whose terminator the front end does
+// not know).
+type Entry struct {
+	// ID orders entries (monotonic).
+	ID uint64
+	// Start and NInstr delimit the fetch region.
+	Start  isa.Addr
+	NInstr uint16
+	// Kind is the terminator kind as known to the front end; None when the
+	// entry was produced under a BTB miss (terminator unknown).
+	Kind isa.BranchKind
+	// PredTaken/PredNext are the BPU's speculation.
+	PredTaken bool
+	PredNext  isa.Addr
+	// EntryClass says how the predicted stream entered this block.
+	EntryClass isa.DiscontinuityClass
+
+	// OnCorrectPath entries carry oracle truth for resolution.
+	OnCorrectPath bool
+	ActualTaken   bool
+	ActualNext    isa.Addr
+	ActualKind    isa.BranchKind
+	Mispredicted  bool
+	SquashClass   SquashClass
+
+	// Training actions applied at resolve.
+	HasDir      bool
+	Dir         bpu.Prediction
+	DirPC       isa.Addr
+	TrainBTB    bool
+	BTBEntry    btb.Entry
+	TrainTarget bool
+
+	// Recovery state captured at prediction time.
+	Hist  bpu.HistState
+	RAScp bpu.RASCheckpoint
+
+	// FetchDone is set by the fetch engine.
+	FetchDone int64
+}
+
+// Lines returns the first and last cache line of the fetch region.
+func (e *Entry) Lines() (first, last uint64) {
+	first = cache.LineOf(e.Start)
+	last = cache.LineOf(e.Start + isa.Addr(e.NInstr-1)*isa.InstrBytes)
+	return first, last
+}
+
+// Options wires an Engine. Image, Oracle, Hierarchy, Direction and BTB are
+// required; the rest select the scheme under test.
+type Options struct {
+	Config    config.Core
+	Image     *program.Image
+	Oracle    Oracle
+	Hierarchy *cache.Hierarchy
+	Direction bpu.Direction
+	BTB       *btb.BTB
+
+	// MissHandler implements the BTB miss policy; nil = conventional
+	// sequential fall-through (FDIP and every non-Boomerang scheme).
+	MissHandler MissHandler
+	// Prefetcher is an optional history-based L1-I prefetcher.
+	Prefetcher Prefetcher
+	// FDIPProbes enables the FTQ-directed prefetch engine.
+	FDIPProbes bool
+	// PerfectL1 makes every demand fetch an L1 hit (Figure 1).
+	PerfectL1 bool
+	// DecoupledDepth overrides Config.FTQDepth when > 0 (the non-decoupled
+	// baseline uses a shallow FTQ).
+	DecoupledDepth int
+}
+
+// Engine is one simulated core: BPU + FTQ + fetch engine + backend window,
+// wired to a memory hierarchy and verified against the workload oracle.
+type Engine struct {
+	cfg     config.Core
+	img     *program.Image
+	orc     Oracle
+	hier    *cache.Hierarchy
+	dir     bpu.Direction
+	btbs    *btb.BTB
+	ras     *bpu.RAS
+	miss    MissHandler
+	fillObs BTBFillObserver
+	pf      Prefetcher
+
+	fdipProbes bool
+	perfectL1  bool
+	ftqDepth   int
+
+	be *backend.Backend
+
+	// Speculative BPU state.
+	specPC        isa.Addr
+	specClass     isa.DiscontinuityClass
+	wrongPath     bool
+	pendingSquash bool
+	bpuStallUntil int64
+
+	// FTQ and in-flight bookkeeping.
+	ftq      []*Entry
+	inflight map[uint64]*Entry
+	nextID   uint64
+
+	// Fetch engine state.
+	cur         *Entry
+	curInstr    int
+	curLine     uint64
+	haveLine    bool
+	lineReady   int64
+	lineIsFirst bool
+	lineLevel   cache.Level
+
+	// FDIP prefetch probe queue.
+	probeQ        []uint64
+	lastQueuedLn  uint64
+	haveLastQueue bool
+
+	stats           Stats
+	cycle           int64
+	cycleBase       int64
+	retireBase      uint64
+	retireBlockBase uint64
+}
+
+// New builds an engine. It panics on nil required dependencies (programming
+// error, not runtime condition).
+func New(opts Options) *Engine {
+	if opts.Image == nil || opts.Oracle == nil || opts.Hierarchy == nil ||
+		opts.Direction == nil || opts.BTB == nil {
+		panic("frontend: missing required dependency")
+	}
+	if err := opts.Config.Validate(); err != nil {
+		panic(err)
+	}
+	depth := opts.Config.FTQDepth
+	if opts.DecoupledDepth > 0 {
+		depth = opts.DecoupledDepth
+	}
+	e := &Engine{
+		cfg:        opts.Config,
+		img:        opts.Image,
+		orc:        opts.Oracle,
+		hier:       opts.Hierarchy,
+		dir:        opts.Direction,
+		btbs:       opts.BTB,
+		ras:        bpu.NewRAS(opts.Config.RASDepth),
+		miss:       opts.MissHandler,
+		fillObs:    nil,
+		pf:         opts.Prefetcher,
+		fdipProbes: opts.FDIPProbes,
+		perfectL1:  opts.PerfectL1,
+		ftqDepth:   depth,
+		be:         backend.New(opts.Config),
+		inflight:   make(map[uint64]*Entry),
+		specPC:     opts.Oracle.PC(),
+	}
+	if obs, ok := opts.MissHandler.(BTBFillObserver); ok {
+		e.fillObs = obs
+	}
+	return e
+}
+
+// Stats returns a snapshot of the accumulated statistics (retired counts are
+// relative to the last ResetStats).
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.Cycles = e.cycle - e.cycleBase
+	s.RetiredInstrs = e.be.Retired() - e.retireBase
+	s.RetiredBlocks = e.be.RetiredGroups() - e.retireBlockBase
+	return s
+}
+
+// ResetStats zeroes counters while keeping all microarchitectural state —
+// the warmup/measure boundary. The clock itself stays monotonic (in-flight
+// fills carry absolute times); reported Cycles are rebased.
+func (e *Engine) ResetStats() {
+	e.stats = Stats{}
+	e.cycleBase = e.cycle
+	e.retireBase = e.be.Retired()
+	e.retireBlockBase = e.be.RetiredGroups()
+}
+
+// Run advances the simulation until targetInstrs correct-path instructions
+// have retired since the last ResetStats (or construction), or maxCycles
+// elapses (0 = no bound). It returns the stats snapshot at completion.
+func (e *Engine) Run(targetInstrs uint64, maxCycles int64) Stats {
+	for e.be.Retired()-e.retireBase < targetInstrs {
+		if maxCycles > 0 && e.cycle-e.cycleBase >= maxCycles {
+			break
+		}
+		e.Tick()
+	}
+	return e.Stats()
+}
+
+// Tick advances one cycle.
+func (e *Engine) Tick() {
+	now := e.cycle
+	e.hier.Tick(now)
+	if e.pf != nil {
+		e.pf.Tick(now)
+	}
+	e.backendStep(now)
+	e.bpuStep(now)
+	if e.fdipProbes {
+		e.probeStep(now)
+	}
+	e.fetchStep(now)
+	e.cycle++
+}
+
+// ---------------------------------------------------------------------------
+// Backend: resolutions (training + squash) and retirement.
+
+func (e *Engine) backendStep(now int64) {
+	resolved, retired := e.be.Tick(now)
+	for _, id := range resolved {
+		ent, ok := e.inflight[id]
+		if !ok {
+			continue
+		}
+		if !ent.OnCorrectPath {
+			continue // wrong-path groups train nothing
+		}
+		e.train(ent, now)
+		if ent.Mispredicted {
+			e.squash(ent, now)
+			break // younger resolutions are gone
+		}
+	}
+	for _, id := range retired {
+		if ent, ok := e.inflight[id]; ok {
+			if e.pf != nil && ent.OnCorrectPath {
+				first, last := ent.Lines()
+				for l := first; l <= last; l++ {
+					e.pf.OnRetire(l, now)
+				}
+			}
+			delete(e.inflight, id)
+		}
+	}
+}
+
+func (e *Engine) train(ent *Entry, now int64) {
+	if ent.HasDir {
+		e.dir.Update(ent.Dir, ent.DirPC, ent.ActualTaken)
+	}
+	if ent.TrainBTB {
+		e.btbs.Insert(ent.BTBEntry, now)
+		if e.fillObs != nil {
+			e.fillObs.OnBTBFill(ent.BTBEntry, now)
+		}
+	}
+	if ent.TrainTarget {
+		e.btbs.UpdateTarget(ent.Start, ent.ActualNext, now)
+	}
+}
+
+func (e *Engine) squash(ent *Entry, now int64) {
+	e.stats.Squashes[ent.SquashClass]++
+
+	e.be.Squash(ent.ID)
+	for id := range e.inflight {
+		if id > ent.ID {
+			delete(e.inflight, id)
+		}
+	}
+	e.ftq = e.ftq[:0]
+	e.cur = nil
+	e.haveLine = false
+	e.probeQ = e.probeQ[:0]
+	e.haveLastQueue = false
+
+	// Restore speculative state to the prediction point, then apply the
+	// branch's actual effect.
+	e.dir.Restore(ent.Hist)
+	if ent.ActualKind.IsConditional() {
+		e.dir.Shift(ent.ActualTaken)
+	}
+	e.ras.Restore(ent.RAScp)
+	if ent.ActualKind.IsCall() {
+		e.ras.Push(ent.Start + isa.Addr(ent.NInstr)*isa.InstrBytes)
+	} else if ent.ActualKind.IsReturn() {
+		e.ras.Pop()
+	}
+
+	e.specPC = ent.ActualNext
+	e.specClass = isa.ClassOf(ent.ActualKind, ent.ActualTaken)
+	e.wrongPath = false
+	e.pendingSquash = false
+	e.bpuStallUntil = now + 1 // redirect
+}
+
+// ---------------------------------------------------------------------------
+// BPU: one basic-block prediction per cycle into the FTQ.
+
+func (e *Engine) bpuStep(now int64) {
+	if e.bpuStallUntil > now {
+		e.stats.BPUMissStallCycles++
+		return
+	}
+	if len(e.ftq) >= e.ftqDepth {
+		return
+	}
+
+	pc := e.specPC
+	ent := &Entry{
+		ID:         e.nextID + 1,
+		Start:      pc,
+		EntryClass: e.specClass,
+		Hist:       e.dir.Snapshot(),
+		RAScp:      e.ras.Checkpoint(),
+	}
+
+	if !e.wrongPath {
+		e.stats.BTBLookups++
+	}
+	bent, hit := e.btbs.Lookup(pc, now)
+	if !hit {
+		if !e.wrongPath {
+			e.stats.BTBMisses++
+		}
+		if e.miss != nil {
+			resolvedEnt, resumeAt, ok := e.miss.Handle(pc, now)
+			if ok {
+				e.btbs.Insert(resolvedEnt, now)
+				if resumeAt > now {
+					// Boomerang: BPU stalls until the miss is resolved; the
+					// re-lookup at resumeAt will hit.
+					e.stats.BTBMissProbes++
+					e.bpuStallUntil = resumeAt
+					return
+				}
+				bent, hit = resolvedEnt, true
+			}
+		}
+	}
+
+	if hit {
+		e.predictFromEntry(ent, &bent)
+	} else {
+		e.sequentialEntry(ent)
+	}
+
+	if !e.wrongPath {
+		e.verify(ent)
+	} else {
+		ent.OnCorrectPath = false
+		e.stats.WrongPathEntries++
+	}
+
+	e.nextID++
+	e.specPC = ent.PredNext
+	e.specClass = isa.ClassOf(ent.Kind, ent.PredTaken)
+	e.ftq = append(e.ftq, ent)
+	if e.fdipProbes {
+		e.enqueueProbes(ent)
+	}
+}
+
+// predictFromEntry fills the entry from a BTB hit.
+func (e *Engine) predictFromEntry(ent *Entry, bent *btb.Entry) {
+	ent.NInstr = bent.NInstr
+	ent.Kind = bent.Kind
+	ft := bent.FallThrough()
+	switch bent.Kind {
+	case isa.CondDirect:
+		p := e.dir.Predict(bent.BranchPC())
+		e.dir.Shift(p.Taken)
+		ent.HasDir = true
+		ent.Dir = p
+		ent.DirPC = bent.BranchPC()
+		ent.PredTaken = p.Taken
+		if p.Taken {
+			ent.PredNext = bent.Target
+		} else {
+			ent.PredNext = ft
+		}
+	case isa.UncondDirect:
+		ent.PredTaken = true
+		ent.PredNext = bent.Target
+	case isa.CallDirect:
+		ent.PredTaken = true
+		ent.PredNext = bent.Target
+		e.ras.Push(ft)
+	case isa.Return:
+		ent.PredTaken = true
+		if tgt, ok := e.ras.Pop(); ok {
+			ent.PredNext = tgt
+		} else {
+			ent.PredNext = ft // cold RAS: wander sequentially
+		}
+	case isa.IndirectJump, isa.IndirectCall:
+		ent.PredTaken = true
+		if bent.Target != 0 {
+			ent.PredNext = bent.Target
+		} else {
+			ent.PredNext = ft // target unknown until first resolution
+		}
+		if bent.Kind == isa.IndirectCall {
+			e.ras.Push(ft)
+		}
+	default:
+		// A degenerate entry (e.g. synthesised beyond the text segment):
+		// treat as sequential.
+		ent.PredNext = ft
+	}
+}
+
+// sequentialEntry builds the BTB-miss pseudo-block: fetch the underlying
+// block's bytes but assume straight-line flow (the terminator is unknown to
+// the front end until it resolves in the back end).
+func (e *Engine) sequentialEntry(ent *Entry) {
+	ent.Kind = isa.None
+	ent.PredTaken = false
+	if blk, ok := e.img.BlockContaining(ent.Start); ok {
+		n := blk.NInstr - uint16((ent.Start-blk.Addr)/isa.InstrBytes)
+		ent.NInstr = n
+	} else {
+		// Alignment padding or beyond text (wrong path): one line's worth.
+		lineEnd := isa.BlockAddr(ent.Start) + isa.BlockBytes
+		ent.NInstr = uint16((lineEnd - ent.Start) / isa.InstrBytes)
+	}
+	ent.PredNext = ent.Start + isa.Addr(ent.NInstr)*isa.InstrBytes
+}
+
+// verify consumes one oracle step and determines the entry's resolution.
+func (e *Engine) verify(ent *Entry) {
+	step := e.orc.Next()
+	if step.Block.Addr != ent.Start && ent.Kind != isa.None {
+		panic(fmt.Sprintf("frontend: speculative walker desynchronised: spec %#x oracle %#x",
+			ent.Start, step.Block.Addr))
+	}
+	ent.OnCorrectPath = true
+	ent.ActualTaken = step.Taken
+	ent.ActualNext = step.Target
+	ent.ActualKind = step.Block.Term.Kind
+
+	if ent.Kind == isa.None {
+		// BTB-miss discovery: at resolve, train the BTB with the real entry.
+		ent.TrainBTB = true
+		ent.BTBEntry = btb.Entry{
+			Start:  step.Block.Addr,
+			NInstr: step.Block.NInstr,
+			Kind:   step.Block.Term.Kind,
+		}
+		switch step.Block.Term.Kind {
+		case isa.CondDirect, isa.UncondDirect, isa.CallDirect:
+			ent.BTBEntry.Target = step.Block.Term.Target
+		case isa.IndirectJump, isa.IndirectCall:
+			ent.BTBEntry.Target = step.Target // learn last target
+		}
+	} else if ent.Kind.IsIndirect() && !ent.Kind.IsReturn() {
+		ent.TrainTarget = true
+	}
+
+	if ent.PredNext != ent.ActualNext {
+		ent.Mispredicted = true
+		switch {
+		case ent.Kind == isa.None:
+			ent.SquashClass = SquashBTBMiss
+		case ent.Kind.IsConditional() && ent.PredTaken != ent.ActualTaken:
+			ent.SquashClass = SquashDirection
+		default:
+			ent.SquashClass = SquashTarget
+		}
+		e.pendingSquash = true
+		e.wrongPath = true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// FDIP prefetch engine: one probe per newly-queued cache line.
+
+func (e *Engine) enqueueProbes(ent *Entry) {
+	first, last := ent.Lines()
+	for l := first; l <= last; l++ {
+		if e.haveLastQueue && l == e.lastQueuedLn {
+			continue
+		}
+		e.lastQueuedLn = l
+		e.haveLastQueue = true
+		if len(e.probeQ) >= 4*e.ftqDepth {
+			copy(e.probeQ, e.probeQ[1:])
+			e.probeQ = e.probeQ[:len(e.probeQ)-1]
+		}
+		e.probeQ = append(e.probeQ, l)
+	}
+}
+
+func (e *Engine) probeStep(now int64) {
+	issued := 0
+	for issued < e.cfg.PrefetchProbesPerCycle && len(e.probeQ) > 0 {
+		line := e.probeQ[0]
+		e.probeQ = e.probeQ[1:]
+		if !e.hier.Present(line, now) && !e.hier.InFlight(line) {
+			e.hier.Prefetch(line, now)
+		}
+		issued++
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fetch engine: demand-fetch the FTQ head, FetchWidth instrs per cycle.
+
+func (e *Engine) fetchStep(now int64) {
+	if e.cur == nil {
+		if len(e.ftq) == 0 {
+			e.stats.FTQEmptyCycles++
+			return
+		}
+		if e.be.InFlightInstrs() >= e.cfg.ROBSize {
+			e.stats.ROBStallCycles++
+			return
+		}
+		e.cur = e.ftq[0]
+		e.ftq = e.ftq[1:]
+		e.curInstr = 0
+		e.haveLine = false
+	}
+
+	ent := e.cur
+	pc := ent.Start + isa.Addr(e.curInstr)*isa.InstrBytes
+	line := cache.LineOf(pc)
+	if !e.haveLine || e.curLine != line {
+		e.curLine = line
+		e.haveLine = true
+		e.lineIsFirst = e.curInstr == 0
+		e.lineReady = e.demand(line, now, ent)
+	}
+
+	if now < e.lineReady {
+		if ent.OnCorrectPath {
+			e.stats.FetchStallCycles++
+			e.stats.StallByClass[e.lineClass(ent)]++
+			e.stats.StallByLevel[e.lineLevel]++
+		}
+		return
+	}
+
+	// Consume up to FetchWidth instructions within the current line.
+	lineEndPC := (isa.BlockAddr(pc) + isa.BlockBytes - pc) / isa.InstrBytes
+	n := int(lineEndPC)
+	if w := e.cfg.FetchWidth; n > w {
+		n = w
+	}
+	if rem := int(ent.NInstr) - e.curInstr; n > rem {
+		n = rem
+	}
+	e.curInstr += n
+
+	if e.curInstr >= int(ent.NInstr) {
+		ent.FetchDone = now
+		e.be.Push(backend.Group{
+			ID:        ent.ID,
+			NInstr:    int(ent.NInstr),
+			FetchDone: now,
+			WrongPath: !ent.OnCorrectPath,
+		})
+		e.inflight[ent.ID] = ent
+		e.cur = nil
+		e.haveLine = false
+	}
+}
+
+// demand performs the line access, with pipelined-hit semantics: accesses
+// satisfied within the L1 hit latency do not stall the fetch pipeline.
+func (e *Engine) demand(line uint64, now int64, ent *Entry) int64 {
+	if ent.OnCorrectPath {
+		e.stats.DemandLineAccesses++
+	}
+	if e.perfectL1 {
+		e.lineLevel = cache.HitL1
+		return now
+	}
+	ready, lvl := e.hier.Demand(line, now)
+	e.lineLevel = lvl
+	miss := lvl == cache.HitLLC || lvl == cache.HitMemory
+	if miss && ent.OnCorrectPath {
+		e.stats.DemandLineMisses++
+		e.stats.DemandMissByClass[e.lineClass(ent)]++
+	}
+	if e.pf != nil {
+		e.pf.OnDemand(line, miss, e.lineClass(ent), now)
+	}
+	if ready <= now+int64(e.cfg.L1ILatency) {
+		return now // pipelined hit
+	}
+	return ready
+}
+
+// lineClass attributes the current line: the entry's own class for its
+// first line, sequential for subsequent lines of the same block.
+func (e *Engine) lineClass(ent *Entry) isa.DiscontinuityClass {
+	if e.lineIsFirst {
+		return ent.EntryClass
+	}
+	return isa.Sequential
+}

@@ -1,0 +1,83 @@
+// Package frontend implements the decoupled front end the whole evaluation
+// revolves around: the branch prediction unit driving a fetch target queue
+// (FTQ), the fetch engine, and FDIP's prefetch engine, with pluggable BTB
+// miss policies (conventional sequential fall-through vs Boomerang's
+// stall-and-predecode) and pluggable L1-I prefetchers (next-line, DIP, PIF,
+// SHIFT). It executes speculatively — including real wrong-path fetch and
+// prefetch activity — and verifies predictions against the workload oracle,
+// squashing at branch resolution like the modelled pipeline would.
+package frontend
+
+import (
+	"boomerang/internal/btb"
+	"boomerang/internal/isa"
+	"boomerang/internal/workload"
+)
+
+// MissHandler decides what the branch prediction unit does on a genuine
+// basic-block BTB miss.
+//
+// Conventional FDIP has no handler (nil): the front end falls through
+// sequentially until the next BTB hit, discovering the hidden branch at
+// resolve time. Boomerang's handler stalls the BPU, probes the L1-I for the
+// cache block containing pc, predecodes it (chasing sequential blocks when
+// the terminator lies further on), and returns the synthesised entry.
+type MissHandler interface {
+	// Handle is invoked at cycle now for a BTB miss at pc. ok=false means
+	// "no resolution: proceed sequentially". ok=true returns the resolved
+	// entry and the cycle the BPU may resume prediction (resumeAt >= now;
+	// the engine inserts the entry into the BTB and stalls until resumeAt).
+	Handle(pc isa.Addr, now int64) (entry btb.Entry, resumeAt int64, ok bool)
+}
+
+// Oracle supplies the architecturally correct execution path the engine
+// verifies against: a live workload walker, or a recorded trace being
+// replayed (package trace).
+type Oracle interface {
+	// PC returns the start address of the next block to execute.
+	PC() isa.Addr
+	// Next consumes and returns one committed step.
+	Next() workload.Step
+}
+
+// BTBFillObserver is an optional MissHandler extension: handlers that
+// maintain their own metadata (e.g. a second BTB level) implement it to see
+// every entry the front end learns — discovery fills at branch resolution
+// and miss-handler resolutions alike.
+type BTBFillObserver interface {
+	OnBTBFill(e btb.Entry, now int64)
+}
+
+// Prefetcher is an L1-I prefetcher driven by fetch-stream events. The FDIP
+// prefetch engine is built into the engine itself (it needs the FTQ);
+// history-based prefetchers (next-line, DIP, PIF, SHIFT) implement this.
+type Prefetcher interface {
+	// Name identifies the prefetcher in experiment output.
+	Name() string
+	// OnDemand observes every demand line access by the fetch engine.
+	// miss is true when the line was not in the L1-I or prefetch buffer,
+	// and class attributes the access (how the fetch stream entered the
+	// line: sequentially or via a conditional/unconditional discontinuity).
+	OnDemand(line uint64, miss bool, class isa.DiscontinuityClass, now int64)
+	// OnRetire observes the committed (correct-path) fetch stream at line
+	// granularity; temporal-streaming prefetchers record it.
+	OnRetire(line uint64, now int64)
+	// Tick runs once per cycle for prefetchers with internal timing (e.g.
+	// SHIFT's LLC-resident metadata reads).
+	Tick(now int64)
+}
+
+// NopPrefetcher is an embeddable no-op implementation of Prefetcher.
+type NopPrefetcher struct{}
+
+// Name implements Prefetcher.
+func (NopPrefetcher) Name() string { return "none" }
+
+// OnDemand implements Prefetcher.
+func (NopPrefetcher) OnDemand(uint64, bool, isa.DiscontinuityClass, int64) {}
+
+// OnRetire implements Prefetcher.
+func (NopPrefetcher) OnRetire(uint64, int64) {}
+
+// Tick implements Prefetcher.
+func (NopPrefetcher) Tick(int64) {}

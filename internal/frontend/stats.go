@@ -1,0 +1,132 @@
+package frontend
+
+import "fmt"
+
+// SquashClass categorises pipeline squashes the way Figure 7 does: branch
+// direction/target mispredictions versus BTB misses.
+type SquashClass uint8
+
+const (
+	// SquashNone marks entries that resolve cleanly.
+	SquashNone SquashClass = iota
+	// SquashDirection is a conditional branch predicted the wrong way.
+	SquashDirection
+	// SquashTarget is a branch whose taken-target was wrong (indirect
+	// branches, returns with corrupted RAS, or unknown targets).
+	SquashTarget
+	// SquashBTBMiss is a taken branch the front end never saw because its
+	// BTB entry was missing (the class Boomerang eliminates).
+	SquashBTBMiss
+	numSquashClasses
+)
+
+func (c SquashClass) String() string {
+	switch c {
+	case SquashNone:
+		return "none"
+	case SquashDirection:
+		return "direction"
+	case SquashTarget:
+		return "target"
+	case SquashBTBMiss:
+		return "btb-miss"
+	}
+	return fmt.Sprintf("SquashClass(%d)", uint8(c))
+}
+
+// Stats aggregates everything the paper's figures need from one simulation.
+type Stats struct {
+	// Cycles is simulated time.
+	Cycles int64
+	// RetiredInstrs and RetiredBlocks count correct-path commits.
+	RetiredInstrs uint64
+	RetiredBlocks uint64
+
+	// Squashes counts pipeline flushes by cause.
+	Squashes [4]uint64
+
+	// BTBLookups and BTBMisses count BPU-side basic-block lookups
+	// (correct-path prediction attempts only).
+	BTBLookups uint64
+	BTBMisses  uint64
+
+	// FetchStallCycles counts cycles the fetch engine sat waiting for
+	// instruction lines on the correct path — the paper's front-end stall
+	// metric. StallByClass attributes them to the discontinuity class of
+	// the stalled line (Figure 3).
+	FetchStallCycles uint64
+	StallByClass     [3]uint64
+
+	// FTQEmptyCycles counts fetch cycles with no FTQ entry available
+	// (squash refill, BPU stalls). ROBStallCycles counts fetch throttled by
+	// a full window. BPUMissStallCycles counts BPU cycles stalled on
+	// Boomerang BTB-miss resolution.
+	FTQEmptyCycles     uint64
+	ROBStallCycles     uint64
+	BPUMissStallCycles uint64
+
+	// DemandLineAccesses/DemandLineMisses count fetch-engine line traffic;
+	// misses are attributed by class like stalls.
+	DemandLineAccesses uint64
+	DemandLineMisses   uint64
+	DemandMissByClass  [3]uint64
+
+	// WrongPathEntries counts FTQ entries fetched past a misprediction.
+	WrongPathEntries uint64
+
+	// StallByLevel attributes correct-path fetch stall cycles to where the
+	// stalled line was found (index: cache.Level) — separates raw misses
+	// from partially-covered in-flight prefetches.
+	StallByLevel [5]uint64
+
+	// BTBMissProbes counts Boomerang BTB miss probes issued.
+	BTBMissProbes uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.RetiredInstrs) / float64(s.Cycles)
+}
+
+// TotalSquashes sums all squash causes.
+func (s *Stats) TotalSquashes() uint64 {
+	return s.Squashes[SquashDirection] + s.Squashes[SquashTarget] + s.Squashes[SquashBTBMiss]
+}
+
+// SquashesPerKI returns squashes per 1000 retired instructions (Figure 7's
+// unit) for one cause.
+func (s *Stats) SquashesPerKI(c SquashClass) float64 {
+	if s.RetiredInstrs == 0 {
+		return 0
+	}
+	return float64(s.Squashes[c]) * 1000 / float64(s.RetiredInstrs)
+}
+
+// MispredictSquashesPerKI groups direction+target squashes (Figure 7's
+// "Branch Direction/Target Misprediction" bar).
+func (s *Stats) MispredictSquashesPerKI() float64 {
+	if s.RetiredInstrs == 0 {
+		return 0
+	}
+	return float64(s.Squashes[SquashDirection]+s.Squashes[SquashTarget]) * 1000 /
+		float64(s.RetiredInstrs)
+}
+
+// BTBMissRate returns the BPU lookup miss rate.
+func (s *Stats) BTBMissRate() float64 {
+	if s.BTBLookups == 0 {
+		return 0
+	}
+	return float64(s.BTBMisses) / float64(s.BTBLookups)
+}
+
+// StallFraction returns front-end stall cycles as a fraction of all cycles.
+func (s *Stats) StallFraction() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.FetchStallCycles) / float64(s.Cycles)
+}

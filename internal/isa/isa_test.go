@@ -1,0 +1,133 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockAddrAligned(t *testing.T) {
+	if err := quick.Check(func(pc uint64) bool {
+		b := BlockAddr(pc)
+		return b%BlockBytes == 0 && b <= pc && pc-b < BlockBytes
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockIndex(t *testing.T) {
+	cases := []struct {
+		pc   uint64
+		want uint64
+	}{
+		{0, 0},
+		{63, 0},
+		{64, 1},
+		{65, 1},
+		{128, 2},
+	}
+	for _, c := range cases {
+		if got := BlockIndex(c.pc); got != c.want {
+			t.Errorf("BlockIndex(%d) = %d, want %d", c.pc, got, c.want)
+		}
+	}
+}
+
+func TestBlockDistanceSymmetric(t *testing.T) {
+	if err := quick.Check(func(a, b uint64) bool {
+		return BlockDistance(a, b) == BlockDistance(b, a)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if BlockDistance(0, 63) != 0 {
+		t.Error("same-block distance should be 0")
+	}
+	if BlockDistance(0, 64) != 1 {
+		t.Error("adjacent-block distance should be 1")
+	}
+	if BlockDistance(4*64, 0) != 4 {
+		t.Error("distance 4 expected")
+	}
+}
+
+func TestBranchKindPredicates(t *testing.T) {
+	cases := []struct {
+		k                              BranchKind
+		cond, uncond, call, ret, indir bool
+	}{
+		{None, false, false, false, false, false},
+		{CondDirect, true, false, false, false, false},
+		{UncondDirect, false, true, false, false, false},
+		{CallDirect, false, true, true, false, false},
+		{Return, false, true, false, true, true},
+		{IndirectJump, false, true, false, false, true},
+		{IndirectCall, false, true, true, false, true},
+	}
+	for _, c := range cases {
+		if c.k.IsConditional() != c.cond {
+			t.Errorf("%v IsConditional = %v", c.k, c.k.IsConditional())
+		}
+		if c.k.IsUnconditional() != c.uncond {
+			t.Errorf("%v IsUnconditional = %v", c.k, c.k.IsUnconditional())
+		}
+		if c.k.IsCall() != c.call {
+			t.Errorf("%v IsCall = %v", c.k, c.k.IsCall())
+		}
+		if c.k.IsReturn() != c.ret {
+			t.Errorf("%v IsReturn = %v", c.k, c.k.IsReturn())
+		}
+		if c.k.IsIndirect() != c.indir {
+			t.Errorf("%v IsIndirect = %v", c.k, c.k.IsIndirect())
+		}
+	}
+}
+
+func TestIsBranch(t *testing.T) {
+	if None.IsBranch() {
+		t.Error("None should not be a branch")
+	}
+	for k := CondDirect; k < BranchKind(NumBranchKinds); k++ {
+		if !k.IsBranch() {
+			t.Errorf("%v should be a branch", k)
+		}
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if CondDirect.String() != "cond" || Return.String() != "ret" {
+		t.Error("unexpected branch kind names")
+	}
+	if Sequential.String() != "sequential" {
+		t.Error("unexpected class name")
+	}
+	if BranchKind(200).String() == "" {
+		t.Error("out-of-range kind should still stringify")
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		k     BranchKind
+		taken bool
+		want  DiscontinuityClass
+	}{
+		{None, false, Sequential},
+		{CondDirect, false, Sequential},
+		{CondDirect, true, Conditional},
+		{UncondDirect, true, Unconditional},
+		{CallDirect, true, Unconditional},
+		{Return, true, Unconditional},
+		{IndirectJump, true, Unconditional},
+		{IndirectCall, true, Unconditional},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.k, c.taken); got != c.want {
+			t.Errorf("ClassOf(%v,%v) = %v, want %v", c.k, c.taken, got, c.want)
+		}
+	}
+}
+
+func TestGeometryConstants(t *testing.T) {
+	if InstrsPerBlock != 16 {
+		t.Fatalf("expected 16 instrs per 64B block at 4B each, got %d", InstrsPerBlock)
+	}
+}

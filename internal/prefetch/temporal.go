@@ -1,0 +1,306 @@
+package prefetch
+
+import (
+	"boomerang/internal/cache"
+	"boomerang/internal/isa"
+)
+
+// TemporalConfig sizes a temporal-streaming instruction prefetcher.
+type TemporalConfig struct {
+	// HistoryEntries is the circular instruction-history buffer length in
+	// records (32K for PIF/SHIFT per the paper).
+	HistoryEntries int
+	// IndexEntries bounds the region -> history-position index (8K).
+	IndexEntries int
+	// RegionLines is the spatial-compaction factor: each history record
+	// names a region of this many cache lines. PIF records temporal streams
+	// of spatial footprints, which is how 32K records cover a multi-MB
+	// instruction working set; 1 degenerates to line-granular streaming.
+	RegionLines int
+	// Lookahead is how many history records ahead of the stream pointer the
+	// prefetcher keeps in flight; it must cover the LLC round trip.
+	Lookahead int
+	// MetadataLatency is charged before replay prefetches can issue after a
+	// stream (re)start: zero for PIF's core-private metadata, one LLC round
+	// trip for SHIFT's LLC-virtualised history.
+	MetadataLatency int64
+	// MaxDeviations ends a stream after this many non-matching retire
+	// observations that the index cannot re-synchronise.
+	MaxDeviations int
+	// IssueRate caps prefetch lines issued per cycle (stream buffers drain
+	// at link bandwidth; bursts spread instead of monopolising the LLC
+	// port). 0 means unlimited.
+	IssueRate int
+}
+
+// DefaultPIFConfig matches the paper's PIF sizing (~200KB of private
+// metadata: a 32K-record history of spatial footprints plus an index).
+func DefaultPIFConfig() TemporalConfig {
+	return TemporalConfig{
+		HistoryEntries: 32768,
+		IndexEntries:   8192,
+		RegionLines:    4,
+		Lookahead:      8,
+		MaxDeviations:  6,
+		IssueRate:      4,
+	}
+}
+
+// DefaultSHIFTConfig matches the paper's SHIFT sizing; metadataLatency must
+// be set to the modelled LLC round trip.
+func DefaultSHIFTConfig(llcRoundTrip int64) TemporalConfig {
+	c := DefaultPIFConfig()
+	c.MetadataLatency = llcRoundTrip
+	return c
+}
+
+// Temporal is a temporal-streaming instruction prefetcher: it records the
+// committed fetch stream as a sequence of spatial regions and, on a trigger
+// (a demand miss whose region appears in the history), replays the recorded
+// stream ahead of the fetch engine. PIF and SHIFT are both instances; they
+// differ in where the metadata lives (latency + storage accounting).
+type Temporal struct {
+	hier *cache.Hierarchy
+	cfg  TemporalConfig
+
+	history []uint64 // region numbers
+	hpos    int      // next write position
+	filled  bool
+
+	index      map[uint64]int // region -> most recent history position
+	indexQ     []uint64       // FIFO bound on the index
+	lastRegion uint64
+	haveLast   bool
+
+	lastDemRegion uint64
+	haveLastDem   bool
+
+	// Active stream state.
+	active     bool
+	streamPos  int // history position of the next expected region
+	deviations int
+
+	// Delayed issue queue (metadata latency).
+	pending []pendingPrefetch
+
+	// Stats.
+	Triggers     uint64
+	Replayed     uint64
+	Resyncs      uint64
+	StaleIndex   uint64
+	StreamDeaths uint64
+}
+
+type pendingPrefetch struct {
+	region  uint64
+	issueAt int64
+}
+
+// NewTemporal builds a temporal-streaming prefetcher.
+func NewTemporal(hier *cache.Hierarchy, cfg TemporalConfig) *Temporal {
+	if cfg.HistoryEntries < 16 {
+		cfg.HistoryEntries = 16
+	}
+	if cfg.RegionLines < 1 {
+		cfg.RegionLines = 1
+	}
+	if cfg.Lookahead < 1 {
+		cfg.Lookahead = 1
+	}
+	if cfg.MaxDeviations < 1 {
+		cfg.MaxDeviations = 1
+	}
+	return &Temporal{
+		hier:    hier,
+		cfg:     cfg,
+		history: make([]uint64, cfg.HistoryEntries),
+		index:   make(map[uint64]int, cfg.IndexEntries),
+	}
+}
+
+// Name implements frontend.Prefetcher.
+func (p *Temporal) Name() string {
+	if p.cfg.MetadataLatency > 0 {
+		return "shift"
+	}
+	return "pif"
+}
+
+func (p *Temporal) regionOf(line uint64) uint64 {
+	return line / uint64(p.cfg.RegionLines)
+}
+
+// OnRetire implements frontend.Prefetcher: records the committed stream at
+// region granularity (deduplicating consecutive repeats). Recording from
+// the retire stream is what exposes PIF to pipeline latency around
+// mispredictions (the paper's Section III-A observation); the *replay* side
+// advances with the fetch stream (OnDemand), like PIF's stream address
+// queue being consumed by the fetch engine.
+func (p *Temporal) OnRetire(line uint64, now int64) {
+	region := p.regionOf(line)
+	if p.haveLast && region == p.lastRegion {
+		return
+	}
+	p.lastRegion = region
+	p.haveLast = true
+	p.record(region)
+}
+
+func (p *Temporal) record(region uint64) {
+	p.history[p.hpos] = region
+	p.setIndex(region, p.hpos)
+	p.hpos++
+	if p.hpos == len(p.history) {
+		p.hpos = 0
+		p.filled = true
+	}
+}
+
+func (p *Temporal) setIndex(region uint64, pos int) {
+	if _, exists := p.index[region]; !exists {
+		if len(p.indexQ) >= p.cfg.IndexEntries && p.cfg.IndexEntries > 0 {
+			evict := p.indexQ[0]
+			p.indexQ = p.indexQ[1:]
+			delete(p.index, evict)
+		}
+		p.indexQ = append(p.indexQ, region)
+	}
+	p.index[region] = pos
+}
+
+// lookup returns the history position of the region, validating against the
+// circular buffer (a wrapped history invalidates old index entries).
+func (p *Temporal) lookup(region uint64) (int, bool) {
+	pos, ok := p.index[region]
+	if !ok {
+		return 0, false
+	}
+	if p.history[pos] != region {
+		p.StaleIndex++
+		delete(p.index, region)
+		return 0, false
+	}
+	return pos, true
+}
+
+// OnDemand implements frontend.Prefetcher: the fetch stream consumes the
+// replay stream — a demanded region matching the stream window advances the
+// stream pointer and extends the in-flight prefetch window; a miss outside
+// the stream (re)starts replay from the indexed position.
+func (p *Temporal) OnDemand(line uint64, miss bool, class isa.DiscontinuityClass, now int64) {
+	region := p.regionOf(line)
+	if p.active && !(p.haveLastDem && region == p.lastDemRegion) {
+		p.advance(region, now)
+	}
+	p.lastDemRegion = region
+	p.haveLastDem = true
+	if !miss {
+		return
+	}
+	pos, ok := p.lookup(region)
+	if !ok {
+		return
+	}
+	p.Triggers++
+	p.active = true
+	p.streamPos = p.next(pos)
+	p.deviations = 0
+	p.replayAhead(now + p.cfg.MetadataLatency)
+}
+
+// advance moves the stream pointer when the retire stream follows the
+// recorded history, keeping Lookahead records in flight. On deviation it
+// first tries to re-synchronise through the index; only sustained unindexed
+// deviation kills the stream.
+func (p *Temporal) advance(region uint64, now int64) {
+	if !p.active {
+		return
+	}
+	pos := p.streamPos
+	for i := 0; i < 8; i++ {
+		if p.history[pos] == region {
+			p.streamPos = p.next(pos)
+			p.deviations = 0
+			p.replayAhead(now)
+			return
+		}
+		pos = p.next(pos)
+	}
+	if ipos, ok := p.lookup(region); ok && ipos != p.prevPos() {
+		p.Resyncs++
+		p.streamPos = p.next(ipos)
+		p.deviations = 0
+		p.replayAhead(now + p.cfg.MetadataLatency)
+		return
+	}
+	p.deviations++
+	if p.deviations > p.cfg.MaxDeviations {
+		p.active = false
+		p.StreamDeaths++
+	}
+}
+
+// prevPos returns the history position written most recently.
+func (p *Temporal) prevPos() int {
+	if p.hpos == 0 {
+		return len(p.history) - 1
+	}
+	return p.hpos - 1
+}
+
+// replayAhead issues (or schedules) prefetches for the next Lookahead
+// records of the recorded stream.
+func (p *Temporal) replayAhead(issueAt int64) {
+	pos := p.streamPos
+	for i := 0; i < p.cfg.Lookahead; i++ {
+		if !p.filled && pos >= p.hpos {
+			break // recording has not reached this far yet
+		}
+		p.pending = append(p.pending, pendingPrefetch{region: p.history[pos], issueAt: issueAt})
+		pos = p.next(pos)
+	}
+}
+
+func (p *Temporal) next(pos int) int {
+	pos++
+	if pos == len(p.history) {
+		return 0
+	}
+	return pos
+}
+
+// Tick implements frontend.Prefetcher: drains the delayed-issue queue at
+// the configured issue rate, expanding each region record into its lines.
+// A region already fully present costs no issue bandwidth.
+func (p *Temporal) Tick(now int64) {
+	budget := p.cfg.IssueRate
+	if budget == 0 {
+		budget = 1 << 30
+	}
+	issued := 0
+	kept := p.pending[:0]
+	for i, pp := range p.pending {
+		if pp.issueAt > now || issued >= budget {
+			kept = append(kept, p.pending[i:]...)
+			break
+		}
+		base := pp.region * uint64(p.cfg.RegionLines)
+		for l := 0; l < p.cfg.RegionLines; l++ {
+			if p.hier.Prefetch(base+uint64(l), now) {
+				issued++
+			}
+		}
+		p.Replayed++
+	}
+	p.pending = kept
+}
+
+// StorageKB estimates the dedicated metadata footprint: ~5 bytes per history
+// record (region address + footprint bits) plus the index. For SHIFT this
+// storage is virtualised into the LLC (the scheme charges LLC capacity
+// instead); the number still reports the metadata volume.
+func (p *Temporal) StorageKB() int {
+	historyB := len(p.history) * 5
+	indexB := p.cfg.IndexEntries * 8
+	return (historyB + indexB) / 1024
+}

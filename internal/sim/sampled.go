@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"sync"
+
+	"boomerang/internal/frontend"
+	"boomerang/internal/stats"
+)
+
+// SampledResult aggregates repeated measurements of one configuration across
+// independent execution seeds — the reproduction of the paper's SMARTS
+// methodology, which reports means with 95% confidence intervals.
+type SampledResult struct {
+	// IPC samples instructions per cycle.
+	IPC stats.Sample
+	// StallPerKI samples front-end stall cycles per kilo-instruction.
+	StallPerKI stats.Sample
+	// SquashPerKI samples total pipeline squashes per kilo-instruction.
+	SquashPerKI stats.Sample
+	// BTBMissSquashPerKI samples the BTB-miss-induced share.
+	BTBMissSquashPerKI stats.Sample
+}
+
+// RunSampled executes spec `samples` times with distinct walk seeds
+// (concurrently — each run is self-contained) and aggregates the headline
+// metrics.
+func RunSampled(spec Spec, samples int) (SampledResult, error) {
+	if samples < 1 {
+		samples = 1
+	}
+	results := make([]Result, samples)
+	errs := make([]error, samples)
+	var wg sync.WaitGroup
+	for i := 0; i < samples; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := spec
+			s.WalkSeed = spec.WalkSeed + uint64(i)*104729
+			results[i], errs[i] = Run(s)
+		}(i)
+	}
+	wg.Wait()
+	var out SampledResult
+	for i := 0; i < samples; i++ {
+		if errs[i] != nil {
+			return SampledResult{}, errs[i]
+		}
+		r := results[i]
+		ki := float64(r.Stats.RetiredInstrs) / 1000
+		out.IPC.Add(r.IPC)
+		out.StallPerKI.Add(float64(r.Stats.FetchStallCycles) / ki)
+		out.SquashPerKI.Add(float64(r.Stats.TotalSquashes()) / ki)
+		out.BTBMissSquashPerKI.Add(r.Stats.SquashesPerKI(frontend.SquashBTBMiss))
+	}
+	return out, nil
+}

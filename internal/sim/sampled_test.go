@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"testing"
+
+	"boomerang/internal/scheme"
+)
+
+func TestRunSampled(t *testing.T) {
+	w := fastProfile("Zeus")
+	spec := fastSpec(scheme.Boomerang(), w)
+	spec.MeasureInstrs = 200_000
+	spec.WarmInstrs = 50_000
+	res, err := RunSampled(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC.N() != 5 {
+		t.Fatalf("expected 5 samples, got %d", res.IPC.N())
+	}
+	if res.IPC.Mean() <= 0 {
+		t.Fatal("IPC mean must be positive")
+	}
+	// Distinct seeds must produce some spread (not identical runs).
+	if res.IPC.StdDev() == 0 {
+		t.Fatal("samples identical — walk seeds not applied")
+	}
+	// The paper reports <2% relative error at 95% confidence; at this tiny
+	// scale we only require the estimate to be reasonably tight.
+	if re := res.IPC.RelativeError95(); re > 0.2 {
+		t.Fatalf("IPC relative error %.3f too large", re)
+	}
+	if res.BTBMissSquashPerKI.Max() != 0 {
+		t.Fatal("Boomerang must have zero BTB-miss squashes in every sample")
+	}
+}
+
+func TestRunSampledClampsN(t *testing.T) {
+	w := fastProfile("Zeus")
+	spec := fastSpec(scheme.Base(), w)
+	spec.MeasureInstrs = 100_000
+	spec.WarmInstrs = 20_000
+	res, err := RunSampled(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC.N() != 1 {
+		t.Fatalf("samples = %d, want clamp to 1", res.IPC.N())
+	}
+}
+
+func TestRunSampledPropagatesErrors(t *testing.T) {
+	w := fastProfile("Zeus")
+	spec := fastSpec(scheme.Base(), w)
+	spec.Cfg.FetchWidth = -1
+	if _, err := RunSampled(spec, 2); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,171 @@
+// Package stats provides the sampling statistics the paper's methodology
+// relies on: SMARTS-style repeated measurements with confidence intervals
+// ("performance is measured with an average error of less than 2% at a 95%
+// confidence level", Section V). Simulations here are deterministic per
+// seed, so samples come from varying the execution seed — the analogue of
+// SMARTS drawing sampling units across a long execution.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations of one scalar metric.
+type Sample struct {
+	values []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the sample mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Variance returns the unbiased sample variance.
+func (s *Sample) Variance() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	acc := 0.0
+	for _, v := range s.values {
+		d := v - m
+		acc += d * d
+	}
+	return acc / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min and Max return the observed extremes.
+func (s *Sample) Min() float64 { return s.extreme(func(a, b float64) bool { return a < b }) }
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 { return s.extreme(func(a, b float64) bool { return a > b }) }
+
+func (s *Sample) extreme(better func(a, b float64) bool) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	best := s.values[0]
+	for _, v := range s.values[1:] {
+		if better(v, best) {
+			best = v
+		}
+	}
+	return best
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// CI95 returns the half-width of the 95% confidence interval on the mean,
+// using the Student t distribution.
+func (s *Sample) CI95() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	return tCritical95(n-1) * s.StdDev() / math.Sqrt(float64(n))
+}
+
+// RelativeError95 returns CI95/Mean — the paper's "<2% at 95% confidence"
+// quantity. Returns +Inf for a zero mean with nonzero spread.
+func (s *Sample) RelativeError95() float64 {
+	m := s.Mean()
+	ci := s.CI95()
+	if m == 0 {
+		if ci == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(ci / m)
+}
+
+// String summarises the sample.
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d, 95%% CI)", s.Mean(), s.CI95(), s.N())
+}
+
+// tCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom (table for small df, normal approximation above).
+func tCritical95(df int) float64 {
+	table := []float64{
+		0:  0, // unused
+		1:  12.706,
+		2:  4.303,
+		3:  3.182,
+		4:  2.776,
+		5:  2.571,
+		6:  2.447,
+		7:  2.365,
+		8:  2.306,
+		9:  2.262,
+		10: 2.228,
+		11: 2.201,
+		12: 2.179,
+		13: 2.160,
+		14: 2.145,
+		15: 2.131,
+		16: 2.120,
+		17: 2.110,
+		18: 2.101,
+		19: 2.093,
+		20: 2.086,
+		25: 2.060,
+		30: 2.042,
+		40: 2.021,
+		60: 2.000,
+	}
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df < len(table) && table[df] != 0 {
+		return table[df]
+	}
+	// Interpolate through the sparse tail, else use the normal limit.
+	switch {
+	case df < 25:
+		return table[20]
+	case df < 30:
+		return table[25]
+	case df < 40:
+		return table[30]
+	case df < 60:
+		return table[40]
+	case df < 120:
+		return table[60]
+	}
+	return 1.960
+}

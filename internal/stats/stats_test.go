@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"boomerang/internal/xrand"
+)
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Variance() != 0 || s.CI95() != 0 || s.N() != 0 {
+		t.Fatal("empty sample must be all zeros")
+	}
+	if s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty sample extremes must be zero")
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if got := s.Variance(); math.Abs(got-4.571428) > 1e-5 {
+		t.Fatalf("variance = %v", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatal("extremes wrong")
+	}
+	if s.Percentile(50) != 4 {
+		t.Fatalf("median = %v", s.Percentile(50))
+	}
+	if s.Percentile(100) != 9 || s.Percentile(0) != 2 {
+		t.Fatal("percentile bounds wrong")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var s Sample
+	s.Add(7)
+	if s.Mean() != 7 || s.Variance() != 0 || s.CI95() != 0 {
+		t.Fatal("single observation stats wrong")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	rng := xrand.New(3)
+	var small, large Sample
+	for i := 0; i < 5; i++ {
+		small.Add(rng.Float64())
+	}
+	rng = xrand.New(3)
+	for i := 0; i < 500; i++ {
+		large.Add(rng.Float64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI should shrink with n: %v vs %v", large.CI95(), small.CI95())
+	}
+}
+
+func TestCI95Coverage(t *testing.T) {
+	// Empirical check: the 95% CI of samples from a known distribution
+	// should contain the true mean ~95% of the time.
+	rng := xrand.New(17)
+	trueMean := 0.5
+	contained := 0
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		var s Sample
+		for i := 0; i < 20; i++ {
+			s.Add(rng.Float64())
+		}
+		if math.Abs(s.Mean()-trueMean) <= s.CI95() {
+			contained++
+		}
+	}
+	frac := float64(contained) / trials
+	if frac < 0.90 || frac > 0.99 {
+		t.Fatalf("CI95 coverage %.3f, want ~0.95", frac)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	var s Sample
+	for i := 0; i < 50; i++ {
+		s.Add(100 + float64(i%5))
+	}
+	if re := s.RelativeError95(); re <= 0 || re > 0.02 {
+		t.Fatalf("relative error %v out of expected range", re)
+	}
+	var z Sample
+	z.Add(-1)
+	z.Add(1)
+	if !math.IsInf(z.RelativeError95(), 1) {
+		t.Fatal("zero-mean nonzero-spread must be +Inf")
+	}
+}
+
+func TestTCriticalMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		v := tCritical95(df)
+		if v > prev+1e-9 {
+			t.Fatalf("t-critical not non-increasing at df=%d: %v > %v", df, v, prev)
+		}
+		prev = v
+	}
+	if got := tCritical95(1000); got != 1.960 {
+		t.Fatalf("large-df limit = %v", got)
+	}
+	if !math.IsInf(tCritical95(0), 1) {
+		t.Fatal("df=0 must be infinite")
+	}
+}
+
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	if err := quick.Check(func(vals []float64) bool {
+		var s Sample
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Bound magnitude to avoid float overflow artifacts.
+			s.Add(math.Mod(v, 1e6))
+		}
+		return s.Variance() >= 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(2)
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,228 @@
+// Package trace records and replays oracle execution as a compact binary
+// control-flow trace. Recording decouples workload generation from
+// simulation: a trace captured once can be replayed into any scheme, shipped
+// between machines, or inspected offline — the role the paper's Flexus
+// checkpoints and SimFlex trace libraries play.
+//
+// Format (little-endian, varint-based, ~2 bytes per basic block):
+//
+//	header : magic "BOOMTRC1", uvarint image base, uvarint image limit
+//	record : flag byte + zigzag-varint block-address delta
+//	         + (if flagTarget) zigzag-varint target delta
+//
+// The taken direction and, for most branches, the target are reconstructed
+// from the static image during replay; only targets the encoding cannot
+// supply (indirect branches, returns) are stored explicitly.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"boomerang/internal/isa"
+	"boomerang/internal/program"
+	"boomerang/internal/workload"
+)
+
+const magic = "BOOMTRC1"
+
+const (
+	flagTaken  = 1 << 0
+	flagTarget = 1 << 1
+)
+
+// Writer serialises oracle steps.
+type Writer struct {
+	w     *bufio.Writer
+	prev  isa.Addr
+	count uint64
+}
+
+// NewWriter starts a trace for the given image.
+func NewWriter(w io.Writer, img *program.Image) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for _, v := range []uint64{uint64(img.Base), uint64(img.Limit)} {
+		n := binary.PutUvarint(buf[:], v)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return nil, err
+		}
+	}
+	return &Writer{w: bw}, nil
+}
+
+// WriteStep appends one committed step.
+func (t *Writer) WriteStep(s workload.Step) error {
+	var buf [2*binary.MaxVarintLen64 + 1]byte
+	flags := byte(0)
+	if s.Taken {
+		flags |= flagTaken
+	}
+	needTarget := s.Taken && s.Block.Term.Kind.IsIndirect()
+	if needTarget {
+		flags |= flagTarget
+	}
+	buf[0] = flags
+	n := 1
+	n += binary.PutVarint(buf[n:], int64(s.Block.Addr)-int64(t.prev))
+	if needTarget {
+		n += binary.PutVarint(buf[n:], int64(s.Target)-int64(s.Block.FallThrough()))
+	}
+	t.prev = s.Block.Addr
+	t.count++
+	_, err := t.w.Write(buf[:n])
+	return err
+}
+
+// Count returns steps written so far.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Flush drains buffered output. Call once after the last step.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Record executes steps blocks of the image with a fresh walker and writes
+// them to w. It returns the per-step writer statistics.
+func Record(img *program.Image, seed uint64, steps uint64, w io.Writer) (uint64, error) {
+	tw, err := NewWriter(w, img)
+	if err != nil {
+		return 0, err
+	}
+	walker := workload.NewWalker(img, seed)
+	for i := uint64(0); i < steps; i++ {
+		if err := tw.WriteStep(walker.Next()); err != nil {
+			return tw.Count(), err
+		}
+	}
+	return tw.Count(), tw.Flush()
+}
+
+// Reader deserialises a trace against the image it was recorded from.
+type Reader struct {
+	r    *bufio.Reader
+	img  *program.Image
+	prev isa.Addr
+
+	entryClass isa.DiscontinuityClass
+	count      uint64
+}
+
+// ErrImageMismatch reports a trace replayed against the wrong image.
+var ErrImageMismatch = errors.New("trace: image does not match recording")
+
+// NewReader validates the header and prepares replay.
+func NewReader(r io.Reader, img *program.Image) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: bad header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	base, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	limit, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if isa.Addr(base) != img.Base || isa.Addr(limit) != img.Limit {
+		return nil, ErrImageMismatch
+	}
+	return &Reader{r: br, img: img}, nil
+}
+
+// Next returns the next recorded step, or io.EOF after the last.
+func (t *Reader) Next() (workload.Step, error) {
+	flags, err := t.r.ReadByte()
+	if err != nil {
+		return workload.Step{}, err // io.EOF passes through
+	}
+	delta, err := binary.ReadVarint(t.r)
+	if err != nil {
+		return workload.Step{}, unexpectedEOF(err)
+	}
+	addr := isa.Addr(int64(t.prev) + delta)
+	t.prev = addr
+	blk, ok := t.img.BlockAt(addr)
+	if !ok {
+		return workload.Step{}, fmt.Errorf("trace: %#x is not a block start (corrupt trace or wrong image)", addr)
+	}
+	s := workload.Step{
+		Block:      blk,
+		Taken:      flags&flagTaken != 0,
+		EntryClass: t.entryClass,
+	}
+	switch {
+	case flags&flagTarget != 0:
+		tdelta, err := binary.ReadVarint(t.r)
+		if err != nil {
+			return workload.Step{}, unexpectedEOF(err)
+		}
+		s.Target = isa.Addr(int64(blk.FallThrough()) + tdelta)
+	case s.Taken:
+		s.Target = blk.Term.Target
+	default:
+		s.Target = blk.FallThrough()
+	}
+	t.entryClass = isa.ClassOf(blk.Term.Kind, s.Taken)
+	t.count++
+	return s, nil
+}
+
+// Count returns steps read so far.
+func (t *Reader) Count() uint64 { return t.count }
+
+func unexpectedEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Replayer adapts a Reader to the front-end engine's Oracle interface, with
+// the one-step lookahead PC() requires. When the trace is exhausted it
+// panics — size the simulation window within the recording.
+type Replayer struct {
+	r    *Reader
+	next workload.Step
+	err  error
+}
+
+// NewReplayer primes the lookahead.
+func NewReplayer(r *Reader) (*Replayer, error) {
+	rp := &Replayer{r: r}
+	rp.next, rp.err = r.Next()
+	if rp.err != nil {
+		return nil, fmt.Errorf("trace: empty trace: %w", rp.err)
+	}
+	return rp, nil
+}
+
+// PC implements frontend.Oracle.
+func (rp *Replayer) PC() isa.Addr {
+	if rp.err != nil {
+		panic(fmt.Sprintf("trace: replay past end of recording: %v", rp.err))
+	}
+	return rp.next.Block.Addr
+}
+
+// Next implements frontend.Oracle.
+func (rp *Replayer) Next() workload.Step {
+	if rp.err != nil {
+		panic(fmt.Sprintf("trace: replay past end of recording: %v", rp.err))
+	}
+	cur := rp.next
+	rp.next, rp.err = rp.r.Next()
+	return cur
+}
+
+// Remaining reports whether more steps are available.
+func (rp *Replayer) Remaining() bool { return rp.err == nil }

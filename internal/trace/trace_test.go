@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"boomerang/internal/bpu"
+	"boomerang/internal/btb"
+	"boomerang/internal/cache"
+	"boomerang/internal/config"
+	"boomerang/internal/frontend"
+	"boomerang/internal/program"
+	"boomerang/internal/workload"
+)
+
+func testImage(t testing.TB, seed uint64) *program.Image {
+	t.Helper()
+	g := program.DefaultGenParams()
+	g.Seed = seed
+	g.FootprintKB = 128
+	g.Layers = 4
+	img, err := program.Generate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestRoundTrip(t *testing.T) {
+	img := testImage(t, 1)
+	var buf bytes.Buffer
+	const steps = 50_000
+	n, err := Record(img, 7, steps, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != steps {
+		t.Fatalf("recorded %d steps, want %d", n, steps)
+	}
+
+	r, err := NewReader(&buf, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.NewWalker(img, 7)
+	for i := 0; i < steps; i++ {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		want := w.Next()
+		if got.Block != want.Block || got.Taken != want.Taken ||
+			got.Target != want.Target || got.EntryClass != want.EntryClass {
+			t.Fatalf("step %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	img := testImage(t, 3)
+	var buf bytes.Buffer
+	const steps = 100_000
+	if _, err := Record(img, 1, steps, &buf); err != nil {
+		t.Fatal(err)
+	}
+	perStep := float64(buf.Len()) / steps
+	if perStep > 4 {
+		t.Fatalf("trace uses %.2f bytes/step, want <= 4", perStep)
+	}
+}
+
+func TestImageMismatchDetected(t *testing.T) {
+	img := testImage(t, 1)
+	other := testImage(t, 2)
+	var buf bytes.Buffer
+	if _, err := Record(img, 1, 100, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(&buf, other); err != ErrImageMismatch {
+		t.Fatalf("expected ErrImageMismatch, got %v", err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	img := testImage(t, 1)
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE")), img); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncatedTrace(t *testing.T) {
+	img := testImage(t, 1)
+	var buf bytes.Buffer
+	if _, err := Record(img, 1, 1000, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the trace mid-record.
+	cut := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(cut), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := r.Next(); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return // both are acceptable truncation signals
+			}
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+}
+
+func TestReplayerDrivesEngineIdentically(t *testing.T) {
+	// The decisive equivalence test: an engine driven by a recorded trace
+	// must produce cycle-identical results to one driven by the live walker.
+	img := testImage(t, 5)
+	var buf bytes.Buffer
+	if _, err := Record(img, 9, 400_000, &buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewReplayer(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := config.Default()
+	build := func(orc frontend.Oracle) *frontend.Engine {
+		return frontend.New(frontend.Options{
+			Config:     cfg,
+			Image:      img,
+			Oracle:     orc,
+			Hierarchy:  cache.NewHierarchy(cfg, 0),
+			Direction:  bpu.NewTAGE(cfg.TAGEStorageKB),
+			BTB:        btb.New(cfg.BTBEntries, cfg.BTBAssoc),
+			FDIPProbes: true,
+		})
+	}
+	live := build(workload.NewWalker(img, 9)).Run(100_000, 20_000_000)
+	replay := build(rp).Run(100_000, 20_000_000)
+
+	if live.Cycles != replay.Cycles ||
+		live.TotalSquashes() != replay.TotalSquashes() ||
+		live.FetchStallCycles != replay.FetchStallCycles ||
+		live.RetiredInstrs != replay.RetiredInstrs {
+		t.Fatalf("trace replay diverged from live oracle:\nlive   %+v\nreplay %+v",
+			live, replay)
+	}
+}
+
+func TestReplayerPanicsPastEnd(t *testing.T) {
+	img := testImage(t, 1)
+	var buf bytes.Buffer
+	if _, err := Record(img, 1, 10, &buf); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(&buf, img)
+	rp, err := NewReplayer(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rp.Remaining() {
+		rp.Next()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic past end of trace")
+		}
+	}()
+	rp.Next()
+}
+
+func BenchmarkWriteStep(b *testing.B) {
+	img := testImage(b, 1)
+	w := workload.NewWalker(img, 1)
+	tw, err := NewWriter(io.Discard, img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tw.WriteStep(w.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadStep(b *testing.B) {
+	img := testImage(b, 1)
+	var buf bytes.Buffer
+	if _, err := Record(img, 1, uint64(b.N)+1, &buf); err != nil {
+		b.Fatal(err)
+	}
+	r, err := NewReader(&buf, img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package uncore models the on-chip interconnect latency seen by one core's
+// LLC accesses. The paper evaluates two organisations: a 4x4 2D mesh at 3
+// cycles/hop (Table I, ~30-cycle average round trip) and a wide crossbar
+// (Figure 11, ~18-cycle round trip). We model average round-trip latency —
+// the quantity the paper sweeps — rather than per-message routing.
+package uncore
+
+// Interconnect computes the average LLC round-trip latency for a topology.
+type Interconnect interface {
+	// RoundTrip is the average request+response latency in cycles,
+	// including LLC bank access time.
+	RoundTrip() int
+	// Name identifies the topology.
+	Name() string
+}
+
+// Mesh is a dim x dim 2D mesh of tiles, each with a core and an LLC bank
+// (static NUCA: a line's bank is determined by its address, so the average
+// distance is the mean Manhattan distance to a uniformly random bank).
+type Mesh struct {
+	// Dim is the mesh dimension (4 for 16 tiles).
+	Dim int
+	// HopLatency is per-hop link+router traversal time.
+	HopLatency int
+	// BankLatency is the LLC bank access time.
+	BankLatency int
+	// CtrlOverhead is the fixed cache-controller/NI overhead per request.
+	CtrlOverhead int
+}
+
+// DefaultMesh returns the Table I mesh: 4x4, 3 cycles/hop, tuned so the
+// average round trip is 30 cycles.
+func DefaultMesh() Mesh {
+	return Mesh{Dim: 4, HopLatency: 3, BankLatency: 5, CtrlOverhead: 4}
+}
+
+// AvgHops returns the mean one-way hop count from a uniformly random source
+// tile to a uniformly random destination tile, plus one ejection hop.
+func (m Mesh) AvgHops() float64 {
+	return 2*avgLineDistance(m.Dim) + 1
+}
+
+// avgLineDistance is E[|i-j|] for i,j uniform on [0,dim).
+func avgLineDistance(dim int) float64 {
+	sum := 0
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return float64(sum) / float64(dim*dim)
+}
+
+// RoundTrip implements Interconnect.
+func (m Mesh) RoundTrip() int {
+	oneWay := m.AvgHops() * float64(m.HopLatency)
+	return int(2*oneWay+0.5) + m.BankLatency + m.CtrlOverhead
+}
+
+// Name implements Interconnect.
+func (m Mesh) Name() string { return "mesh" }
+
+// Crossbar is a single-stage wide crossbar: constant traversal latency
+// regardless of source/destination.
+type Crossbar struct {
+	// TraversalLatency is the one-way crossbar traversal time.
+	TraversalLatency int
+	// BankLatency is the LLC bank access time.
+	BankLatency int
+	// CtrlOverhead is the fixed controller/NI overhead.
+	CtrlOverhead int
+}
+
+// DefaultCrossbar returns the Figure 11 crossbar with an 18-cycle round trip.
+func DefaultCrossbar() Crossbar {
+	return Crossbar{TraversalLatency: 4, BankLatency: 5, CtrlOverhead: 5}
+}
+
+// RoundTrip implements Interconnect.
+func (c Crossbar) RoundTrip() int {
+	return 2*c.TraversalLatency + c.BankLatency + c.CtrlOverhead
+}
+
+// Name implements Interconnect.
+func (c Crossbar) Name() string { return "crossbar" }

@@ -1,0 +1,55 @@
+package uncore
+
+import "testing"
+
+func TestMeshAvgLineDistance(t *testing.T) {
+	// For dim=4: E[|i-j|] = 20/16 = 1.25.
+	if got := avgLineDistance(4); got != 1.25 {
+		t.Fatalf("avgLineDistance(4) = %v, want 1.25", got)
+	}
+	if got := avgLineDistance(1); got != 0 {
+		t.Fatalf("avgLineDistance(1) = %v, want 0", got)
+	}
+}
+
+func TestDefaultMeshRoundTrip(t *testing.T) {
+	// Table I: the 4x4 mesh at 3 cycles/hop averages a 30-cycle round trip.
+	if got := DefaultMesh().RoundTrip(); got != 30 {
+		t.Fatalf("mesh round trip = %d, want 30", got)
+	}
+}
+
+func TestDefaultCrossbarRoundTrip(t *testing.T) {
+	// Figure 11: the crossbar lowers the round trip to 18 cycles.
+	if got := DefaultCrossbar().RoundTrip(); got != 18 {
+		t.Fatalf("crossbar round trip = %d, want 18", got)
+	}
+}
+
+func TestCrossbarFasterThanMesh(t *testing.T) {
+	if DefaultCrossbar().RoundTrip() >= DefaultMesh().RoundTrip() {
+		t.Fatal("crossbar must be faster than mesh")
+	}
+}
+
+func TestMeshScalesWithDim(t *testing.T) {
+	small := Mesh{Dim: 2, HopLatency: 3, BankLatency: 5, CtrlOverhead: 4}
+	big := Mesh{Dim: 8, HopLatency: 3, BankLatency: 5, CtrlOverhead: 4}
+	if small.RoundTrip() >= big.RoundTrip() {
+		t.Fatal("larger mesh must have larger average round trip")
+	}
+}
+
+func TestInterconnectInterface(t *testing.T) {
+	var ics []Interconnect = []Interconnect{DefaultMesh(), DefaultCrossbar()}
+	names := map[string]bool{}
+	for _, ic := range ics {
+		if ic.RoundTrip() <= 0 {
+			t.Fatalf("%s round trip non-positive", ic.Name())
+		}
+		names[ic.Name()] = true
+	}
+	if !names["mesh"] || !names["crossbar"] {
+		t.Fatal("missing topology names")
+	}
+}

@@ -1,0 +1,105 @@
+// Package viz renders simple ASCII charts for terminal output: horizontal
+// bar charts for scheme comparisons and line-ish sparkline series for the
+// latency sweeps. It keeps cmd/experiments self-contained — figures can be
+// eyeballed without exporting CSV to a plotting tool.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled to width characters. Negative
+// values render as empty bars with the value printed; a zero max renders
+// values only.
+func BarChart(title string, bars []Bar, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	labelW := 0
+	maxV := 0.0
+	for _, bar := range bars {
+		if len(bar.Label) > labelW {
+			labelW = len(bar.Label)
+		}
+		if bar.Value > maxV {
+			maxV = bar.Value
+		}
+	}
+	for _, bar := range bars {
+		n := 0
+		if maxV > 0 && bar.Value > 0 {
+			n = int(math.Round(bar.Value / maxV * float64(width)))
+		}
+		fmt.Fprintf(&b, "%-*s |%s%s %.3f\n",
+			labelW, bar.Label,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), bar.Value)
+	}
+	return b.String()
+}
+
+// sparkLevels are the eight block characters from low to high.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as unicode block characters, normalised to the
+// series' own min..max (a flat series renders mid-level).
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := len(sparkLevels) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// GroupedBars renders one bar chart per column of a row-major grid: rows are
+// series labels, cols are group titles. Used to visualise experiment tables.
+func GroupedBars(title string, rowLabels, colLabels []string, cells [][]float64, width int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", title)
+	}
+	for j, col := range colLabels {
+		bars := make([]Bar, 0, len(rowLabels))
+		for i, row := range rowLabels {
+			bars = append(bars, Bar{Label: row, Value: cells[i][j]})
+		}
+		b.WriteString(BarChart(col, bars, width))
+		if j < len(colLabels)-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

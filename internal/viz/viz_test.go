@@ -1,0 +1,86 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartScaling(t *testing.T) {
+	out := BarChart("demo", []Bar{
+		{"full", 2.0},
+		{"half", 1.0},
+		{"zero", 0},
+	}, 10)
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d", len(lines))
+	}
+	fullBars := strings.Count(lines[1], "#")
+	halfBars := strings.Count(lines[2], "#")
+	zeroBars := strings.Count(lines[3], "#")
+	if fullBars != 10 {
+		t.Fatalf("max bar should fill width: %d", fullBars)
+	}
+	if halfBars != 5 {
+		t.Fatalf("half bar = %d, want 5", halfBars)
+	}
+	if zeroBars != 0 {
+		t.Fatal("zero value must render no bar")
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	out := BarChart("", []Bar{{"a", 0}, {"b", 0}}, 10)
+	if strings.Contains(out, "#") {
+		t.Fatal("all-zero chart must have no bars")
+	}
+}
+
+func TestBarChartNegativeSafe(t *testing.T) {
+	out := BarChart("", []Bar{{"neg", -1}, {"pos", 1}}, 10)
+	if !strings.Contains(out, "-1.000") {
+		t.Fatal("negative value must still be printed")
+	}
+}
+
+func TestBarChartMinWidth(t *testing.T) {
+	out := BarChart("", []Bar{{"x", 1}}, 1)
+	if strings.Count(out, "#") != 8 {
+		t.Fatalf("width must clamp to 8, got %d bars", strings.Count(out, "#"))
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("length %d, want 4", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("extremes wrong: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty series must render empty")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != []rune(flat)[0] {
+			t.Fatal("flat series must be uniform")
+		}
+	}
+}
+
+func TestGroupedBars(t *testing.T) {
+	out := GroupedBars("T", []string{"r1", "r2"}, []string{"c1", "c2"},
+		[][]float64{{1, 2}, {3, 4}}, 12)
+	if !strings.Contains(out, "== T ==") ||
+		!strings.Contains(out, "c1") || !strings.Contains(out, "c2") {
+		t.Fatal("structure missing")
+	}
+	if strings.Count(out, "r1") != 2 {
+		t.Fatal("each group must list every row")
+	}
+}

@@ -1,0 +1,205 @@
+// Package workload provides the six server-workload models of the paper's
+// Table II and the oracle walker that executes them. Each profile is a
+// calibrated parameterisation of the synthetic code generator: since the
+// commercial binaries (Oracle, DB2, Zeus, ...) and their traces are not
+// available, the profiles reproduce the control-flow *properties* the paper
+// measures — instruction footprint, branch mix, BTB pressure, loopiness, and
+// dispatch behaviour — so the schemes under test are exercised the same way.
+package workload
+
+import "boomerang/internal/program"
+
+// Profile names one workload: its generator parameterisation plus metadata.
+type Profile struct {
+	// Name matches the paper's workload naming.
+	Name string
+	// Description summarises what the real workload is and what this profile
+	// emphasises to mimic it.
+	Description string
+	// Gen is the code-image parameterisation.
+	Gen program.GenParams
+}
+
+// Image generates the profile's code image with the given seed (the seed
+// perturbs only randomness, not the calibrated shape).
+func (p Profile) Image(seed uint64) (*program.Image, error) {
+	g := p.Gen
+	g.Seed = seed
+	return program.Generate(g)
+}
+
+// Profiles lists the six workloads in the paper's presentation order.
+var Profiles = []Profile{Nutch(), Streaming(), Apache(), Zeus(), OracleDB(), DB2()}
+
+// ByName returns the named profile.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names returns the profile names in order.
+func Names() []string {
+	out := make([]string, len(Profiles))
+	for i, p := range Profiles {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Nutch models the Apache Nutch web-search workload: a mid-size JVM-style
+// footprint with a wide request dispatch and moderately deep layering.
+func Nutch() Profile {
+	g := program.DefaultGenParams()
+	g.FootprintKB = 2048
+	g.Layers = 8
+	g.DispatchFanout = 44
+	g.MeanBlockInstrs = 5
+	g.IndCallFrac = 0.18 // JVM virtual dispatch
+	g.IndFanout = 5
+	g.CalleeZipfTheta = 0.35
+	return Profile{
+		Name:        "Nutch",
+		Description: "Web search (Nutch/Lucene): 2MB text, wide dispatch, frequent virtual calls",
+		Gen:         g,
+	}
+}
+
+// Streaming models the Darwin media-streaming server: the smallest footprint,
+// loop-dominated packetisation inner kernels, and taken-branch-dense control
+// that makes sequential overshoot prefetching wasteful (cf. Figure 10, where
+// Streaming prefers no next-N prefetch on BTB misses).
+func Streaming() Profile {
+	g := program.DefaultGenParams()
+	g.FootprintKB = 1536
+	g.Layers = 6
+	g.DispatchFanout = 12
+	g.MeanBlockInstrs = 5
+	g.PCall = 0.15
+	g.LoopFrac = 0.22
+	g.LoopTripMax = 48
+	g.CondSkipMax = 16
+	g.BiasMix = []program.BiasLevel{
+		{Frac: 0.30, Lo: 0.03, Hi: 0.12},
+		{Frac: 0.50, Lo: 0.88, Hi: 0.97}, // taken-dense: skips over cold code
+		{Frac: 0.20, Lo: 0.25, Hi: 0.75, Phase: 64},
+	}
+	return Profile{
+		Name:        "Streaming",
+		Description: "Media streaming (Darwin): 1.5MB text, loopy kernels, taken-branch dense",
+		Gen:         g,
+	}
+}
+
+// Apache models the Apache httpd + fastCGI web front end.
+func Apache() Profile {
+	g := program.DefaultGenParams()
+	g.FootprintKB = 2560
+	g.Layers = 9 // httpd -> modules -> CGI -> libc -> kernel
+	g.DispatchFanout = 32
+	g.MeanBlockInstrs = 6
+	g.IndCallFrac = 0.14
+	g.CrossLayerFrac = 0.18
+	return Profile{
+		Name:        "Apache",
+		Description: "Web front end (SPECweb99 on httpd): 2.5MB text, deep module layering",
+		Gen:         g,
+	}
+}
+
+// Zeus models the Zeus web server: similar layering to Apache with a leaner
+// event-driven core (slightly smaller footprint, fewer indirect calls).
+func Zeus() Profile {
+	g := program.DefaultGenParams()
+	g.FootprintKB = 2048
+	g.Layers = 8
+	g.DispatchFanout = 28
+	g.MeanBlockInstrs = 6
+	g.IndCallFrac = 0.10
+	g.CrossLayerFrac = 0.20
+	return Profile{
+		Name:        "Zeus",
+		Description: "Web front end (SPECweb99 on Zeus): 2MB text, event-driven dispatch",
+		Gen:         g,
+	}
+}
+
+// OracleDB models the Oracle 10g TPC-C workload: large footprint and heavy
+// BTB pressure from a branch-dense server engine — one of the two workloads
+// where Boomerang's stall-on-BTB-miss costs it coverage versus Confluence.
+func OracleDB() Profile {
+	g := program.DefaultGenParams()
+	g.FootprintKB = 6144
+	g.Layers = 10
+	// TPC-C has a modest set of transaction types, each with a deep, highly
+	// repetitive code path — exactly the shape temporal streaming thrives
+	// on while a 2K BTB drowns.
+	g.DispatchFanout = 24
+	g.MeanBlockInstrs = 5
+	g.MeanFuncBlocks = 14
+	g.CallDecay = 0.98
+	g.IndCallFrac = 0.20
+	g.IndFanout = 6
+	g.PhaseLen = 48
+	g.CrossLayerFrac = 0.22
+	g.CalleeZipfTheta = 0.45
+	return Profile{
+		Name:        "Oracle",
+		Description: "OLTP (TPC-C on Oracle 10g): 6MB text, branch-dense, tens of thousands of active branches",
+		Gen:         g,
+	}
+}
+
+// SPECLike models a compute-kernel workload of the kind FDIP was originally
+// proposed on (Section II-B: "branch-predictor-directed prefetch was
+// proposed in the context of SPEC workloads with modest instruction working
+// sets"): a small hot loop nest that fits the L1-I and the BTB, where the
+// server front-end problem simply does not exist. It is not part of Table
+// II; experiments use it to reproduce the motivation contrast.
+func SPECLike() Profile {
+	g := program.DefaultGenParams()
+	g.FootprintKB = 96 // tiny text: the active set fits the 32KB L1-I
+	g.Layers = 3
+	g.DispatchFanout = 3
+	g.MeanBlockInstrs = 8 // longer straight-line blocks
+	g.MeanFuncBlocks = 16
+	g.PCall = 0.06
+	g.LoopFrac = 0.30 // loop-dominated kernels
+	g.LoopTripMax = 64
+	g.IndCallFrac = 0.02
+	return Profile{
+		Name:        "SPEC-like",
+		Description: "Compute kernels: <100KB text, loop-dominated, fits L1-I and BTB",
+		Gen:         g,
+	}
+}
+
+// DB2 models IBM DB2 ESE under TPC-C: the highest BTB-miss pressure in the
+// paper (~75% of its pipeline squashes are BTB-miss induced).
+func DB2() Profile {
+	g := program.DefaultGenParams()
+	g.FootprintKB = 5120
+	g.Layers = 10
+	g.DispatchFanout = 20
+	g.MeanBlockInstrs = 4 // very short blocks: maximal branch density
+	g.MeanFuncBlocks = 12
+	g.CallDecay = 0.98
+	g.IndCallFrac = 0.22
+	g.IndFanout = 6
+	g.PhaseLen = 48
+	g.CrossLayerFrac = 0.25
+	g.CalleeZipfTheta = 0.45
+	g.BiasMix = []program.BiasLevel{
+		{Frac: 0.50, Lo: 0.03, Hi: 0.12},
+		{Frac: 0.32, Lo: 0.88, Hi: 0.97},
+		{Frac: 0.18, Lo: 0.25, Hi: 0.75, Phase: 48},
+	}
+	return Profile{
+		Name:        "DB2",
+		Description: "OLTP (TPC-C on DB2 v8 ESE): 5MB text, shortest blocks, worst-case BTB pressure",
+		Gen:         g,
+	}
+}

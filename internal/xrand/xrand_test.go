@@ -1,0 +1,260 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	c1 := root.Split()
+	c2 := root.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split children overlap too often: %d/1000", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(9)
+	if err := quick.Check(func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if s.Bool(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bool(%v): observed %v", p, got)
+		}
+	}
+	if s.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !s.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 1000; i++ {
+		v := s.Range(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("Range(5,9) = %d", v)
+		}
+	}
+	if got := s.Range(4, 4); got != 4 {
+		t.Fatalf("Range(4,4) = %d", got)
+	}
+}
+
+func TestGeometricBounds(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 10000; i++ {
+		v := s.Geometric(0.3, 50)
+		if v < 0 || v > 50 {
+			t.Fatalf("Geometric out of [0,50]: %d", v)
+		}
+	}
+	if v := s.Geometric(1.0, 10); v != 0 {
+		t.Fatalf("Geometric(p=1) = %d, want 0", v)
+	}
+	if v := s.Geometric(0, 10); v != 10 {
+		t.Fatalf("Geometric(p=0) = %d, want max", v)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(19)
+	const p, n = 0.25, 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += s.Geometric(p, 1000)
+	}
+	mean := float64(sum) / n
+	want := (1 - p) / p // mean of failures-before-success geometric
+	if math.Abs(mean-want) > 0.1 {
+		t.Errorf("Geometric mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestZipfUniform(t *testing.T) {
+	z := NewZipf(10, 0)
+	s := New(23)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(s)]++
+	}
+	for i, c := range counts {
+		got := float64(c) / n
+		if math.Abs(got-0.1) > 0.01 {
+			t.Errorf("uniform zipf bucket %d: %v", i, got)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1000, 0.99)
+	s := New(29)
+	top10 := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if z.Sample(s) < 10 {
+			top10++
+		}
+	}
+	// With theta ~1 over 1000 items, the top 10 should draw a large share.
+	if frac := float64(top10) / n; frac < 0.3 {
+		t.Errorf("zipf(0.99) top-10 share %v, want >= 0.3", frac)
+	}
+}
+
+func TestZipfSampleInRange(t *testing.T) {
+	z := NewZipf(17, 0.7)
+	s := New(31)
+	for i := 0; i < 10000; i++ {
+		v := z.Sample(s)
+		if v < 0 || v >= 17 {
+			t.Fatalf("zipf sample out of range: %d", v)
+		}
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(1, 2, 3) != Hash64(1, 2, 3) {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if Hash64(1, 2, 3) == Hash64(1, 2, 4) {
+		t.Fatal("Hash64 collision on trivially different input")
+	}
+}
+
+func TestHash64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	base := Hash64(0xdead, 0xbeef, 7)
+	flipped := Hash64(0xdead^1, 0xbeef, 7)
+	diff := base ^ flipped
+	bits := 0
+	for diff != 0 {
+		bits += int(diff & 1)
+		diff >>= 1
+	}
+	if bits < 16 || bits > 48 {
+		t.Errorf("avalanche bits = %d, want ~32", bits)
+	}
+}
+
+func TestHashBoolProbability(t *testing.T) {
+	const n = 100000
+	hits := 0
+	for i := uint64(0); i < n; i++ {
+		if HashBool(0x1234, i, 99, 0.7) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.7) > 0.01 {
+		t.Errorf("HashBool(0.7) observed %v", got)
+	}
+	if HashBool(1, 2, 3, 0) {
+		t.Error("HashBool(p=0) true")
+	}
+	if !HashBool(1, 2, 3, 1) {
+		t.Error("HashBool(p=1) false")
+	}
+}
+
+func TestUint32Distribution(t *testing.T) {
+	s := New(37)
+	var ones [32]int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := s.Uint32()
+		for b := 0; b < 32; b++ {
+			if v>>(uint(b))&1 == 1 {
+				ones[b]++
+			}
+		}
+	}
+	for b, c := range ones {
+		frac := float64(c) / n
+		if frac < 0.45 || frac > 0.55 {
+			t.Errorf("bit %d set fraction %v", b, frac)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkHash64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Hash64(uint64(i), 42, 7)
+	}
+}
