@@ -188,7 +188,10 @@ func BenchmarkStorage_Costs(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated
-// instructions per wall-clock second for the Boomerang configuration.
+// instructions per wall-clock second for the Boomerang configuration. It
+// reports simulated MIPS (million instructions per second) as a custom
+// metric so the perf trajectory is benchstat-trackable across changes, and
+// -benchmem pins the hot loop's zero-allocation contract (0 allocs/op).
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	apache, _ := workload.ByName("Apache")
 	apache.Gen.FootprintKB = 768
@@ -202,6 +205,12 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	r, err := sim.Run(spec)
 	if err != nil {
 		b.Fatal(err)
+	}
+	b.StopTimer()
+	// The timed region simulates the warm-up window too; count all simulated
+	// instructions so MIPS is comparable across -benchtime values.
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(spec.WarmInstrs+spec.MeasureInstrs)/secs/1e6, "MIPS")
 	}
 	_ = r
 }

@@ -6,8 +6,8 @@
 // Examples:
 //
 //	experiments -run all            # full methodology (minutes, parallel)
-//	experiments -run fig9 -quick    # one figure at CI scale
-//	experiments -run fig2,fig5
+//	experiments -run fig789 -quick  # Figures 7/8/9 at CI scale
+//	experiments -run fig2,fig5 -j 4 # bounded worker pool
 package main
 
 import (
@@ -28,6 +28,7 @@ func main() {
 		out   = flag.String("out", "", "also write output to this file")
 		csv   = flag.String("csv", "", "also write every table as CSV to this file")
 		chart = flag.Bool("chart", false, "render each table as ASCII bar charts too")
+		jobs  = flag.Int("j", 0, "worker pool size for independent simulation points (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
 	)
 	flag.Parse()
 
@@ -35,6 +36,7 @@ func main() {
 	if *quick {
 		p = experiments.Quick()
 	}
+	p.Parallelism = *jobs
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

@@ -1,0 +1,3 @@
+module boomerang
+
+go 1.24

@@ -6,6 +6,11 @@
 // per cycle. This level of detail is what front-end studies need: IPC is
 // shaped by fetch stalls, squash bubbles, and refill latency, not by
 // data-flow scheduling.
+//
+// The window is a preallocated ring buffer and Tick reports resolutions and
+// retirements through reused scratch slices, so the per-cycle path performs
+// no heap allocation at steady state (the simulator's zero-alloc contract;
+// see the frontend package comment).
 package backend
 
 import "boomerang/internal/config"
@@ -26,14 +31,27 @@ type Group struct {
 type inflight struct {
 	Group
 	resolveAt int64
-	resolved  bool
 	remaining int // unretired instructions
 }
 
 // Backend is the retire/resolve window.
 type Backend struct {
-	cfg    config.Core
-	window []inflight // in fetch order; head retires first
+	cfg config.Core
+
+	// win is the window as a power-of-two ring buffer in fetch order; the
+	// element at index head retires first. nResolved counts the leading
+	// groups whose resolution has already been reported, so the per-cycle
+	// scan resumes where it left off instead of re-walking the window.
+	win       []inflight
+	head      int
+	n         int
+	mask      int
+	nResolved int
+
+	// resolvedScratch/retiredScratch back the slices Tick returns; they are
+	// reused every cycle.
+	resolvedScratch []uint64
+	retiredScratch  []uint64
 
 	retired       uint64 // correct-path instructions retired
 	retiredGroups uint64
@@ -42,14 +60,26 @@ type Backend struct {
 
 // New builds a backend window from core parameters.
 func New(cfg config.Core) *Backend {
-	return &Backend{cfg: cfg}
+	// The fetch engine admits a group only while occupancy is below ROBSize
+	// and every group carries at least one instruction, so ROBSize+1 groups
+	// bound the window; sizing the ring up front makes Push allocation-free.
+	capacity := 4
+	for capacity < cfg.ROBSize+2 {
+		capacity *= 2
+	}
+	return &Backend{cfg: cfg, win: make([]inflight, capacity), mask: capacity - 1}
+}
+
+// at returns the i-th window element in fetch order (0 = oldest).
+func (b *Backend) at(i int) *inflight {
+	return &b.win[(b.head+i)&b.mask]
 }
 
 // Push admits a fetched group. IDs must be strictly increasing and
 // FetchDone non-decreasing (in-order fetch).
 func (b *Backend) Push(g Group) {
-	if n := len(b.window); n > 0 {
-		last := &b.window[n-1]
+	if b.n > 0 {
+		last := b.at(b.n - 1)
 		if g.ID <= last.ID {
 			panic("backend: group IDs must increase")
 		}
@@ -57,12 +87,28 @@ func (b *Backend) Push(g Group) {
 			g.FetchDone = last.FetchDone
 		}
 	}
-	b.window = append(b.window, inflight{
+	if b.n == len(b.win) {
+		b.growWindow()
+	}
+	*b.at(b.n) = inflight{
 		Group:     g,
 		resolveAt: g.FetchDone + int64(b.cfg.BackendDepth),
 		remaining: g.NInstr,
-	})
+	}
+	b.n++
 	b.inflightCount += g.NInstr
+}
+
+// growWindow doubles the ring (only reachable when a caller bypasses the
+// ROB-occupancy admission rule, e.g. a unit test pushing directly).
+func (b *Backend) growWindow() {
+	next := make([]inflight, 2*len(b.win))
+	for i := 0; i < b.n; i++ {
+		next[i] = *b.at(i)
+	}
+	b.win = next
+	b.head = 0
+	b.mask = len(next) - 1
 }
 
 // InFlightInstrs returns the instructions currently occupying the window
@@ -79,22 +125,27 @@ func (b *Backend) RetiredGroups() uint64 { return b.retiredGroups }
 // up to RetireWidth instructions in order. resolved lists group IDs whose
 // terminator resolves this cycle (the engine trains predictors and triggers
 // squashes on these); retired lists correct-path groups fully retired this
-// cycle (temporal-streaming prefetchers record these).
+// cycle (temporal-streaming prefetchers record these). Both slices are
+// backed by scratch storage owned by the Backend and are only valid until
+// the next Tick call.
 func (b *Backend) Tick(now int64) (resolved, retired []uint64) {
-	for i := range b.window {
-		g := &b.window[i]
-		if !g.resolved && g.resolveAt <= now {
-			g.resolved = true
-			resolved = append(resolved, g.ID)
-		}
+	resolved = b.resolvedScratch[:0]
+	retired = b.retiredScratch[:0]
+
+	// Resolution is in fetch order, so only groups past the already-reported
+	// prefix can become due.
+	for b.nResolved < b.n {
+		g := b.at(b.nResolved)
 		if g.resolveAt > now {
-			break // resolution is in fetch order; later groups can't be due
+			break
 		}
+		resolved = append(resolved, g.ID)
+		b.nResolved++
 	}
 
 	budget := b.cfg.RetireWidth
-	for budget > 0 && len(b.window) > 0 {
-		head := &b.window[0]
+	for budget > 0 && b.n > 0 {
+		head := b.at(0)
 		if head.resolveAt > now {
 			break // head not old enough to retire
 		}
@@ -113,9 +164,15 @@ func (b *Backend) Tick(now int64) (resolved, retired []uint64) {
 				b.retiredGroups++
 				retired = append(retired, head.ID)
 			}
-			b.window = b.window[1:]
+			b.head = (b.head + 1) & b.mask
+			b.n--
+			if b.nResolved > 0 {
+				b.nResolved--
+			}
 		}
 	}
+	b.resolvedScratch = resolved
+	b.retiredScratch = retired
 	return resolved, retired
 }
 
@@ -124,13 +181,16 @@ func (b *Backend) Tick(now int64) (resolved, retired []uint64) {
 // fetch stream after it was wrong.
 func (b *Backend) Squash(keepID uint64) int {
 	dropped := 0
-	for i := range b.window {
-		if b.window[i].ID > keepID {
-			for j := i; j < len(b.window); j++ {
-				b.inflightCount -= b.window[j].remaining
+	for i := 0; i < b.n; i++ {
+		if b.at(i).ID > keepID {
+			for j := i; j < b.n; j++ {
+				b.inflightCount -= b.at(j).remaining
 				dropped++
 			}
-			b.window = b.window[:i]
+			b.n = i
+			if b.nResolved > b.n {
+				b.nResolved = b.n
+			}
 			break
 		}
 	}
@@ -138,4 +198,4 @@ func (b *Backend) Squash(keepID uint64) int {
 }
 
 // Drain reports whether the window is empty.
-func (b *Backend) Drain() bool { return len(b.window) == 0 }
+func (b *Backend) Drain() bool { return b.n == 0 }

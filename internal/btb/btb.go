@@ -210,8 +210,14 @@ func (p *PrefetchBuffer) Stats() (hits, inserted uint64) { return p.hits, p.inse
 // this decodes raw instruction bytes; here the static image plays the role
 // of the bytes. Crucially it only exposes what an encoding carries: direct
 // targets yes, indirect targets no.
+//
+// The Append* methods write into caller-provided buffers so per-miss
+// predecode can reuse scratch storage; DecodeLine/ResolveMiss are
+// allocating conveniences layered on top of them.
 type Predecoder struct {
 	img *program.Image
+	// brScratch backs AppendLine's intermediate branch list.
+	brScratch []program.PredecodedBranch
 	// LinesDecoded counts predecoded cache lines (energy/traffic proxy).
 	LinesDecoded uint64
 }
@@ -221,37 +227,52 @@ func NewPredecoder(img *program.Image) *Predecoder {
 	return &Predecoder{img: img}
 }
 
-// DecodeLine returns BTB entries for every branch in the cache line holding
-// lineAddr, in address order.
-func (d *Predecoder) DecodeLine(lineAddr isa.Addr) []Entry {
+// AppendLine appends the BTB entries for every branch in the cache line
+// holding lineAddr, in address order, and returns the extended slice.
+func (d *Predecoder) AppendLine(dst []Entry, lineAddr isa.Addr) []Entry {
 	d.LinesDecoded++
-	brs := d.img.BranchesInLine(lineAddr)
-	out := make([]Entry, 0, len(brs))
-	for _, br := range brs {
-		out = append(out, Entry{
+	d.brScratch = d.img.AppendBranchesInLine(d.brScratch[:0], lineAddr)
+	for _, br := range d.brScratch {
+		dst = append(dst, Entry{
 			Start:  br.BlockStart,
 			NInstr: br.NInstr,
 			Kind:   br.Kind,
 			Target: br.Target,
 		})
 	}
-	return out
+	return dst
 }
 
-// ResolveMiss implements the paper's BTB-miss resolution scan (Section
+// DecodeLine is AppendLine into a fresh slice.
+func (d *Predecoder) DecodeLine(lineAddr isa.Addr) []Entry {
+	return d.AppendLine(make([]Entry, 0, 4), lineAddr)
+}
+
+// AppendResolveMiss implements the paper's BTB-miss resolution scan (Section
 // IV-B): starting from the missing entry's start address, find the first
 // terminating branch at or after it, probing successive sequential lines as
 // needed. It returns the synthesised entry for the missing block, the other
-// entries predecoded along the way (for the BTB prefetch buffer), and the
-// number of cache lines that had to be fetched (the caller charges their
-// latency). maxLines bounds the scan.
-func (d *Predecoder) ResolveMiss(start isa.Addr, maxLines int) (missing Entry, extras []Entry, lines []isa.Addr) {
+// entries predecoded along the way appended to extras (for the BTB prefetch
+// buffer), and the cache lines that had to be fetched appended to lines (the
+// caller charges their latency). maxLines bounds the scan. Both slices grow
+// from whatever the caller passes in, so a reused scratch buffer makes the
+// scan allocation-free at steady state.
+func (d *Predecoder) AppendResolveMiss(start isa.Addr, maxLines int, extras []Entry, lines []isa.Addr) (Entry, []Entry, []isa.Addr) {
 	line := isa.BlockAddr(start)
 	for n := 0; n < maxLines; n++ {
 		lines = append(lines, line)
+		d.LinesDecoded++
+		d.brScratch = d.img.AppendBranchesInLine(d.brScratch[:0], line)
+		var missing Entry
 		found := false
-		for _, e := range d.DecodeLine(line) {
-			pc := e.BranchPC()
+		for _, br := range d.brScratch {
+			e := Entry{
+				Start:  br.BlockStart,
+				NInstr: br.NInstr,
+				Kind:   br.Kind,
+				Target: br.Target,
+			}
+			pc := br.PC
 			switch {
 			case pc < start:
 				extras = append(extras, e)
@@ -277,4 +298,9 @@ func (d *Predecoder) ResolveMiss(start isa.Addr, maxLines int) (missing Entry, e
 	// text segment on a wild wrong path). Return a degenerate sequential
 	// entry so the front end can make progress.
 	return Entry{}, extras, lines
+}
+
+// ResolveMiss is AppendResolveMiss into fresh slices.
+func (d *Predecoder) ResolveMiss(start isa.Addr, maxLines int) (missing Entry, extras []Entry, lines []isa.Addr) {
+	return d.AppendResolveMiss(start, maxLines, nil, nil)
 }

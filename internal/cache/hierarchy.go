@@ -1,9 +1,8 @@
 package cache
 
 import (
-	"container/heap"
-
 	"boomerang/internal/config"
+	"boomerang/internal/flatmap"
 )
 
 // Level identifies where an instruction access was satisfied.
@@ -68,25 +67,15 @@ type pbufEntry struct {
 	ready int64
 }
 
-type fillHeap []*mshr
-
-func (h fillHeap) Len() int            { return len(h) }
-func (h fillHeap) Less(i, j int) bool  { return h[i].readyAt < h[j].readyAt }
-func (h fillHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *fillHeap) Push(x interface{}) { *h = append(*h, x.(*mshr)) }
-func (h *fillHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // Hierarchy is one core's instruction-supply path: L1-I + prefetch buffer +
 // MSHRs in front of a shared LLC and memory. The LLC is modelled privately
 // per simulated core (the multi-core harness runs one hierarchy per core with
 // the shared capacity divided), with its round-trip latency taken from the
 // interconnect model.
+//
+// MSHRs live in a preallocated slab indexed by an open-addressed line table
+// and ordered by a manual index min-heap, so the per-cycle path (Tick,
+// Demand, Prefetch, Fetch) performs no heap allocation at steady state.
 type Hierarchy struct {
 	cfg config.Core
 
@@ -95,8 +84,14 @@ type Hierarchy struct {
 	pbuf []pbufEntry
 	pseq uint64
 
-	mshrs   map[Line]*mshr
-	pending fillHeap
+	// mshrSlab backs every MSHR; free lists recycled indices. mshrs maps a
+	// line to its slab index; pending is a min-heap of slab indices ordered
+	// by readyAt.
+	mshrSlab []mshr
+	mshrFree []int32
+	mshrs    flatmap.Map
+	pending  []int32
+
 	// portFree is when the core's LLC port next becomes available.
 	portFree int64
 
@@ -121,12 +116,16 @@ func NewHierarchy(cfg config.Core, llcReservedKB int) *Hierarchy {
 	if llcKB < 64 {
 		llcKB = 64
 	}
-	return &Hierarchy{
-		cfg:   cfg,
-		l1:    NewSetAssoc(cfg.L1ISizeKB, cfg.L1IAssoc),
-		llc:   NewSetAssoc(llcKB, cfg.LLCAssoc),
-		mshrs: make(map[Line]*mshr),
+	h := &Hierarchy{
+		cfg:      cfg,
+		l1:       NewSetAssoc(cfg.L1ISizeKB, cfg.L1IAssoc),
+		llc:      NewSetAssoc(llcKB, cfg.LLCAssoc),
+		pbuf:     make([]pbufEntry, 0, cfg.PrefetchBufEntries),
+		mshrSlab: make([]mshr, 0, cfg.MSHREntries+8),
+		mshrFree: make([]int32, 0, cfg.MSHREntries+8),
+		pending:  make([]int32, 0, cfg.MSHREntries+8),
 	}
+	return h
 }
 
 // Stats returns accumulated traffic counters.
@@ -135,19 +134,23 @@ func (h *Hierarchy) Stats() HierarchyStats { return h.stats }
 // Tick completes any fills that are ready at cycle now. Call once per cycle
 // (cheap when nothing is pending).
 func (h *Hierarchy) Tick(now int64) {
-	for len(h.pending) > 0 && h.pending[0].readyAt <= now {
-		m := heap.Pop(&h.pending).(*mshr)
-		if h.mshrs[m.line] != m {
+	for len(h.pending) > 0 && h.mshrSlab[h.pending[0]].readyAt <= now {
+		idx := h.heapPop()
+		m := &h.mshrSlab[idx]
+		if cur, ok := h.mshrs.Get(m.line); !ok || cur != idx {
+			h.freeMSHR(idx)
 			continue // superseded
 		}
-		delete(h.mshrs, m.line)
+		h.mshrs.Delete(m.line)
 		if m.demand {
 			h.l1.Insert(m.line, now)
 		} else {
 			h.pbufInsert(m.line, m.readyAt)
 		}
+		line, ready := m.line, m.readyAt
+		h.freeMSHR(idx)
 		if h.fillHook != nil {
-			h.fillHook(m.line, m.readyAt)
+			h.fillHook(line, ready)
 		}
 	}
 }
@@ -169,8 +172,8 @@ func (h *Hierarchy) Fetch(line Line, now int64) int64 {
 		}
 		return r
 	}
-	if m, ok := h.mshrs[line]; ok {
-		return m.readyAt
+	if idx, ok := h.mshrs.Get(line); ok {
+		return h.mshrSlab[idx].readyAt
 	}
 	// BTB miss probes have demand priority at the request mux.
 	ready, _ := h.fillFrom(line, now, true)
@@ -193,7 +196,7 @@ func (h *Hierarchy) Present(line Line, now int64) bool {
 
 // InFlight reports whether a fill for the line is outstanding.
 func (h *Hierarchy) InFlight(line Line) bool {
-	_, ok := h.mshrs[line]
+	_, ok := h.mshrs.Get(line)
 	return ok
 }
 
@@ -214,8 +217,9 @@ func (h *Hierarchy) Demand(line Line, now int64) (readyAt int64, src Level) {
 		h.l1.Insert(line, now)
 		return now + lat, HitPrefetchBuffer
 	}
-	if m, ok := h.mshrs[line]; ok {
+	if idx, ok := h.mshrs.Get(line); ok {
 		h.stats.DemandInFlight++
+		m := &h.mshrSlab[idx]
 		m.demand = true
 		if m.readyAt < now+lat {
 			return now + lat, HitInFlight
@@ -238,7 +242,7 @@ func (h *Hierarchy) Prefetch(line Line, now int64) bool {
 	if h.l1.Contains(line) || h.pbufFind(line) >= 0 || h.InFlight(line) {
 		return false
 	}
-	if len(h.mshrs) >= h.cfg.MSHREntries {
+	if h.mshrs.Len() >= h.cfg.MSHREntries {
 		h.stats.PrefetchDropped++
 		return false
 	}
@@ -282,9 +286,60 @@ func (h *Hierarchy) fillFrom(line Line, now int64, demand bool) (int64, Level) {
 }
 
 func (h *Hierarchy) allocMSHR(line Line, ready int64, demand bool) {
-	m := &mshr{line: line, readyAt: ready, demand: demand}
-	h.mshrs[line] = m
-	heap.Push(&h.pending, m)
+	var idx int32
+	if n := len(h.mshrFree); n > 0 {
+		idx = h.mshrFree[n-1]
+		h.mshrFree = h.mshrFree[:n-1]
+	} else {
+		idx = int32(len(h.mshrSlab))
+		h.mshrSlab = append(h.mshrSlab, mshr{})
+	}
+	h.mshrSlab[idx] = mshr{line: line, readyAt: ready, demand: demand}
+	h.mshrs.Set(line, idx)
+	h.heapPush(idx)
+}
+
+func (h *Hierarchy) freeMSHR(idx int32) {
+	h.mshrFree = append(h.mshrFree, idx)
+}
+
+// heapPush/heapPop maintain pending as a binary min-heap of slab indices
+// keyed by readyAt.
+func (h *Hierarchy) heapPush(idx int32) {
+	h.pending = append(h.pending, idx)
+	i := len(h.pending) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.mshrSlab[h.pending[parent]].readyAt <= h.mshrSlab[h.pending[i]].readyAt {
+			break
+		}
+		h.pending[parent], h.pending[i] = h.pending[i], h.pending[parent]
+		i = parent
+	}
+}
+
+func (h *Hierarchy) heapPop() int32 {
+	top := h.pending[0]
+	last := len(h.pending) - 1
+	h.pending[0] = h.pending[last]
+	h.pending = h.pending[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.mshrSlab[h.pending[l]].readyAt < h.mshrSlab[h.pending[smallest]].readyAt {
+			smallest = l
+		}
+		if r < last && h.mshrSlab[h.pending[r]].readyAt < h.mshrSlab[h.pending[smallest]].readyAt {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.pending[i], h.pending[smallest] = h.pending[smallest], h.pending[i]
+		i = smallest
+	}
+	return top
 }
 
 func (h *Hierarchy) pbufFind(line Line) int {

@@ -89,6 +89,12 @@ type Boomerang struct {
 	// BTB asynchronously instead of stalling the BPU on the result.
 	l1btb *btb.BTB
 
+	// extrasScratch/linesScratch are reused across Handle calls so miss
+	// resolution allocates nothing at steady state; their contents are only
+	// valid within one Handle invocation.
+	extrasScratch []btb.Entry
+	linesScratch  []isa.Addr
+
 	stats Stats
 }
 
@@ -124,7 +130,9 @@ func (b *Boomerang) Handle(pc isa.Addr, now int64) (btb.Entry, int64, bool) {
 	}
 
 	b.stats.Probes++
-	missing, extras, lines := b.dec.ResolveMiss(pc, b.cfg.MaxScanLines)
+	missing, extras, lines := b.dec.AppendResolveMiss(pc, b.cfg.MaxScanLines,
+		b.extrasScratch[:0], b.linesScratch[:0])
+	b.extrasScratch, b.linesScratch = extras, lines
 
 	// Timing: chase the needed line(s) through the L1-I. BTB miss probes
 	// have priority over prefetch probes at the L1-I request mux

@@ -3,14 +3,18 @@
 // II-III). Each experiment returns formatted tables whose rows/series match
 // what the paper plots; cmd/experiments regenerates them all and
 // EXPERIMENTS.md records paper-vs-measured.
+//
+// Every figure's independent (scheme, workload) simulation points run on a
+// bounded worker pool (see runner.go). The runner assembles results into
+// pre-assigned, deterministically ordered slots, so the emitted tables are
+// byte-identical regardless of Params.Parallelism — running with one worker
+// reproduces the parallel output exactly, and vice versa.
 package experiments
 
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"strings"
-	"sync"
 
 	"boomerang/internal/config"
 	"boomerang/internal/scheme"
@@ -33,7 +37,9 @@ type Params struct {
 	WarmInstrs, MeasureInstrs uint64
 	// ImageSeed/WalkSeed control randomness.
 	ImageSeed, WalkSeed uint64
-	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS, 1 =
+	// sequential). Results are identical for every value; see the package
+	// comment's determinism guarantee.
 	Parallelism int
 }
 
@@ -256,66 +262,3 @@ func (s simScheme) cfg(base config.Core) config.Core {
 	return c
 }
 
-// runKey identifies a point in the run matrix.
-type runKey struct {
-	scheme   string
-	workload string
-}
-
-// runMatrix executes every (scheme, workload) pair concurrently and returns
-// results keyed by (scheme label, workload name). Labels must be unique.
-type labeledScheme struct {
-	label string
-	simScheme
-}
-
-func runMatrix(p Params, schemes []labeledScheme) (map[runKey]sim.Result, error) {
-	ws := p.workloads()
-	type job struct {
-		key  runKey
-		spec sim.Spec
-	}
-	var jobs []job
-	for _, s := range schemes {
-		for _, w := range ws {
-			jobs = append(jobs, job{
-				key:  runKey{scheme: s.label, workload: w.Name},
-				spec: p.spec(s.simScheme, w),
-			})
-		}
-	}
-	// Deterministic order for any tie-breaking; execution is parallel but
-	// each run is self-contained and deterministic.
-	sort.Slice(jobs, func(i, j int) bool {
-		if jobs[i].key.scheme != jobs[j].key.scheme {
-			return jobs[i].key.scheme < jobs[j].key.scheme
-		}
-		return jobs[i].key.workload < jobs[j].key.workload
-	})
-
-	results := make(map[runKey]sim.Result, len(jobs))
-	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, p.parallelism())
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r, err := sim.Run(j.spec)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s/%s: %w", j.key.scheme, j.key.workload, err)
-				}
-				return
-			}
-			results[j.key] = r
-		}(j)
-	}
-	wg.Wait()
-	return results, firstErr
-}

@@ -26,19 +26,34 @@ func CMPTable(p Params, cores int, schemesUnderTest []string) (*Table, error) {
 	t := NewTable(fmt.Sprintf("CMP: %d-core aggregate throughput (instructions/cycle)", cores),
 		names(ws), schemesUnderTest)
 	t.Note = "The paper's Table I context: a 16-core tiled CMP running one server workload."
+	type point struct {
+		workload string
+		scheme   string
+		spec     sim.Spec
+	}
+	points := make([]point, 0, len(ws)*len(schemesUnderTest))
 	for _, w := range ws {
 		for _, name := range schemesUnderTest {
 			s, ok := scheme.ByName(name)
 			if !ok {
 				return nil, fmt.Errorf("experiments: unknown scheme %q", name)
 			}
-			spec := p.spec(simScheme{Scheme: s}, w)
-			res, err := sim.RunCMP(sim.CMPSpec{Spec: spec, Cores: cores})
-			if err != nil {
-				return nil, err
-			}
-			t.Set(w.Name, name, res.Throughput)
+			points = append(points, point{w.Name, name, p.spec(simScheme{Scheme: s}, w)})
 		}
+	}
+	// Each point already fans its cores out internally, so run the grid on a
+	// pool divided by the core count to keep total concurrency bounded.
+	workers := (p.parallelism() + cores - 1) / cores
+	results := make([]sim.CMPResult, len(points))
+	errs := make([]error, len(points))
+	ForEach(workers, len(points), func(i int) {
+		results[i], errs[i] = sim.RunCMP(sim.CMPSpec{Spec: points[i].spec, Cores: cores})
+	})
+	for i, pt := range points {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		t.Set(pt.workload, pt.scheme, results[i].Throughput)
 	}
 	t.AddAvgRow()
 	return t, nil

@@ -140,16 +140,24 @@ func Fig4(p Params, steps uint64) (*Table, error) {
 		names(ws), cols)
 	t.Note = "Paper: ~92% of taken conditionals land within 4 blocks of the branch."
 	t.Format = "%.2f"
-	for _, w := range ws {
-		img, err := w.Image(p.ImageSeed)
+	cdfs := make([][]float64, len(ws))
+	errs := make([]error, len(ws))
+	ForEach(p.parallelism(), len(ws), func(i int) {
+		img, err := ws[i].Image(p.ImageSeed)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		walker := workload.NewWalker(img, p.WalkSeed)
 		st := workload.Measure(walker, steps, len(cols))
-		cdf := workload.CDF(st.TakenCondDist)
-		for i, c := range cols {
-			t.Set(w.Name, c, cdf[i])
+		cdfs[i] = workload.CDF(st.TakenCondDist)
+	})
+	for i, w := range ws {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		for j, c := range cols {
+			t.Set(w.Name, c, cdfs[i][j])
 		}
 	}
 	t.AddAvgRow()

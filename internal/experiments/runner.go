@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"boomerang/internal/sim"
+)
+
+// This file is the parallel experiment runner: every figure fans its
+// independent (scheme, workload) simulation points across a bounded worker
+// pool via ForEach/runMatrix.
+//
+// Determinism guarantee: each simulation point is a pure function of its
+// Spec (the simulator shares no mutable state between runs), jobs are laid
+// out in a deterministic order before any worker starts, and every worker
+// writes only its own pre-assigned result slot. Result assembly therefore
+// never depends on completion order, and the produced tables are
+// byte-identical for any worker count — including Parallelism=1, the
+// sequential path. TestParallelMatchesSequential pins this property.
+
+// ForEach runs fn(0..n-1) across min(workers, n) goroutines pulling from a
+// shared index stream. Order of execution is unspecified; callers must make
+// fn(i) write only to the i-th slot of any shared output. workers <= 1 runs
+// sequentially on the calling goroutine.
+func ForEach(workers, n int, fn func(int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// runKey identifies a point in the run matrix.
+type runKey struct {
+	scheme   string
+	workload string
+}
+
+// labeledScheme couples a simScheme with the unique label the tables use.
+type labeledScheme struct {
+	label string
+	simScheme
+}
+
+// runMatrix executes every (scheme, workload) pair on the worker pool and
+// returns results keyed by (scheme label, workload name). Labels must be
+// unique. Errors are reported by job order (not completion order), so the
+// same failure surfaces no matter the parallelism.
+func runMatrix(p Params, schemes []labeledScheme) (map[runKey]sim.Result, error) {
+	ws := p.workloads()
+	type job struct {
+		key  runKey
+		spec sim.Spec
+	}
+	jobs := make([]job, 0, len(schemes)*len(ws))
+	for _, s := range schemes {
+		for _, w := range ws {
+			jobs = append(jobs, job{
+				key:  runKey{scheme: s.label, workload: w.Name},
+				spec: p.spec(s.simScheme, w),
+			})
+		}
+	}
+	// Deterministic job order: by key, independent of how callers list
+	// schemes and workloads.
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].key.scheme != jobs[j].key.scheme {
+			return jobs[i].key.scheme < jobs[j].key.scheme
+		}
+		return jobs[i].key.workload < jobs[j].key.workload
+	})
+
+	results := make([]sim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	ForEach(p.parallelism(), len(jobs), func(i int) {
+		results[i], errs[i] = sim.Run(jobs[i].spec)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", jobs[i].key.scheme, jobs[i].key.workload, err)
+		}
+	}
+	out := make(map[runKey]sim.Result, len(jobs))
+	for i, j := range jobs {
+		out[j.key] = results[i]
+	}
+	return out, nil
+}

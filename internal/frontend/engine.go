@@ -15,6 +15,11 @@ import (
 // Entry is one FTQ entry: a predicted basic block (or, under a BTB miss with
 // the sequential policy, a pseudo-block whose terminator the front end does
 // not know).
+//
+// Entries are pool-allocated by the engine (see the package comment's
+// zero-alloc contract): an Entry pointer is only valid while the entry is in
+// the FTQ, being fetched, or in flight; after retirement or a squash the
+// engine recycles it.
 type Entry struct {
 	// ID orders entries (monotonic).
 	ID uint64
@@ -59,6 +64,104 @@ func (e *Entry) Lines() (first, last uint64) {
 	first = cache.LineOf(e.Start)
 	last = cache.LineOf(e.Start + isa.Addr(e.NInstr-1)*isa.InstrBytes)
 	return first, last
+}
+
+func pow2AtLeast(n int) int {
+	c := 4
+	for c < n {
+		c *= 2
+	}
+	return c
+}
+
+// entryRing is a power-of-two ring deque of pool-owned entries, ordered by
+// ascending ID.
+type entryRing struct {
+	buf  []*Entry
+	head int
+	n    int
+	mask int
+}
+
+func (r *entryRing) init(capacity int) {
+	r.buf = make([]*Entry, pow2AtLeast(capacity))
+	r.mask = len(r.buf) - 1
+}
+
+func (r *entryRing) len() int { return r.n }
+
+func (r *entryRing) at(i int) *Entry { return r.buf[(r.head+i)&r.mask] }
+
+func (r *entryRing) front() *Entry { return r.buf[r.head] }
+
+func (r *entryRing) back() *Entry { return r.at(r.n - 1) }
+
+func (r *entryRing) push(e *Entry) {
+	if r.n == len(r.buf) {
+		next := make([]*Entry, 2*len(r.buf))
+		for i := 0; i < r.n; i++ {
+			next[i] = r.at(i)
+		}
+		r.buf = next
+		r.head = 0
+		r.mask = len(next) - 1
+	}
+	r.buf[(r.head+r.n)&r.mask] = e
+	r.n++
+}
+
+func (r *entryRing) popFront() *Entry {
+	e := r.buf[r.head]
+	r.head = (r.head + 1) & r.mask
+	r.n--
+	return e
+}
+
+func (r *entryRing) popBack() *Entry {
+	r.n--
+	return r.buf[(r.head+r.n)&r.mask]
+}
+
+// lineRing is a bounded FIFO of cache-line indices (power-of-two ring);
+// pushing into a full ring drops the oldest element, preserving the probe
+// queue's policy of favouring the newest predictions. cap bounds occupancy
+// below the ring's rounded-up storage size.
+type lineRing struct {
+	buf  []uint64
+	head int
+	n    int
+	mask int
+	cap  int
+}
+
+func (r *lineRing) init(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r.buf = make([]uint64, pow2AtLeast(capacity))
+	r.mask = len(r.buf) - 1
+	r.cap = capacity
+}
+
+func (r *lineRing) len() int { return r.n }
+
+func (r *lineRing) push(v uint64) {
+	if r.n == r.cap {
+		r.popFront()
+	}
+	r.buf[(r.head+r.n)&r.mask] = v
+	r.n++
+}
+
+func (r *lineRing) popFront() uint64 {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) & r.mask
+	r.n--
+	return v
+}
+
+func (r *lineRing) clear() {
+	r.head, r.n = 0, 0
 }
 
 // Options wires an Engine. Image, Oracle, Hierarchy, Direction and BTB are
@@ -112,10 +215,18 @@ type Engine struct {
 	pendingSquash bool
 	bpuStallUntil int64
 
-	// FTQ and in-flight bookkeeping.
-	ftq      []*Entry
-	inflight map[uint64]*Entry
+	// FTQ and in-flight bookkeeping: both are rings of pool-owned entries.
+	// inflight holds fetched groups ordered by ID until their retirement (or
+	// a squash) recycles them.
+	ftq      entryRing
+	inflight entryRing
 	nextID   uint64
+
+	// entrySlab backs every Entry the engine ever hands out; entryFree is
+	// the freelist. The pool is sized so the steady-state loop never touches
+	// the heap: FTQ depth + the ROB-bounded window + the entry being fetched.
+	entrySlab []Entry
+	entryFree []*Entry
 
 	// Fetch engine state.
 	cur         *Entry
@@ -127,7 +238,7 @@ type Engine struct {
 	lineLevel   cache.Level
 
 	// FDIP prefetch probe queue.
-	probeQ        []uint64
+	probeQ        lineRing
 	lastQueuedLn  uint64
 	haveLastQueue bool
 
@@ -167,13 +278,39 @@ func New(opts Options) *Engine {
 		perfectL1:  opts.PerfectL1,
 		ftqDepth:   depth,
 		be:         backend.New(opts.Config),
-		inflight:   make(map[uint64]*Entry),
 		specPC:     opts.Oracle.PC(),
 	}
+	// Every live entry is in the FTQ, the fetch engine's hands, or the
+	// ROB-bounded in-flight window (each group carries >= 1 instruction).
+	poolCap := depth + opts.Config.ROBSize + 4
+	e.entrySlab = make([]Entry, poolCap)
+	e.entryFree = make([]*Entry, poolCap)
+	for i := range e.entrySlab {
+		e.entryFree[i] = &e.entrySlab[i]
+	}
+	e.ftq.init(depth)
+	e.inflight.init(opts.Config.ROBSize + 2)
+	e.probeQ.init(4 * depth)
 	if obs, ok := opts.MissHandler.(BTBFillObserver); ok {
 		e.fillObs = obs
 	}
 	return e
+}
+
+// allocEntry takes an entry from the pool. The heap fallback is only
+// reachable if a caller violates the ROB admission bound (e.g. a synthetic
+// unit test); the simulated configurations never hit it.
+func (e *Engine) allocEntry() *Entry {
+	if n := len(e.entryFree); n > 0 {
+		ent := e.entryFree[n-1]
+		e.entryFree = e.entryFree[:n-1]
+		return ent
+	}
+	return new(Entry)
+}
+
+func (e *Engine) freeEntry(ent *Entry) {
+	e.entryFree = append(e.entryFree, ent)
 }
 
 // Stats returns a snapshot of the accumulated statistics (retired counts are
@@ -231,8 +368,8 @@ func (e *Engine) Tick() {
 func (e *Engine) backendStep(now int64) {
 	resolved, retired := e.be.Tick(now)
 	for _, id := range resolved {
-		ent, ok := e.inflight[id]
-		if !ok {
+		ent := e.inflightByID(id)
+		if ent == nil {
 			continue
 		}
 		if !ent.OnCorrectPath {
@@ -245,16 +382,43 @@ func (e *Engine) backendStep(now int64) {
 		}
 	}
 	for _, id := range retired {
-		if ent, ok := e.inflight[id]; ok {
+		// In-order retirement: anything still queued ahead of a reported
+		// retirement is a wrong-path group the backend popped silently —
+		// recycle those entries, then the reported one.
+		for e.inflight.len() > 0 && e.inflight.front().ID < id {
+			e.freeEntry(e.inflight.popFront())
+		}
+		if e.inflight.len() > 0 && e.inflight.front().ID == id {
+			ent := e.inflight.popFront()
 			if e.pf != nil && ent.OnCorrectPath {
 				first, last := ent.Lines()
 				for l := first; l <= last; l++ {
 					e.pf.OnRetire(l, now)
 				}
 			}
-			delete(e.inflight, id)
+			e.freeEntry(ent)
 		}
 	}
+}
+
+// inflightByID finds the in-flight entry with the given ID by binary search
+// (the ring is ordered by ascending ID). nil when the entry is gone.
+func (e *Engine) inflightByID(id uint64) *Entry {
+	lo, hi := 0, e.inflight.len()
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if e.inflight.at(mid).ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < e.inflight.len() {
+		if ent := e.inflight.at(lo); ent.ID == id {
+			return ent
+		}
+	}
+	return nil
 }
 
 func (e *Engine) train(ent *Entry, now int64) {
@@ -276,15 +440,18 @@ func (e *Engine) squash(ent *Entry, now int64) {
 	e.stats.Squashes[ent.SquashClass]++
 
 	e.be.Squash(ent.ID)
-	for id := range e.inflight {
-		if id > ent.ID {
-			delete(e.inflight, id)
-		}
+	for e.inflight.len() > 0 && e.inflight.back().ID > ent.ID {
+		e.freeEntry(e.inflight.popBack())
 	}
-	e.ftq = e.ftq[:0]
-	e.cur = nil
+	for e.ftq.len() > 0 {
+		e.freeEntry(e.ftq.popFront())
+	}
+	if e.cur != nil {
+		e.freeEntry(e.cur)
+		e.cur = nil
+	}
 	e.haveLine = false
-	e.probeQ = e.probeQ[:0]
+	e.probeQ.clear()
 	e.haveLastQueue = false
 
 	// Restore speculative state to the prediction point, then apply the
@@ -315,19 +482,11 @@ func (e *Engine) bpuStep(now int64) {
 		e.stats.BPUMissStallCycles++
 		return
 	}
-	if len(e.ftq) >= e.ftqDepth {
+	if e.ftq.len() >= e.ftqDepth {
 		return
 	}
 
 	pc := e.specPC
-	ent := &Entry{
-		ID:         e.nextID + 1,
-		Start:      pc,
-		EntryClass: e.specClass,
-		Hist:       e.dir.Snapshot(),
-		RAScp:      e.ras.Checkpoint(),
-	}
-
 	if !e.wrongPath {
 		e.stats.BTBLookups++
 	}
@@ -352,6 +511,18 @@ func (e *Engine) bpuStep(now int64) {
 		}
 	}
 
+	// Neither the BTB lookup nor the miss handler touches the direction
+	// predictor or RAS, so the recovery snapshot taken here matches the
+	// prediction point exactly.
+	ent := e.allocEntry()
+	*ent = Entry{
+		ID:         e.nextID + 1,
+		Start:      pc,
+		EntryClass: e.specClass,
+		Hist:       e.dir.Snapshot(),
+		RAScp:      e.ras.Checkpoint(),
+	}
+
 	if hit {
 		e.predictFromEntry(ent, &bent)
 	} else {
@@ -368,7 +539,7 @@ func (e *Engine) bpuStep(now int64) {
 	e.nextID++
 	e.specPC = ent.PredNext
 	e.specClass = isa.ClassOf(ent.Kind, ent.PredTaken)
-	e.ftq = append(e.ftq, ent)
+	e.ftq.push(ent)
 	if e.fdipProbes {
 		e.enqueueProbes(ent)
 	}
@@ -496,19 +667,14 @@ func (e *Engine) enqueueProbes(ent *Entry) {
 		}
 		e.lastQueuedLn = l
 		e.haveLastQueue = true
-		if len(e.probeQ) >= 4*e.ftqDepth {
-			copy(e.probeQ, e.probeQ[1:])
-			e.probeQ = e.probeQ[:len(e.probeQ)-1]
-		}
-		e.probeQ = append(e.probeQ, l)
+		e.probeQ.push(l)
 	}
 }
 
 func (e *Engine) probeStep(now int64) {
 	issued := 0
-	for issued < e.cfg.PrefetchProbesPerCycle && len(e.probeQ) > 0 {
-		line := e.probeQ[0]
-		e.probeQ = e.probeQ[1:]
+	for issued < e.cfg.PrefetchProbesPerCycle && e.probeQ.len() > 0 {
+		line := e.probeQ.popFront()
 		if !e.hier.Present(line, now) && !e.hier.InFlight(line) {
 			e.hier.Prefetch(line, now)
 		}
@@ -521,7 +687,7 @@ func (e *Engine) probeStep(now int64) {
 
 func (e *Engine) fetchStep(now int64) {
 	if e.cur == nil {
-		if len(e.ftq) == 0 {
+		if e.ftq.len() == 0 {
 			e.stats.FTQEmptyCycles++
 			return
 		}
@@ -529,8 +695,7 @@ func (e *Engine) fetchStep(now int64) {
 			e.stats.ROBStallCycles++
 			return
 		}
-		e.cur = e.ftq[0]
-		e.ftq = e.ftq[1:]
+		e.cur = e.ftq.popFront()
 		e.curInstr = 0
 		e.haveLine = false
 	}
@@ -573,7 +738,7 @@ func (e *Engine) fetchStep(now int64) {
 			FetchDone: now,
 			WrongPath: !ent.OnCorrectPath,
 		})
-		e.inflight[ent.ID] = ent
+		e.inflight.push(ent)
 		e.cur = nil
 		e.haveLine = false
 	}

@@ -6,6 +6,19 @@
 // SHIFT). It executes speculatively — including real wrong-path fetch and
 // prefetch activity — and verifies predictions against the workload oracle,
 // squashing at branch resolution like the modelled pipeline would.
+//
+// # Zero-allocation contract
+//
+// The measured simulation loop (Engine.Tick and everything it calls)
+// performs no heap allocation at steady state: FTQ entries come from a
+// preallocated pool and are recycled at retirement or squash, the FTQ,
+// probe queue and in-flight window are fixed rings, and the backend and
+// cache hierarchy it drives use preallocated scratch storage (see their
+// package comments). Code added to the per-cycle path must follow the same
+// discipline — reuse engine-owned scratch buffers rather than allocating —
+// and TestMeasureLoopAllocationFree (repo root) enforces the contract with
+// testing.AllocsPerRun. Entry pointers handed out by the engine are only
+// valid until the entry retires or is squashed; do not retain them.
 package frontend
 
 import (

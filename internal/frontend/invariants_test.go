@@ -83,23 +83,23 @@ func TestFTQNeverExceedsDepth(t *testing.T) {
 		e := buildEngine(t, img, engCfg{cfg: config.Default(), probes: true, depth: depth})
 		for i := 0; i < 100_000; i++ {
 			e.Tick()
-			if len(e.ftq) > depth {
-				t.Fatalf("FTQ grew to %d entries (depth %d)", len(e.ftq), depth)
+			if e.ftq.len() > depth {
+				t.Fatalf("FTQ grew to %d entries (depth %d)", e.ftq.len(), depth)
 			}
 		}
 	}
 }
 
-func TestInflightMapBounded(t *testing.T) {
-	// The in-flight entry map must not leak: it is bounded by the ROB plus
+func TestInflightRingBounded(t *testing.T) {
+	// The in-flight entry ring must not leak: it is bounded by the ROB plus
 	// the resolution window.
 	img := testImage(t, 128)
 	e := buildEngine(t, img, engCfg{cfg: config.Default(), probes: true})
 	for i := 0; i < 300_000; i++ {
 		e.Tick()
-		if len(e.inflight) > e.cfg.ROBSize {
-			t.Fatalf("inflight map %d exceeds ROB %d at cycle %d",
-				len(e.inflight), e.cfg.ROBSize, i)
+		if e.inflight.len() > e.cfg.ROBSize {
+			t.Fatalf("inflight ring %d exceeds ROB %d at cycle %d",
+				e.inflight.len(), e.cfg.ROBSize, i)
 		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"boomerang/internal/flatmap"
 	"boomerang/internal/isa"
 )
 
@@ -104,21 +105,32 @@ type Image struct {
 	// Base and Limit bound the text segment [Base, Limit).
 	Base, Limit isa.Addr
 
-	byStart map[isa.Addr]int32
+	// byStart maps a block start address to its index in Blocks. It is an
+	// open-addressed table rather than a Go map because the oracle walker
+	// consults it once per executed basic block — one of the simulator's
+	// hottest lookups.
+	byStart flatmap.Map
 }
 
 // buildIndex (re)constructs the exact-start lookup table. Generators call it
 // once after assembling Blocks.
 func (img *Image) buildIndex() {
-	img.byStart = make(map[isa.Addr]int32, len(img.Blocks))
+	img.byStart = *flatmap.New(len(img.Blocks))
 	for i := range img.Blocks {
-		img.byStart[img.Blocks[i].Addr] = int32(i)
+		img.byStart.Set(uint64(img.Blocks[i].Addr), int32(i))
 	}
+}
+
+// BlockIndex returns the index in Blocks of the block starting exactly at
+// addr. Callers that need per-block side state (e.g. the walker's occurrence
+// counters) key it by this index instead of by address.
+func (img *Image) BlockIndex(addr isa.Addr) (int32, bool) {
+	return img.byStart.Get(uint64(addr))
 }
 
 // BlockAt returns the block starting exactly at addr.
 func (img *Image) BlockAt(addr isa.Addr) (*Block, bool) {
-	i, ok := img.byStart[addr]
+	i, ok := img.byStart.Get(uint64(addr))
 	if !ok {
 		return nil, false
 	}
@@ -160,10 +172,12 @@ type PredecodedBranch struct {
 	Target isa.Addr
 }
 
-// BranchesInLine returns, in address order, every branch instruction whose
-// PC lies within the 64-byte cache line containing lineAddr. This is what
-// Boomerang's and Confluence's predecoder extracts from an arriving block.
-func (img *Image) BranchesInLine(lineAddr isa.Addr) []PredecodedBranch {
+// AppendBranchesInLine appends, in address order, every branch instruction
+// whose PC lies within the 64-byte cache line containing lineAddr, and
+// returns the extended slice. This is what Boomerang's and Confluence's
+// predecoder extracts from an arriving block; the append-into-caller-buffer
+// form lets per-miss predecode reuse scratch storage instead of allocating.
+func (img *Image) AppendBranchesInLine(dst []PredecodedBranch, lineAddr isa.Addr) []PredecodedBranch {
 	line := isa.BlockAddr(lineAddr)
 	end := line + isa.BlockBytes
 	// Find the first block that could have a branch in the line: the block
@@ -171,7 +185,6 @@ func (img *Image) BranchesInLine(lineAddr isa.Addr) []PredecodedBranch {
 	i := sort.Search(len(img.Blocks), func(i int) bool {
 		return img.Blocks[i].FallThrough() > line
 	})
-	var out []PredecodedBranch
 	for ; i < len(img.Blocks); i++ {
 		b := &img.Blocks[i]
 		if b.Addr >= end {
@@ -181,7 +194,7 @@ func (img *Image) BranchesInLine(lineAddr isa.Addr) []PredecodedBranch {
 		if pc < line || pc >= end {
 			continue
 		}
-		out = append(out, PredecodedBranch{
+		dst = append(dst, PredecodedBranch{
 			PC:         pc,
 			BlockStart: b.Addr,
 			NInstr:     b.NInstr,
@@ -189,7 +202,12 @@ func (img *Image) BranchesInLine(lineAddr isa.Addr) []PredecodedBranch {
 			Target:     directTarget(&b.Term),
 		})
 	}
-	return out
+	return dst
+}
+
+// BranchesInLine is AppendBranchesInLine into a fresh slice.
+func (img *Image) BranchesInLine(lineAddr isa.Addr) []PredecodedBranch {
+	return img.AppendBranchesInLine(nil, lineAddr)
 }
 
 // FirstBranchAtOrAfter returns the first branch with PC >= pc inside pc's
@@ -198,10 +216,27 @@ func (img *Image) BranchesInLine(lineAddr isa.Addr) []PredecodedBranch {
 // branch; if the line holds none at or after pc, the caller probes the next
 // sequential line.
 func (img *Image) FirstBranchAtOrAfter(pc isa.Addr) (PredecodedBranch, bool) {
-	for _, br := range img.BranchesInLine(pc) {
-		if br.PC >= pc {
-			return br, true
+	line := isa.BlockAddr(pc)
+	end := line + isa.BlockBytes
+	i := sort.Search(len(img.Blocks), func(i int) bool {
+		return img.Blocks[i].FallThrough() > line
+	})
+	for ; i < len(img.Blocks); i++ {
+		b := &img.Blocks[i]
+		if b.Addr >= end {
+			break
 		}
+		bpc := b.BranchPC()
+		if bpc < pc || bpc >= end {
+			continue
+		}
+		return PredecodedBranch{
+			PC:         bpc,
+			BlockStart: b.Addr,
+			NInstr:     b.NInstr,
+			Kind:       b.Term.Kind,
+			Target:     directTarget(&b.Term),
+		}, true
 	}
 	return PredecodedBranch{}, false
 }

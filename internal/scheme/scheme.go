@@ -246,8 +246,12 @@ func Confluence() Scheme {
 			hier, b, dir, orc := baseParts(env, shiftLLCReservedKB, confluenceBTBEntries)
 			pf := prefetch.NewTemporal(hier, prefetch.DefaultSHIFTConfig(hier.LLCRoundTrip()))
 			dec := btb.NewPredecoder(env.Img)
+			// The hook runs inside the per-cycle hierarchy tick; decode into
+			// a reused scratch buffer to honour the zero-alloc contract.
+			var scratch []btb.Entry
 			hier.SetFillHook(func(line cache.Line, now int64) {
-				for _, entry := range dec.DecodeLine(isa.Addr(line) * isa.BlockBytes) {
+				scratch = dec.AppendLine(scratch[:0], isa.Addr(line)*isa.BlockBytes)
+				for _, entry := range scratch {
 					b.Insert(entry, now)
 				}
 			})

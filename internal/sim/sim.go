@@ -68,20 +68,26 @@ type Result struct {
 }
 
 // imageCache memoises generated images: experiments run many schemes over
-// the same workload and image generation is the expensive part.
-var imageCache sync.Map // key string -> *program.Image
+// the same workload and image generation is the expensive part. Each entry
+// carries a sync.Once so concurrent runs of the same (workload, seed) — the
+// common case under the parallel experiment runner — generate the image
+// exactly once instead of racing to do duplicate work.
+var imageCache sync.Map // key string -> *imageCacheEntry
+
+type imageCacheEntry struct {
+	once sync.Once
+	img  *program.Image
+	err  error
+}
 
 func imageFor(p workload.Profile, seed uint64) (*program.Image, error) {
 	key := fmt.Sprintf("%s/%d", p.Name, seed)
-	if v, ok := imageCache.Load(key); ok {
-		return v.(*program.Image), nil
-	}
-	img, err := p.Image(seed)
-	if err != nil {
-		return nil, err
-	}
-	actual, _ := imageCache.LoadOrStore(key, img)
-	return actual.(*program.Image), nil
+	v, _ := imageCache.LoadOrStore(key, &imageCacheEntry{})
+	e := v.(*imageCacheEntry)
+	e.once.Do(func() {
+		e.img, e.err = p.Image(seed)
+	})
+	return e.img, e.err
 }
 
 // Run executes one simulation.

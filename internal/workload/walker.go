@@ -33,7 +33,11 @@ type Walker struct {
 
 	pc    isa.Addr
 	stack []isa.Addr
-	occ   map[isa.Addr]uint32
+	// occ counts per-branch occurrences, indexed by block index (every block
+	// has exactly one terminator). A flat slice instead of a map keyed by
+	// branch PC: this counter is read and written once per executed block,
+	// making it one of the hottest accesses in the simulator.
+	occ []uint32
 
 	steps      uint64
 	instrs     uint64
@@ -48,10 +52,11 @@ const MaxCallDepth = 512
 // NewWalker starts execution at the image's root dispatcher.
 func NewWalker(img *program.Image, seed uint64) *Walker {
 	return &Walker{
-		img:  img,
-		seed: seed,
-		pc:   img.Functions[0].Entry,
-		occ:  make(map[isa.Addr]uint32),
+		img:   img,
+		seed:  seed,
+		pc:    img.Functions[0].Entry,
+		stack: make([]isa.Addr, 0, MaxCallDepth),
+		occ:   make([]uint32, len(img.Blocks)),
 	}
 }
 
@@ -72,13 +77,14 @@ func (w *Walker) MaxCallDepthSeen() int { return w.maxDepth }
 
 // Next executes one basic block and returns its committed Step.
 func (w *Walker) Next() Step {
-	b, ok := w.img.BlockAt(w.pc)
+	bi, ok := w.img.BlockIndex(w.pc)
 	if !ok {
 		panic(fmt.Sprintf("workload: walker at %#x which is not a block start", w.pc))
 	}
+	b := &w.img.Blocks[bi]
 	pc := b.BranchPC()
-	occ := w.occ[pc]
-	w.occ[pc] = occ + 1
+	occ := w.occ[bi]
+	w.occ[bi] = occ + 1
 
 	taken, target := w.resolve(b, pc, occ)
 
@@ -95,7 +101,11 @@ func (w *Walker) Next() Step {
 // need resolution information out of band (e.g. training on wrong-path
 // discovery); it uses the occurrence count the next Next() call will see.
 func (w *Walker) Resolve(b *program.Block) (taken bool, target isa.Addr) {
-	return w.resolve(b, b.BranchPC(), w.occ[b.BranchPC()])
+	var occ uint32
+	if bi, ok := w.img.BlockIndex(b.Addr); ok {
+		occ = w.occ[bi]
+	}
+	return w.resolve(b, b.BranchPC(), occ)
 }
 
 func (w *Walker) resolve(b *program.Block, pc isa.Addr, occ uint32) (bool, isa.Addr) {
