@@ -1,11 +1,11 @@
-package boomerang_test
+package boomsim_test
 
 import (
 	"testing"
 
-	"boomerang/internal/config"
-	"boomerang/internal/scheme"
-	"boomerang/internal/workload"
+	"boomsim/internal/config"
+	"boomsim/internal/scheme"
+	"boomsim/internal/workload"
 )
 
 // TestMeasureLoopAllocationFree enforces the frontend package's

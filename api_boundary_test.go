@@ -1,0 +1,55 @@
+package boomsim_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestConsumersUseOnlyThePublicAPI pins the api boundary: the binaries in
+// cmd/ and the programs in examples/ must consume the simulator through the
+// public boomsim package, never by reaching into the internal simulation
+// layers. Lower-level plumbing packages (trace, program, frontend, ...)
+// stay importable for tools that genuinely drive hand-built engines; the
+// three banned packages are the ones the public API wraps.
+func TestConsumersUseOnlyThePublicAPI(t *testing.T) {
+	banned := []string{
+		"boomsim/internal/sim",
+		"boomsim/internal/scheme",
+		"boomsim/internal/workload",
+	}
+	for _, root := range []string{"cmd", "examples"} {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				ip, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				for _, b := range banned {
+					if ip == b {
+						t.Errorf("%s imports %s; consume the public boomsim API instead", path, ip)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", root, err)
+		}
+	}
+}

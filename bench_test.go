@@ -7,16 +7,16 @@
 // The full-methodology tables (all six workloads at full footprint) are
 // produced by `go run ./cmd/experiments -run all`; see EXPERIMENTS.md for
 // the recorded paper-vs-measured comparison.
-package boomerang_test
+package boomsim_test
 
 import (
 	"testing"
 
-	"boomerang/internal/experiments"
-	"boomerang/internal/frontend"
-	"boomerang/internal/scheme"
-	"boomerang/internal/sim"
-	"boomerang/internal/workload"
+	"boomsim/internal/experiments"
+	"boomsim/internal/frontend"
+	"boomsim/internal/scheme"
+	"boomsim/internal/sim"
+	"boomsim/internal/workload"
 )
 
 // benchParams returns bench-scale experiment parameters: two contrasting

@@ -1,0 +1,154 @@
+package boomsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"boomsim/internal/config"
+	"boomsim/internal/scheme"
+	"boomsim/internal/sim"
+	"boomsim/internal/workload"
+)
+
+// Simulation is one fully-resolved simulation: a scheme on a workload under
+// a core configuration and measurement window. Construct it with New; the
+// zero value is not usable. A Simulation is immutable after New and safe to
+// run repeatedly and concurrently — every Run builds fresh
+// microarchitectural state.
+type Simulation struct {
+	schemeName   string
+	workloadName string
+	predictor    string
+	btbEntries   int
+	llcLatency   int
+	footprintKB  int
+
+	imageSeed, walkSeed       uint64
+	warmInstrs, measureInstrs uint64
+	maxCycles                 int64
+
+	progressEvery uint64
+	progress      ProgressFunc
+
+	// Resolved at New time so configuration errors surface before any
+	// cycles are simulated.
+	scheme   scheme.Scheme
+	workload workload.Profile
+	cfg      config.Core
+}
+
+// New builds a Simulation from functional options, resolving the scheme and
+// workload against the registries and validating the resulting core
+// configuration. Defaults reproduce the paper's headline methodology:
+// Boomerang on Apache, Table I core, 200K warm + 1M measured instructions,
+// seeds 1/1.
+func New(opts ...Option) (*Simulation, error) {
+	s := &Simulation{
+		schemeName:    "Boomerang",
+		workloadName:  "Apache",
+		imageSeed:     1,
+		walkSeed:      1,
+		warmInstrs:    200_000,
+		measureInstrs: 1_000_000,
+	}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+
+	var err error
+	if s.scheme, err = schemeByName(s.schemeName); err != nil {
+		return nil, err
+	}
+	if s.workload, err = workloadByName(s.workloadName); err != nil {
+		return nil, err
+	}
+	if s.footprintKB > 0 {
+		s.workload.Gen.FootprintKB = s.footprintKB
+	}
+
+	s.cfg = config.Default()
+	if s.btbEntries > 0 {
+		s.cfg = s.cfg.WithBTB(s.btbEntries)
+	}
+	if s.llcLatency > 0 {
+		s.cfg = s.cfg.WithLLCLatency(s.llcLatency)
+	}
+	if err := s.cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidOption, err)
+	}
+	return s, nil
+}
+
+// Scheme returns the resolved scheme's metadata.
+func (s *Simulation) Scheme() SchemeInfo {
+	return toSchemeInfo(s.scheme)
+}
+
+// Workload returns the resolved workload's metadata (footprint reflects any
+// WithFootprintKB override).
+func (s *Simulation) Workload() WorkloadInfo {
+	return toWorkloadInfo(s.workload)
+}
+
+func (s *Simulation) spec() sim.Spec {
+	return sim.Spec{
+		Scheme:        s.scheme,
+		Workload:      s.workload,
+		Cfg:           s.cfg,
+		ImageSeed:     s.imageSeed,
+		WalkSeed:      s.walkSeed,
+		Predictor:     s.predictor,
+		WarmInstrs:    s.warmInstrs,
+		MeasureInstrs: s.measureInstrs,
+		MaxCycles:     s.maxCycles,
+	}
+}
+
+// Run executes the simulation to completion: warmup, then the measurement
+// window. The simulation loop checks ctx cooperatively (every
+// WithProgress granularity, or every sim chunk by default) and returns
+// ErrCanceled — wrapping ctx's own error — if it fires mid-run.
+func (s *Simulation) Run(ctx context.Context) (Result, error) {
+	r, err := sim.RunContext(ctx, s.spec(), sim.Hooks{
+		ProgressEvery: s.progressEvery,
+		Progress:      s.progress,
+	})
+	if err != nil {
+		return Result{}, wrapRunError(err)
+	}
+	return newResult(r, s.scheme.StorageOverheadKB), nil
+}
+
+// RunCMP executes the simulation as a homogeneous chip-level consolidation
+// run: cores independent instances of the same workload from distinct
+// request streams (cores <= 0 uses the paper's 16). Cancellation semantics
+// match Run, including the WithProgress granularity; the progress callback
+// itself is not invoked — cores run concurrently, so per-core callbacks
+// would interleave meaninglessly.
+func (s *Simulation) RunCMP(ctx context.Context, cores int) (CMPResult, error) {
+	res, err := sim.RunCMPContext(ctx, sim.CMPSpec{Spec: s.spec(), Cores: cores},
+		sim.Hooks{ProgressEvery: s.progressEvery})
+	if err != nil {
+		return CMPResult{}, wrapRunError(err)
+	}
+	out := CMPResult{
+		PerCore:    make([]Result, len(res.PerCore)),
+		Throughput: res.Throughput,
+	}
+	for i, r := range res.PerCore {
+		out.PerCore[i] = newResult(r, s.scheme.StorageOverheadKB)
+	}
+	return out, nil
+}
+
+// wrapRunError maps context errors onto the public ErrCanceled sentinel
+// while leaving genuine simulation errors untouched.
+func wrapRunError(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return err
+}

@@ -1,5 +1,7 @@
 // Command boomsim runs one simulation: a control-flow-delivery scheme on a
 // workload under a configurable core, and prints the headline statistics.
+// It consumes only the public boomsim API; Ctrl-C cancels a run cleanly
+// through the context.
 //
 // Examples:
 //
@@ -7,25 +9,26 @@
 //	boomsim -scheme FDIP -workload Apache -btb 32768 -llc 18
 //	boomsim -scheme FDIP -workload Zeus -predictor never-taken
 //	boomsim -scheme Boomerang -workload Oracle -cores 16
+//	boomsim -scheme Boomerang -workload Apache -json
+//	boomsim -list
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
-	"boomerang/internal/config"
-	"boomerang/internal/frontend"
-	"boomerang/internal/scheme"
-	"boomerang/internal/sim"
-	"boomerang/internal/workload"
+	"boomsim"
 )
 
 func main() {
 	var (
 		schemeName = flag.String("scheme", "Boomerang", "scheme: "+strings.Join(schemeNames(), ", "))
-		wlName     = flag.String("workload", "Apache", "workload: "+strings.Join(workload.Names(), ", "))
+		wlName     = flag.String("workload", "Apache", "workload: "+strings.Join(workloadNames(), ", "))
 		btb        = flag.Int("btb", 0, "override BTB entries (default Table I: 2048)")
 		llc        = flag.Int("llc", 0, "override LLC round-trip latency in cycles (default 30)")
 		predictor  = flag.String("predictor", "", "FDIP direction predictor: tage|bimodal|never-taken")
@@ -35,62 +38,92 @@ func main() {
 		walkSeed   = flag.Uint64("walk-seed", 1, "oracle execution seed")
 		cores      = flag.Int("cores", 1, "simulate a CMP with this many cores")
 		baseline   = flag.Bool("baseline", false, "also run the Base scheme and report speedup/coverage")
+		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of text")
+		list       = flag.Bool("list", false, "list registered schemes and workloads, then exit")
 	)
 	flag.Parse()
 
-	s, ok := scheme.ByName(*schemeName)
-	if !ok {
-		fatalf("unknown scheme %q (have: %s)", *schemeName, strings.Join(schemeNames(), ", "))
-	}
-	w, ok := workload.ByName(*wlName)
-	if !ok {
-		fatalf("unknown workload %q (have: %s)", *wlName, strings.Join(workload.Names(), ", "))
-	}
-
-	spec := sim.DefaultSpec(s, w)
-	spec.Cfg = config.Default()
-	if *btb > 0 {
-		spec.Cfg = spec.Cfg.WithBTB(*btb)
-	}
-	if *llc > 0 {
-		spec.Cfg = spec.Cfg.WithLLCLatency(*llc)
-	}
-	spec.Predictor = *predictor
-	spec.WarmInstrs = *warm
-	spec.MeasureInstrs = *measure
-	spec.ImageSeed = *imageSeed
-	spec.WalkSeed = *walkSeed
-
-	if *cores > 1 {
-		runCMP(spec, *cores)
+	if *list {
+		printRegistry()
 		return
 	}
 
-	r, err := sim.Run(spec)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	newSim := func(scheme string) (*boomsim.Simulation, error) {
+		opts := []boomsim.Option{
+			boomsim.WithScheme(scheme),
+			boomsim.WithWorkload(*wlName),
+			boomsim.WithPredictor(*predictor),
+			boomsim.WithWindow(*warm, *measure),
+			boomsim.WithSeeds(*imageSeed, *walkSeed),
+		}
+		if *btb > 0 {
+			opts = append(opts, boomsim.WithBTBEntries(*btb))
+		}
+		if *llc > 0 {
+			opts = append(opts, boomsim.WithLLCLatency(*llc))
+		}
+		return boomsim.New(opts...)
+	}
+
+	s, err := newSim(*schemeName)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	printResult(r)
+
+	if *cores > 1 {
+		runCMP(ctx, s, *cores, *jsonOut)
+		return
+	}
+
+	r, err := s.Run(ctx)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *jsonOut && !*baseline {
+		emitJSON(r)
+		return
+	}
+	if !*jsonOut {
+		printResult(r)
+	}
 
 	if *baseline {
-		bspec := spec
-		bspec.Scheme = scheme.Base()
-		b, err := sim.Run(bspec)
+		bs, err := newSim("Base")
 		if err != nil {
 			fatalf("baseline: %v", err)
 		}
+		b, err := bs.Run(ctx)
+		if err != nil {
+			fatalf("baseline: %v", err)
+		}
+		if *jsonOut {
+			emitJSON(struct {
+				Result   boomsim.Result `json:"result"`
+				Baseline boomsim.Result `json:"baseline"`
+				Speedup  float64        `json:"speedup"`
+				Coverage float64        `json:"coverage"`
+			}{r, b, boomsim.Speedup(b, r), boomsim.Coverage(b, r)})
+			return
+		}
 		fmt.Printf("\nvs Base (IPC %.3f):\n", b.IPC)
-		fmt.Printf("  speedup             %.3fx\n", sim.Speedup(b, r))
-		fmt.Printf("  stall cycle coverage %.1f%%\n", 100*sim.Coverage(b, r))
+		fmt.Printf("  speedup             %.3fx\n", boomsim.Speedup(b, r))
+		fmt.Printf("  stall cycle coverage %.1f%%\n", 100*boomsim.Coverage(b, r))
 	}
 }
 
-func runCMP(spec sim.Spec, cores int) {
-	res, err := sim.RunCMP(sim.CMPSpec{Spec: spec, Cores: cores})
+func runCMP(ctx context.Context, s *boomsim.Simulation, cores int, jsonOut bool) {
+	res, err := s.RunCMP(ctx, cores)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("%s on %s, %d cores\n", spec.Scheme.Name, spec.Workload.Name, cores)
+	if jsonOut {
+		emitJSON(res)
+		return
+	}
+	fmt.Printf("%s on %s, %d cores\n", s.Scheme().Name, s.Workload().Name, cores)
 	fmt.Printf("  chip throughput      %.3f instructions/cycle\n", res.Throughput)
 	var minIPC, maxIPC float64
 	for i, r := range res.PerCore {
@@ -104,28 +137,59 @@ func runCMP(spec sim.Spec, cores int) {
 	fmt.Printf("  per-core IPC         %.3f .. %.3f\n", minIPC, maxIPC)
 }
 
-func printResult(r sim.Result) {
-	st := r.Stats
-	fmt.Printf("%s on %s\n", r.SchemeName, r.WorkloadName)
+func printResult(r boomsim.Result) {
+	fmt.Printf("%s on %s\n", r.Scheme, r.Workload)
 	fmt.Printf("  instructions retired %d in %d cycles (IPC %.3f)\n",
-		st.RetiredInstrs, st.Cycles, r.IPC)
+		r.Instructions, r.Cycles, r.IPC)
 	fmt.Printf("  fetch stall cycles   %d (%.1f%% of cycles)\n",
-		st.FetchStallCycles, 100*st.StallFraction())
+		r.FetchStallCycles, 100*r.StallFraction)
 	fmt.Printf("  stalls by class      seq=%d cond=%d uncond=%d\n",
-		st.StallByClass[0], st.StallByClass[1], st.StallByClass[2])
+		r.StallCycles.Sequential, r.StallCycles.Conditional, r.StallCycles.Unconditional)
 	fmt.Printf("  squashes/kilo-instr  mispredict=%.2f btb-miss=%.2f\n",
-		st.MispredictSquashesPerKI(), st.SquashesPerKI(frontend.SquashBTBMiss))
+		r.MispredictSquashesPerKI, r.BTBMissSquashesPerKI)
 	fmt.Printf("  BTB miss rate        %.2f%% (%d/%d lookups)\n",
-		100*st.BTBMissRate(), st.BTBMisses, st.BTBLookups)
-	fmt.Printf("  L1-I demand misses   %.2f MPKI\n",
-		float64(st.DemandLineMisses)*1000/float64(st.RetiredInstrs))
+		100*r.BTBMissRate, r.BTBMisses, r.BTBLookups)
+	fmt.Printf("  L1-I demand misses   %.2f MPKI\n", r.L1IMissesPerKI)
 	fmt.Printf("  hierarchy            prefetches=%d LLC accesses=%d LLC misses=%d\n",
-		r.Hier.Prefetches, r.Hier.LLCAccesses, r.Hier.LLCMisses)
+		r.Prefetches, r.LLCAccesses, r.LLCMisses)
+	fmt.Printf("  scheme metadata      %.2f KB/core\n", r.StorageOverheadKB)
+}
+
+func printRegistry() {
+	fmt.Println("schemes:")
+	for _, s := range boomsim.Schemes() {
+		fmt.Printf("  %-22s %7.2f KB  %s\n", s.Name, s.StorageOverheadKB, s.Description)
+	}
+	fmt.Println("workloads:")
+	for _, w := range boomsim.Workloads() {
+		fmt.Printf("  %-22s %5d KB  %s\n", w.Name, w.FootprintKB, w.Description)
+	}
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatalf("encoding JSON: %v", err)
+	}
 }
 
 func schemeNames() []string {
-	return []string{"Base", "Next Line", "DIP", "FDIP", "PIF", "SHIFT",
-		"Confluence", "Boomerang", "Perfect L1-I", "Perfect L1-I + BTB"}
+	infos := boomsim.Schemes()
+	out := make([]string, len(infos))
+	for i, s := range infos {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func workloadNames() []string {
+	infos := boomsim.Workloads()
+	out := make([]string, len(infos))
+	for i, w := range infos {
+		out[i] = w.Name
+	}
+	return out
 }
 
 func fatalf(format string, args ...interface{}) {

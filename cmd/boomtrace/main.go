@@ -17,9 +17,10 @@ import (
 	"io"
 	"os"
 
-	"boomerang/internal/isa"
-	"boomerang/internal/trace"
-	"boomerang/internal/workload"
+	"boomsim"
+	"boomsim/internal/isa"
+	"boomsim/internal/program"
+	"boomsim/internal/trace"
 )
 
 func main() {
@@ -35,11 +36,11 @@ func main() {
 	)
 	flag.Parse()
 
-	w, ok := workload.ByName(*wlName)
-	if !ok {
-		fatalf("unknown workload %q", *wlName)
+	w, err := boomsim.LookupWorkload(*wlName)
+	if err != nil {
+		fatalf("%v", err)
 	}
-	img, err := w.Image(*seed)
+	img, err := boomsim.BuildImage(*wlName, *seed)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -59,15 +60,15 @@ func main() {
 
 	if *dynamic {
 		ran = true
-		wk := workload.NewWalker(img, *walk)
-		st := workload.Measure(wk, *steps, 9)
+		wk := program.NewWalker(img, *walk)
+		st := program.Measure(wk, *steps, 9)
 		fmt.Printf("%s dynamic over %d blocks (%d instructions):\n", w.Name, st.Steps, st.Instrs)
 		fmt.Printf("  mean block       %.2f instructions\n", float64(st.Instrs)/float64(st.Steps))
 		fmt.Printf("  conditionals     %d (%.1f%% taken)\n", st.CondBranches,
 			100*float64(st.TakenConds)/float64(st.CondBranches))
 		fmt.Printf("  calls/returns    %d/%d (max depth %d)\n", st.Calls, st.Returns, wk.MaxCallDepthSeen())
 		fmt.Printf("  touched code     %d KB\n", st.TouchedLines*64/1024)
-		cdf := workload.CDF(st.TakenCondDist)
+		cdf := program.CDF(st.TakenCondDist)
 		fmt.Printf("  taken-cond CDF   <=1 block %.2f, <=4 blocks %.2f (Figure 4)\n", cdf[1], cdf[4])
 	}
 
@@ -100,7 +101,7 @@ func main() {
 		if err != nil {
 			fatalf("verify: %v", err)
 		}
-		wk := workload.NewWalker(img, *walk)
+		wk := program.NewWalker(img, *walk)
 		for {
 			got, err := r.Next()
 			if err == io.EOF {

@@ -18,7 +18,7 @@ import (
 	"strings"
 	"time"
 
-	"boomerang/internal/experiments"
+	"boomsim/internal/experiments"
 )
 
 func main() {

@@ -1,14 +1,50 @@
-// Package boomerang is a from-scratch Go reproduction of Kumar, Huang, Grot
-// and Nagarajan, "Boomerang: a Metadata-Free Architecture for Control Flow
-// Delivery" (HPCA 2017): a cycle-level front-end simulator with a synthetic
-// server-workload substrate, the complete lineup of control-flow-delivery
-// schemes the paper evaluates (next-line, DIP, FDIP, PIF, SHIFT, Confluence,
-// Boomerang), and a benchmark harness that regenerates every figure of the
-// paper's evaluation.
+// Package boomsim is the public API of a from-scratch Go reproduction of
+// Kumar, Huang, Grot and Nagarajan, "Boomerang: a Metadata-Free Architecture
+// for Control Flow Delivery" (HPCA 2017): a cycle-level front-end simulator
+// with a synthetic server-workload substrate and the complete lineup of
+// control-flow-delivery schemes the paper evaluates (next-line, DIP, FDIP,
+// PIF, SHIFT, Confluence, Boomerang, plus limit studies and hierarchical-BTB
+// alternatives).
 //
-// The implementation lives under internal/: see internal/core for the
-// Boomerang mechanism itself, internal/scheme for the evaluated
-// configurations, internal/sim for the run harness, and
-// internal/experiments for the per-figure reproductions. The cmd/boomsim and
-// cmd/experiments binaries and the examples/ programs are the entry points.
-package boomerang
+// # Running one simulation
+//
+// Construct a Simulation with functional options and run it under a
+// context:
+//
+//	s, err := boomsim.New(
+//		boomsim.WithScheme("Boomerang"),
+//		boomsim.WithWorkload("Apache"),
+//		boomsim.WithBTBEntries(32768),
+//		boomsim.WithWindow(200_000, 1_000_000),
+//	)
+//	if err != nil { ... }
+//	r, err := s.Run(ctx)
+//
+// Run checks ctx cooperatively inside the simulation loop; canceling the
+// context returns ErrCanceled within a few chunks of instructions.
+// WithProgress installs a callback invoked every N retired instructions.
+// The returned Result is plain data and marshals to JSON.
+//
+// # Scheme and workload registries
+//
+// Schemes and workloads are string-keyed. Schemes() and Workloads()
+// enumerate what is registered; unknown names surface as ErrUnknownScheme /
+// ErrUnknownWorkload from New. RegisterScheme and RegisterWorkload extend
+// the registries — new configurations built from the internal packages
+// (variants, ablations, freshly calibrated profiles) become addressable by
+// every consumer of this package without touching its call sites.
+//
+// # Batch runs
+//
+// RunMatrix executes many Simulations across a bounded worker pool with
+// order-stable results: results[i] always corresponds to sims[i], and the
+// output is identical for every parallelism level.
+//
+//	results, err := boomsim.RunMatrix(ctx, sims, boomsim.WithParallelism(8))
+//
+// The implementation lives under internal/: internal/core holds the
+// Boomerang mechanism itself, internal/scheme the evaluated configurations,
+// internal/sim the run harness, and internal/experiments the per-figure
+// reproductions driven by cmd/experiments. The cmd/boomsim binary and the
+// examples/ programs consume only this package.
+package boomsim

@@ -1,0 +1,27 @@
+package boomsim
+
+import "errors"
+
+// Sentinel errors returned by the public API. Match them with errors.Is;
+// the concrete errors wrap these with the offending name and the available
+// alternatives.
+var (
+	// ErrUnknownScheme is returned by New when WithScheme names a scheme
+	// that is not in the registry.
+	ErrUnknownScheme = errors.New("boomsim: unknown scheme")
+
+	// ErrUnknownWorkload is returned by New when WithWorkload names a
+	// workload that is not in the registry.
+	ErrUnknownWorkload = errors.New("boomsim: unknown workload")
+
+	// ErrCanceled is returned by Run, RunCMP and RunMatrix when the context
+	// fires before the simulation completes. It wraps the context's own
+	// error, so errors.Is(err, context.Canceled) (or DeadlineExceeded)
+	// also holds.
+	ErrCanceled = errors.New("boomsim: run canceled")
+
+	// ErrInvalidOption is returned by New when an option carries an
+	// unusable value (zero measurement window, negative BTB size, unknown
+	// predictor name, ...).
+	ErrInvalidOption = errors.New("boomsim: invalid option")
+)

@@ -1,0 +1,67 @@
+package boomsim_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"boomsim"
+)
+
+// ExampleNew runs one simulation through the public API: Boomerang on the
+// Apache web front end, at a reduced footprint and window so the example
+// finishes in CI time. Production runs drop WithFootprintKB and use the
+// default 200K/1M window.
+func ExampleNew() {
+	s, err := boomsim.New(
+		boomsim.WithScheme("Boomerang"),
+		boomsim.WithWorkload("Apache"),
+		boomsim.WithFootprintKB(256),
+		boomsim.WithWindow(50_000, 150_000),
+		boomsim.WithSeeds(1, 1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := s.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s: measured >= 150K instructions: %t, positive IPC: %t\n",
+		r.Scheme, r.Workload, r.Instructions >= 150_000, r.IPC > 0)
+	// Output: Boomerang on Apache: measured >= 150K instructions: true, positive IPC: true
+}
+
+// ExampleRunMatrix fans a small scheme-by-workload grid across the worker
+// pool. Results come back in spec order regardless of parallelism, so the
+// printed table is deterministic.
+func ExampleRunMatrix() {
+	var sims []*boomsim.Simulation
+	for _, scheme := range []string{"Base", "Boomerang"} {
+		for _, workload := range []string{"Apache", "DB2"} {
+			s, err := boomsim.New(
+				boomsim.WithScheme(scheme),
+				boomsim.WithWorkload(workload),
+				boomsim.WithFootprintKB(256),
+				boomsim.WithWindow(20_000, 60_000),
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sims = append(sims, s)
+		}
+	}
+	results, err := boomsim.RunMatrix(context.Background(), sims,
+		boomsim.WithParallelism(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%s/%s ran: %t\n", r.Scheme, r.Workload, r.Cycles > 0)
+	}
+	// Output:
+	// Base/Apache ran: true
+	// Base/DB2 ran: true
+	// Boomerang/Apache ran: true
+	// Boomerang/DB2 ran: true
+}

@@ -1,7 +1,7 @@
 // Llcsweep reproduces the paper's motivation studies (Figures 2 and 5) on a
-// single workload using the public experiment API: FDIP's stall-cycle
-// coverage as a function of LLC round-trip latency, under different direction
-// predictors and BTB sizes. The two contrarian findings should be visible:
+// single workload using the experiment API: FDIP's stall-cycle coverage as a
+// function of LLC round-trip latency, under different direction predictors
+// and BTB sizes. The two contrarian findings should be visible:
 //
 //   - coverage barely depends on the direction predictor (even never-taken
 //     keeps most of it), because conditional targets are near and
@@ -14,17 +14,14 @@ import (
 	"fmt"
 	"log"
 
-	"boomerang/internal/experiments"
-	"boomerang/internal/workload"
+	"boomsim/internal/experiments"
 )
 
 func main() {
-	nutch, ok := workload.ByName("Nutch")
-	if !ok {
-		log.Fatal("workload not found")
+	p, err := experiments.Full().WithWorkloads("Nutch")
+	if err != nil {
+		log.Fatal(err)
 	}
-	p := experiments.Full()
-	p.Workloads = []workload.Profile{nutch}
 	p.MeasureInstrs = 600_000
 	latencies := []int{10, 30, 50, 70}
 

@@ -6,66 +6,66 @@
 //     on DB2 they are the majority — and a bigger BTB or Boomerang's
 //     prefill removes them.
 //  2. Boomerang's throttled next-N prefetch under BTB misses matters most
-//     here (Figure 10: +12% on DB2 from next-2 versus none).
+//     here (Figure 10: +12% on DB2 from next-2 versus none); the registry
+//     exposes the sweep as the Boomerang-N* scheme family.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"boomerang/internal/config"
-	"boomerang/internal/frontend"
-	"boomerang/internal/scheme"
-	"boomerang/internal/sim"
-	"boomerang/internal/workload"
+	"boomsim"
 )
 
 func main() {
+	ctx := context.Background()
 	for _, name := range []string{"Oracle", "DB2"} {
-		w, ok := workload.ByName(name)
-		if !ok {
-			log.Fatalf("workload %s not found", name)
+		w, err := boomsim.LookupWorkload(name)
+		if err != nil {
+			log.Fatal(err)
 		}
 		fmt.Printf("%s — %s\n", w.Name, w.Description)
 
 		// Squash anatomy under growing BTB capacity.
 		fmt.Println("  BTB size vs squashes/KI (direction+target | BTB miss):")
 		for _, entries := range []int{1024, 2048, 8192, 32768} {
-			spec := sim.DefaultSpec(scheme.FDIP(), w)
-			spec.Cfg = config.Default().WithBTB(entries)
-			r, err := sim.Run(spec)
-			if err != nil {
-				log.Fatal(err)
-			}
+			r := mustRun(ctx,
+				boomsim.WithScheme("FDIP"),
+				boomsim.WithWorkload(name),
+				boomsim.WithBTBEntries(entries),
+			)
 			fmt.Printf("    %6d entries: %6.2f | %6.2f\n", entries,
-				r.Stats.MispredictSquashesPerKI(),
-				r.Stats.SquashesPerKI(frontend.SquashBTBMiss))
+				r.MispredictSquashesPerKI, r.BTBMissSquashesPerKI)
 		}
 
 		// Boomerang gets the 2K-entry BTB to near-zero BTB-miss squashes.
-		spec := sim.DefaultSpec(scheme.Boomerang(), w)
-		r, err := sim.Run(spec)
-		if err != nil {
-			log.Fatal(err)
-		}
+		r := mustRun(ctx, boomsim.WithScheme("Boomerang"), boomsim.WithWorkload(name))
 		fmt.Printf("    Boomerang (2K):  %6.2f | %6.2f\n",
-			r.Stats.MispredictSquashesPerKI(),
-			r.Stats.SquashesPerKI(frontend.SquashBTBMiss))
+			r.MispredictSquashesPerKI, r.BTBMissSquashesPerKI)
 
 		// Throttled prefetch sensitivity (Figure 10).
 		fmt.Println("  next-N-block prefetch under BTB misses (speedup over Base):")
-		base, err := sim.Run(sim.DefaultSpec(scheme.Base(), w))
-		if err != nil {
-			log.Fatal(err)
-		}
+		base := mustRun(ctx, boomsim.WithScheme("Base"), boomsim.WithWorkload(name))
 		for _, n := range []int{0, 1, 2, 4, 8} {
-			spec := sim.DefaultSpec(scheme.BoomerangThrottled(n), w)
-			r, err := sim.Run(spec)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("    next-%d: %.3fx\n", n, sim.Speedup(base, r))
+			r := mustRun(ctx,
+				boomsim.WithScheme(fmt.Sprintf("Boomerang-N%d", n)),
+				boomsim.WithWorkload(name),
+			)
+			fmt.Printf("    next-%d: %.3fx\n", n, boomsim.Speedup(base, r))
 		}
 		fmt.Println()
 	}
+}
+
+func mustRun(ctx context.Context, opts ...boomsim.Option) boomsim.Result {
+	s, err := boomsim.New(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := s.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
 }

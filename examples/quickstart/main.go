@@ -1,45 +1,49 @@
-// Quickstart: generate a server-like workload, run Boomerang against the
-// no-prefetch baseline, and print the headline result — the paper's claim in
-// thirty lines: metadata-free control flow delivery at 540 bytes of added
-// state.
+// Quickstart: run Boomerang against the no-prefetch baseline on a
+// server-like workload through the public boomsim API, and print the
+// headline result — the paper's claim in thirty lines: metadata-free
+// control flow delivery at 540 bytes of added state.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"boomerang/internal/frontend"
-	"boomerang/internal/scheme"
-	"boomerang/internal/sim"
-	"boomerang/internal/workload"
+	"boomsim"
 )
 
 func main() {
-	// Pick a workload profile from the paper's Table II.
-	apache, ok := workload.ByName("Apache")
-	if !ok {
-		log.Fatal("workload not found")
+	ctx := context.Background()
+
+	// Build both simulations against the paper's methodology defaults
+	// (Table I core, warm then measure) on the Apache profile of Table II.
+	newSim := func(scheme string) *boomsim.Simulation {
+		s, err := boomsim.New(
+			boomsim.WithScheme(scheme),
+			boomsim.WithWorkload("Apache"),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
 	}
 
-	// Run the no-prefetch baseline, then Boomerang, with the paper's
-	// methodology: warm the microarchitecture, then measure.
-	base, err := sim.Run(sim.DefaultSpec(scheme.Base(), apache))
+	base, err := newSim("Base").Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	boom, err := sim.Run(sim.DefaultSpec(scheme.Boomerang(), apache))
+	boom, err := newSim("Boomerang").Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("Boomerang on", apache.Name)
+	fmt.Println("Boomerang on", boom.Workload)
 	fmt.Printf("  baseline IPC        %.3f\n", base.IPC)
 	fmt.Printf("  Boomerang IPC       %.3f (%.1f%% speedup)\n",
-		boom.IPC, 100*(sim.Speedup(base, boom)-1))
-	fmt.Printf("  stall cycles covered %.1f%%\n", 100*sim.Coverage(base, boom))
+		boom.IPC, 100*(boomsim.Speedup(base, boom)-1))
+	fmt.Printf("  stall cycles covered %.1f%%\n", 100*boomsim.Coverage(base, boom))
 	fmt.Printf("  BTB-miss squashes    %.2f -> %.2f per kilo-instruction\n",
-		base.Stats.SquashesPerKI(frontend.SquashBTBMiss),
-		boom.Stats.SquashesPerKI(frontend.SquashBTBMiss))
+		base.BTBMissSquashesPerKI, boom.BTBMissSquashesPerKI)
 	fmt.Printf("  added metadata       %.2f KB (Confluence needs >200 KB)\n",
-		scheme.Boomerang().StorageOverheadKB)
+		boom.StorageOverheadKB)
 }

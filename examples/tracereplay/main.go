@@ -3,6 +3,11 @@
 // the result is cycle-identical to live execution. Traces decouple workload
 // generation from simulation — the role checkpoint/trace libraries play in
 // full-system methodologies like the paper's Flexus/SimFlex setup.
+//
+// The workload resolves through the public boomsim registry; the engine
+// wiring below intentionally reaches into the lower-level internal packages
+// (frontend, trace, program) because replay drives a hand-built core — the
+// one consumer the high-level Run API cannot serve.
 package main
 
 import (
@@ -10,22 +15,19 @@ import (
 	"fmt"
 	"log"
 
-	"boomerang/internal/bpu"
-	"boomerang/internal/btb"
-	"boomerang/internal/cache"
-	"boomerang/internal/config"
-	"boomerang/internal/core"
-	"boomerang/internal/frontend"
-	"boomerang/internal/trace"
-	"boomerang/internal/workload"
+	"boomsim"
+	"boomsim/internal/bpu"
+	"boomsim/internal/btb"
+	"boomsim/internal/cache"
+	"boomsim/internal/config"
+	"boomsim/internal/core"
+	"boomsim/internal/frontend"
+	"boomsim/internal/program"
+	"boomsim/internal/trace"
 )
 
 func main() {
-	zeus, ok := workload.ByName("Zeus")
-	if !ok {
-		log.Fatal("workload not found")
-	}
-	img, err := zeus.Image(1)
+	img, err := boomsim.BuildImage("Zeus", 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +66,7 @@ func main() {
 	}
 
 	const measure = 500_000
-	live := build(workload.NewWalker(img, 1)).Run(measure, 0)
+	live := build(program.NewWalker(img, 1)).Run(measure, 0)
 	replay := build(rp).Run(measure, 0)
 
 	fmt.Printf("live:   %d instructions in %d cycles (IPC %.3f)\n",

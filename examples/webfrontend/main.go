@@ -5,47 +5,58 @@
 //
 // It prints a Figure 8/9-style table: stall-cycle coverage and speedup per
 // scheme, plus each scheme's metadata bill, so the paper's punchline is
-// visible: Boomerang matches Confluence at ~1/400th the storage.
+// visible: Boomerang matches Confluence at ~1/400th the storage. The whole
+// matrix runs through boomsim.RunMatrix on a worker pool with order-stable
+// results.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"text/tabwriter"
 
-	"boomerang/internal/frontend"
-	"boomerang/internal/scheme"
-	"boomerang/internal/sim"
-	"boomerang/internal/workload"
+	"boomsim"
 )
 
 func main() {
+	ctx := context.Background()
+	schemes := boomsim.DefaultSchemes() // Base, Next Line, DIP, FDIP, SHIFT, Confluence, Boomerang
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	defer tw.Flush()
 
-	for _, name := range []string{"Apache", "Zeus"} {
-		w, ok := workload.ByName(name)
-		if !ok {
-			log.Fatalf("workload %s not found", name)
-		}
-		fmt.Fprintf(tw, "\n%s — %s\n", w.Name, w.Description)
-		fmt.Fprintln(tw, "scheme\tIPC\tspeedup\tcoverage\tBTB-miss sq/KI\tmetadata KB\t")
-
-		spec := sim.DefaultSpec(scheme.Base(), w)
-		base, err := sim.Run(spec)
+	for _, wl := range []string{"Apache", "Zeus"} {
+		info, err := boomsim.LookupWorkload(wl)
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, s := range scheme.All() {
-			spec.Scheme = s
-			r, err := sim.Run(spec)
+
+		// One Simulation per scheme; RunMatrix fans them out and returns
+		// results in spec order, so results[i] matches schemes[i].
+		sims := make([]*boomsim.Simulation, len(schemes))
+		for i, name := range schemes {
+			sims[i], err = boomsim.New(
+				boomsim.WithScheme(name),
+				boomsim.WithWorkload(wl),
+			)
 			if err != nil {
 				log.Fatal(err)
 			}
+		}
+		results, err := boomsim.RunMatrix(ctx, sims)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Fprintf(tw, "\n%s — %s\n", info.Name, info.Description)
+		fmt.Fprintln(tw, "scheme\tIPC\tspeedup\tcoverage\tBTB-miss sq/KI\tmetadata KB\t")
+		base := results[0] // schemes[0] is Base
+		for _, r := range results {
 			fmt.Fprintf(tw, "%s\t%.3f\t%.3fx\t%.1f%%\t%.2f\t%.2f\t\n",
-				s.Name, r.IPC, sim.Speedup(base, r), 100*sim.Coverage(base, r),
-				r.Stats.SquashesPerKI(frontend.SquashBTBMiss), s.StorageOverheadKB)
+				r.Scheme, r.IPC, boomsim.Speedup(base, r), 100*boomsim.Coverage(base, r),
+				r.BTBMissSquashesPerKI, r.StorageOverheadKB)
 		}
 	}
 }

@@ -1,3 +1,3 @@
-module boomerang
+module boomsim
 
 go 1.24

@@ -13,7 +13,7 @@
 // see the frontend package comment).
 package backend
 
-import "boomerang/internal/config"
+import "boomsim/internal/config"
 
 // Group is one fetched basic block (or sequential pseudo-block) in flight.
 type Group struct {

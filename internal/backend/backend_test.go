@@ -3,7 +3,7 @@ package backend
 import (
 	"testing"
 
-	"boomerang/internal/config"
+	"boomsim/internal/config"
 )
 
 func cfg() config.Core {

@@ -4,8 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"boomerang/internal/isa"
-	"boomerang/internal/xrand"
+	"boomsim/internal/isa"
+	"boomsim/internal/xrand"
 )
 
 func TestNeverTaken(t *testing.T) {

@@ -10,7 +10,7 @@
 // Update, using the metadata captured at prediction time.
 package bpu
 
-import "boomerang/internal/isa"
+import "boomsim/internal/isa"
 
 // NumTageTables is the number of tagged TAGE components.
 const NumTageTables = 4

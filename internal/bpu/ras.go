@@ -1,6 +1,6 @@
 package bpu
 
-import "boomerang/internal/isa"
+import "boomsim/internal/isa"
 
 // RAS is a circular return address stack with checkpoint-based recovery.
 // Recovery restores the top pointer and the top-of-stack value (the standard

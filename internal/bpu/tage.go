@@ -1,6 +1,6 @@
 package bpu
 
-import "boomerang/internal/isa"
+import "boomsim/internal/isa"
 
 // TAGE implements the tagged-geometric-history-length predictor of Seznec &
 // Michaud within the paper's 8 KB budget: a 4K-entry 2-bit bimodal base plus

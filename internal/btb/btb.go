@@ -10,8 +10,8 @@
 package btb
 
 import (
-	"boomerang/internal/isa"
-	"boomerang/internal/program"
+	"boomsim/internal/isa"
+	"boomsim/internal/program"
 )
 
 // Entry is one basic-block BTB entry.

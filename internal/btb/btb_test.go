@@ -4,8 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"boomerang/internal/isa"
-	"boomerang/internal/program"
+	"boomsim/internal/isa"
+	"boomsim/internal/program"
 )
 
 func mkEntry(start isa.Addr) Entry {

@@ -1,6 +1,6 @@
 package btb
 
-import "boomerang/internal/isa"
+import "boomsim/internal/isa"
 
 // TwoLevelConfig sizes a hierarchical BTB (Section II-C's alternatives to
 // Boomerang: the IBM z-series "Bulk Preload" design and PhantomBTB).

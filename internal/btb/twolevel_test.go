@@ -3,7 +3,7 @@ package btb
 import (
 	"testing"
 
-	"boomerang/internal/isa"
+	"boomsim/internal/isa"
 )
 
 func tlEntry(start isa.Addr) Entry {

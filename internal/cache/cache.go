@@ -9,7 +9,7 @@ package cache
 import (
 	"fmt"
 
-	"boomerang/internal/isa"
+	"boomsim/internal/isa"
 )
 
 // Line is a cache-line index (address / 64).

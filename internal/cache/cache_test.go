@@ -4,7 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"boomerang/internal/config"
+	"boomsim/internal/config"
 )
 
 func TestGeometry(t *testing.T) {

@@ -1,8 +1,8 @@
 package cache
 
 import (
-	"boomerang/internal/config"
-	"boomerang/internal/flatmap"
+	"boomsim/internal/config"
+	"boomsim/internal/flatmap"
 )
 
 // Level identifies where an instruction access was satisfied.

@@ -24,9 +24,9 @@
 package core
 
 import (
-	"boomerang/internal/btb"
-	"boomerang/internal/cache"
-	"boomerang/internal/isa"
+	"boomsim/internal/btb"
+	"boomsim/internal/cache"
+	"boomsim/internal/isa"
 )
 
 // Config tunes the Boomerang miss handler.

@@ -3,11 +3,11 @@ package core
 import (
 	"testing"
 
-	"boomerang/internal/btb"
-	"boomerang/internal/cache"
-	"boomerang/internal/config"
-	"boomerang/internal/isa"
-	"boomerang/internal/program"
+	"boomsim/internal/btb"
+	"boomsim/internal/cache"
+	"boomsim/internal/config"
+	"boomsim/internal/isa"
+	"boomsim/internal/program"
 )
 
 func testSetup(t testing.TB) (*program.Image, *cache.Hierarchy, *Boomerang) {

@@ -14,8 +14,8 @@ package energy
 import (
 	"fmt"
 
-	"boomerang/internal/cache"
-	"boomerang/internal/frontend"
+	"boomsim/internal/cache"
+	"boomsim/internal/frontend"
 )
 
 // Model holds per-event energies in picojoules.

@@ -3,8 +3,8 @@ package energy
 import (
 	"testing"
 
-	"boomerang/internal/cache"
-	"boomerang/internal/frontend"
+	"boomsim/internal/cache"
+	"boomsim/internal/frontend"
 )
 
 func TestEstimateArithmetic(t *testing.T) {

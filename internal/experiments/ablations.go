@@ -3,9 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"boomerang/internal/core"
-	"boomerang/internal/scheme"
-	"boomerang/internal/sim"
+	"boomsim/internal/core"
+	"boomsim/internal/scheme"
+	"boomsim/internal/sim"
 )
 
 // The ablation studies quantify the design decisions DESIGN.md calls out

@@ -16,11 +16,11 @@ import (
 	"runtime"
 	"strings"
 
-	"boomerang/internal/config"
-	"boomerang/internal/scheme"
-	"boomerang/internal/sim"
-	"boomerang/internal/viz"
-	"boomerang/internal/workload"
+	"boomsim/internal/config"
+	"boomsim/internal/scheme"
+	"boomsim/internal/sim"
+	"boomsim/internal/viz"
+	"boomsim/internal/workload"
 )
 
 // Params scales the experiments: Full is paper-shaped, Quick is sized for
@@ -71,6 +71,22 @@ func Quick() Params {
 		ImageSeed:     1,
 		WalkSeed:      1,
 	}
+}
+
+// WithWorkloads returns a copy of p restricted to the named Table II
+// profiles, so callers can narrow an experiment without importing the
+// workload package themselves.
+func (p Params) WithWorkloads(names ...string) (Params, error) {
+	ws := make([]workload.Profile, len(names))
+	for i, name := range names {
+		w, ok := workload.ByName(name)
+		if !ok {
+			return Params{}, fmt.Errorf("experiments: unknown workload %q", name)
+		}
+		ws[i] = w
+	}
+	p.Workloads = ws
+	return p, nil
 }
 
 func (p Params) workloads() []workload.Profile {
@@ -261,4 +277,3 @@ func (s simScheme) cfg(base config.Core) config.Core {
 	}
 	return c
 }
-

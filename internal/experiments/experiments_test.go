@@ -4,7 +4,7 @@ import (
 	"strings"
 	"testing"
 
-	"boomerang/internal/workload"
+	"boomsim/internal/workload"
 )
 
 // tiny returns the smallest parameter set that still exercises the full

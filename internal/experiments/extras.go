@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"boomerang/internal/energy"
-	"boomerang/internal/frontend"
-	"boomerang/internal/scheme"
-	"boomerang/internal/sim"
-	"boomerang/internal/workload"
+	"boomsim/internal/energy"
+	"boomsim/internal/frontend"
+	"boomsim/internal/scheme"
+	"boomsim/internal/sim"
+	"boomsim/internal/workload"
 )
 
 // CMPTable runs the paper's chip-level configuration — 16 cores executing
@@ -46,7 +47,7 @@ func CMPTable(p Params, cores int, schemesUnderTest []string) (*Table, error) {
 	workers := (p.parallelism() + cores - 1) / cores
 	results := make([]sim.CMPResult, len(points))
 	errs := make([]error, len(points))
-	ForEach(workers, len(points), func(i int) {
+	ForEach(context.Background(), workers, len(points), func(i int) {
 		results[i], errs[i] = sim.RunCMP(sim.CMPSpec{Spec: points[i].spec, Cores: cores})
 	})
 	for i, pt := range points {

@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"boomerang/internal/frontend"
-	"boomerang/internal/isa"
-	"boomerang/internal/scheme"
-	"boomerang/internal/sim"
-	"boomerang/internal/workload"
+	"boomsim/internal/frontend"
+	"boomsim/internal/isa"
+	"boomsim/internal/scheme"
+	"boomsim/internal/sim"
+	"boomsim/internal/workload"
 )
 
 // Fig1 reproduces Figure 1, the opportunity study: speedup from a perfect
@@ -142,7 +143,7 @@ func Fig4(p Params, steps uint64) (*Table, error) {
 	t.Format = "%.2f"
 	cdfs := make([][]float64, len(ws))
 	errs := make([]error, len(ws))
-	ForEach(p.parallelism(), len(ws), func(i int) {
+	ForEach(context.Background(), p.parallelism(), len(ws), func(i int) {
 		img, err := ws[i].Image(p.ImageSeed)
 		if err != nil {
 			errs[i] = err

@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
-	"boomerang/internal/sim"
+	"boomsim/internal/sim"
 )
 
 // This file is the parallel experiment runner: every figure fans its
@@ -24,18 +25,26 @@ import (
 // shared index stream. Order of execution is unspecified; callers must make
 // fn(i) write only to the i-th slot of any shared output. workers <= 1 runs
 // sequentially on the calling goroutine.
-func ForEach(workers, n int, fn func(int)) {
+//
+// Cancellation: once ctx is done, no further indices are dispatched —
+// queued work is abandoned, in-flight fn calls run to completion (pass a
+// ctx-aware fn for prompt teardown), and ForEach returns ctx's error. A nil
+// error means fn ran for every index.
+func ForEach(ctx context.Context, workers, n int, fn func(int)) error {
 	if n == 0 {
-		return
+		return ctx.Err()
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -48,11 +57,25 @@ func ForEach(workers, n int, fn func(int)) {
 			}
 		}()
 	}
+	var err error
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		// Checked before the select: a select with both channels ready
+		// chooses randomly, and an already-canceled context must never
+		// dispatch.
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	return err
 }
 
 // runKey identifies a point in the run matrix.
@@ -97,7 +120,7 @@ func runMatrix(p Params, schemes []labeledScheme) (map[runKey]sim.Result, error)
 
 	results := make([]sim.Result, len(jobs))
 	errs := make([]error, len(jobs))
-	ForEach(p.parallelism(), len(jobs), func(i int) {
+	ForEach(context.Background(), p.parallelism(), len(jobs), func(i int) {
 		results[i], errs[i] = sim.Run(jobs[i].spec)
 	})
 	for i, err := range errs {

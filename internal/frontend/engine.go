@@ -3,13 +3,13 @@ package frontend
 import (
 	"fmt"
 
-	"boomerang/internal/backend"
-	"boomerang/internal/bpu"
-	"boomerang/internal/btb"
-	"boomerang/internal/cache"
-	"boomerang/internal/config"
-	"boomerang/internal/isa"
-	"boomerang/internal/program"
+	"boomsim/internal/backend"
+	"boomsim/internal/bpu"
+	"boomsim/internal/btb"
+	"boomsim/internal/cache"
+	"boomsim/internal/config"
+	"boomsim/internal/isa"
+	"boomsim/internal/program"
 )
 
 // Entry is one FTQ entry: a predicted basic block (or, under a BTB miss with

@@ -3,13 +3,13 @@ package frontend
 import (
 	"testing"
 
-	"boomerang/internal/bpu"
-	"boomerang/internal/btb"
-	"boomerang/internal/cache"
-	"boomerang/internal/config"
-	"boomerang/internal/isa"
-	"boomerang/internal/program"
-	"boomerang/internal/workload"
+	"boomsim/internal/bpu"
+	"boomsim/internal/btb"
+	"boomsim/internal/cache"
+	"boomsim/internal/config"
+	"boomsim/internal/isa"
+	"boomsim/internal/program"
+	"boomsim/internal/workload"
 )
 
 func testImage(t testing.TB, kb int) *program.Image {

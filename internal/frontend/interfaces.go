@@ -22,9 +22,9 @@
 package frontend
 
 import (
-	"boomerang/internal/btb"
-	"boomerang/internal/isa"
-	"boomerang/internal/workload"
+	"boomsim/internal/btb"
+	"boomsim/internal/isa"
+	"boomsim/internal/program"
 )
 
 // MissHandler decides what the branch prediction unit does on a genuine
@@ -50,7 +50,7 @@ type Oracle interface {
 	// PC returns the start address of the next block to execute.
 	PC() isa.Addr
 	// Next consumes and returns one committed step.
-	Next() workload.Step
+	Next() program.Step
 }
 
 // BTBFillObserver is an optional MissHandler extension: handlers that

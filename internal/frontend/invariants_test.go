@@ -4,12 +4,12 @@ import (
 	"testing"
 	"testing/quick"
 
-	"boomerang/internal/bpu"
-	"boomerang/internal/btb"
-	"boomerang/internal/cache"
-	"boomerang/internal/config"
-	"boomerang/internal/isa"
-	"boomerang/internal/workload"
+	"boomsim/internal/bpu"
+	"boomsim/internal/btb"
+	"boomsim/internal/cache"
+	"boomsim/internal/config"
+	"boomsim/internal/isa"
+	"boomsim/internal/workload"
 )
 
 // These tests pin down cross-cutting engine invariants that the behavioural

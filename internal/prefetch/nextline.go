@@ -6,8 +6,8 @@
 package prefetch
 
 import (
-	"boomerang/internal/cache"
-	"boomerang/internal/isa"
+	"boomsim/internal/cache"
+	"boomsim/internal/isa"
 )
 
 // NextLine prefetches the N lines following every demand access — the

@@ -3,9 +3,9 @@ package prefetch
 import (
 	"testing"
 
-	"boomerang/internal/cache"
-	"boomerang/internal/config"
-	"boomerang/internal/isa"
+	"boomsim/internal/cache"
+	"boomsim/internal/config"
+	"boomsim/internal/isa"
 )
 
 func hier() *cache.Hierarchy {

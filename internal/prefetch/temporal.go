@@ -1,8 +1,8 @@
 package prefetch
 
 import (
-	"boomerang/internal/cache"
-	"boomerang/internal/isa"
+	"boomsim/internal/cache"
+	"boomsim/internal/isa"
 )
 
 // TemporalConfig sizes a temporal-streaming instruction prefetcher.

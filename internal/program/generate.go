@@ -3,8 +3,8 @@ package program
 import (
 	"fmt"
 
-	"boomerang/internal/isa"
-	"boomerang/internal/xrand"
+	"boomsim/internal/isa"
+	"boomsim/internal/xrand"
 )
 
 // GenParams parameterises the synthetic code-image generator. The defaults

@@ -15,8 +15,8 @@ import (
 	"fmt"
 	"sort"
 
-	"boomerang/internal/flatmap"
-	"boomerang/internal/isa"
+	"boomsim/internal/flatmap"
+	"boomsim/internal/isa"
 )
 
 // Behaviour selects how the oracle resolves a conditional or indirect

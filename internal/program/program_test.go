@@ -4,7 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"boomerang/internal/isa"
+	"boomsim/internal/isa"
 )
 
 func smallParams(seed uint64) GenParams {

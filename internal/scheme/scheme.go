@@ -10,16 +10,16 @@ package scheme
 import (
 	"fmt"
 
-	"boomerang/internal/bpu"
-	"boomerang/internal/btb"
-	"boomerang/internal/cache"
-	"boomerang/internal/config"
-	"boomerang/internal/core"
-	"boomerang/internal/frontend"
-	"boomerang/internal/isa"
-	"boomerang/internal/prefetch"
-	"boomerang/internal/program"
-	"boomerang/internal/workload"
+	"boomsim/internal/bpu"
+	"boomsim/internal/btb"
+	"boomsim/internal/cache"
+	"boomsim/internal/config"
+	"boomsim/internal/core"
+	"boomsim/internal/frontend"
+	"boomsim/internal/isa"
+	"boomsim/internal/prefetch"
+	"boomsim/internal/program"
+	"boomsim/internal/workload"
 )
 
 // Env is everything a scheme needs to instantiate.

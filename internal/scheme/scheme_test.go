@@ -3,9 +3,9 @@ package scheme
 import (
 	"testing"
 
-	"boomerang/internal/config"
-	"boomerang/internal/isa"
-	"boomerang/internal/program"
+	"boomsim/internal/config"
+	"boomsim/internal/isa"
+	"boomsim/internal/program"
 )
 
 func testEnv(t testing.TB) Env {

@@ -3,8 +3,8 @@ package sim
 import (
 	"sync"
 
-	"boomerang/internal/frontend"
-	"boomerang/internal/stats"
+	"boomsim/internal/frontend"
+	"boomsim/internal/stats"
 )
 
 // SampledResult aggregates repeated measurements of one configuration across

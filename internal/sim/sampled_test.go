@@ -3,7 +3,7 @@ package sim
 import (
 	"testing"
 
-	"boomerang/internal/scheme"
+	"boomsim/internal/scheme"
 )
 
 func TestRunSampled(t *testing.T) {

@@ -7,16 +7,17 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
-	"boomerang/internal/cache"
-	"boomerang/internal/config"
-	"boomerang/internal/frontend"
-	"boomerang/internal/prefetch"
-	"boomerang/internal/program"
-	"boomerang/internal/scheme"
-	"boomerang/internal/workload"
+	"boomsim/internal/cache"
+	"boomsim/internal/config"
+	"boomsim/internal/frontend"
+	"boomsim/internal/prefetch"
+	"boomsim/internal/program"
+	"boomsim/internal/scheme"
+	"boomsim/internal/workload"
 )
 
 // Spec describes one simulation.
@@ -81,7 +82,10 @@ type imageCacheEntry struct {
 }
 
 func imageFor(p workload.Profile, seed uint64) (*program.Image, error) {
-	key := fmt.Sprintf("%s/%d", p.Name, seed)
+	// The key covers the full generator parameterisation, not just the
+	// profile name: public-API callers can override the footprint (or
+	// register same-named variants), and those must not share an image.
+	key := fmt.Sprintf("%s/%d/%+v", p.Name, seed, p.Gen)
 	v, _ := imageCache.LoadOrStore(key, &imageCacheEntry{})
 	e := v.(*imageCacheEntry)
 	e.once.Do(func() {
@@ -90,12 +94,41 @@ func imageFor(p workload.Profile, seed uint64) (*program.Image, error) {
 	return e.img, e.err
 }
 
+// Hooks customises a context-aware run. The zero value means "no
+// observation": the simulation runs in one uninterrupted stretch.
+type Hooks struct {
+	// ProgressEvery is the instruction granularity (within the measurement
+	// window) at which the run checks ctx and reports progress. 0 uses
+	// DefaultProgressEvery when the context is cancellable or Progress is
+	// set, and disables chunking otherwise.
+	ProgressEvery uint64
+	// Progress, if non-nil, is called after every chunk with the retired
+	// instruction count so far and the measurement target. It runs on the
+	// simulating goroutine; keep it cheap.
+	Progress func(done, total uint64)
+}
+
+// DefaultProgressEvery is the chunk size used when Hooks.ProgressEvery is
+// zero but chunking is needed. At ~150ns/instruction it bounds cancellation
+// latency to single-digit milliseconds.
+const DefaultProgressEvery = 50_000
+
 // Run executes one simulation.
 func Run(spec Spec) (Result, error) {
+	return RunContext(context.Background(), spec, Hooks{})
+}
+
+// RunContext executes one simulation with cooperative cancellation: the
+// simulation loop checks ctx every Hooks.ProgressEvery retired instructions
+// (warmup and measurement alike) and returns ctx's error if it fired.
+func RunContext(ctx context.Context, spec Spec, h Hooks) (Result, error) {
 	if spec.Cfg == (config.Core{}) {
 		spec.Cfg = config.Default()
 	}
 	if err := spec.Cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	img, err := imageFor(spec.Workload, spec.ImageSeed)
@@ -111,11 +144,22 @@ func Run(spec Spec) (Result, error) {
 	// The paper measures from SMARTS checkpoints with warmed caches: all 16
 	// cores run the same binary, so its text is LLC-resident. Preload it.
 	warmLLCWithImage(inst, img)
+
+	chunk := h.ProgressEvery
+	if chunk == 0 && (ctx.Done() != nil || h.Progress != nil) {
+		chunk = DefaultProgressEvery
+	}
+
 	if spec.WarmInstrs > 0 {
-		inst.Engine.Run(spec.WarmInstrs, 0)
+		if err := runWindow(ctx, inst, spec.WarmInstrs, 0, chunk, nil); err != nil {
+			return Result{}, err
+		}
 		inst.Engine.ResetStats()
 	}
-	st := inst.Engine.Run(spec.MeasureInstrs, spec.MaxCycles)
+	if err := runWindow(ctx, inst, spec.MeasureInstrs, spec.MaxCycles, chunk, h.Progress); err != nil {
+		return Result{}, err
+	}
+	st := inst.Engine.Stats()
 	r := Result{
 		SchemeName:   spec.Scheme.Name,
 		WorkloadName: spec.Workload.Name,
@@ -135,6 +179,42 @@ func Run(spec Spec) (Result, error) {
 		r.PrefetchMetaBytes = 5 * (tp.Replayed + tp.Triggers)
 	}
 	return r, nil
+}
+
+// runWindow advances the engine until target instructions have retired
+// since the last stats reset (or maxCycles elapsed), in chunks of chunk
+// instructions with a ctx check between chunks. chunk == 0 runs the whole
+// window in one call with no checks — the hot path stays branch-free.
+func runWindow(ctx context.Context, inst *scheme.Instance, target uint64, maxCycles int64, chunk uint64, progress func(done, total uint64)) error {
+	if chunk == 0 {
+		inst.Engine.Run(target, maxCycles)
+		return nil
+	}
+	done := uint64(0)
+	for {
+		next := done + chunk
+		if next > target {
+			next = target
+		}
+		st := inst.Engine.Run(next, maxCycles)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if progress != nil {
+			reached := st.RetiredInstrs
+			if reached > target {
+				reached = target
+			}
+			progress(reached, target)
+		}
+		if st.RetiredInstrs >= target {
+			return nil
+		}
+		if maxCycles > 0 && st.Cycles >= maxCycles {
+			return nil // cycle budget exhausted before the instruction target
+		}
+		done = st.RetiredInstrs
+	}
 }
 
 func warmLLCWithImage(inst *scheme.Instance, img *program.Image) {
@@ -169,19 +249,28 @@ func Speedup(base, r Result) float64 {
 // latency below the pipelined L1-I hit time) there is nothing to cover and
 // the metric is defined as zero rather than a noise-amplified ratio.
 func Coverage(base, r Result) float64 {
+	return CoverageFromStalls(base.Stats.FetchStallCycles, base.Stats.RetiredInstrs,
+		r.Stats.FetchStallCycles, r.Stats.RetiredInstrs)
+}
+
+// CoverageFromStalls is the coverage metric on raw counters. It is the one
+// definition of the formula — the public boomsim package computes coverage
+// from its own Result type through this function, so the noise floor and
+// normalisation stay calibrated in exactly one place.
+func CoverageFromStalls(baseStalls, baseInstrs, stalls, instrs uint64) float64 {
 	const floor = 0.002 // stall cycles per instruction
-	b := stallsPerInstr(base)
+	b := stallsPerInstr(baseStalls, baseInstrs)
 	if b < floor {
 		return 0
 	}
-	return 1 - stallsPerInstr(r)/b
+	return 1 - stallsPerInstr(stalls, instrs)/b
 }
 
-func stallsPerInstr(r Result) float64 {
-	if r.Stats.RetiredInstrs == 0 {
+func stallsPerInstr(stalls, instrs uint64) float64 {
+	if instrs == 0 {
 		return 0
 	}
-	return float64(r.Stats.FetchStallCycles) / float64(r.Stats.RetiredInstrs)
+	return float64(stalls) / float64(instrs)
 }
 
 // CMPSpec describes a chip-level run: N independent cores executing the
@@ -205,6 +294,15 @@ type CMPResult struct {
 // independent; sharing is modelled through the LLC capacity each hierarchy
 // is built with).
 func RunCMP(spec CMPSpec) (CMPResult, error) {
+	return RunCMPContext(context.Background(), spec, Hooks{})
+}
+
+// RunCMPContext is RunCMP with cooperative cancellation: every core's
+// simulation loop checks ctx at h.ProgressEvery granularity, so canceling
+// stops the whole chip promptly. h.Progress is not propagated — the cores
+// run concurrently, so per-core progress callbacks would interleave
+// meaninglessly.
+func RunCMPContext(ctx context.Context, spec CMPSpec, h Hooks) (CMPResult, error) {
 	if spec.Cores <= 0 {
 		spec.Cores = config.DefaultCMP().Cores
 	}
@@ -220,7 +318,7 @@ func RunCMP(spec CMPSpec) (CMPResult, error) {
 			// All cores execute the same binary, so the shared LLC holds one
 			// copy of the code: each core sees the full capacity for
 			// instructions (the paper's homogeneous-consolidation setup).
-			results[i], errs[i] = Run(s)
+			results[i], errs[i] = RunContext(ctx, s, Hooks{ProgressEvery: h.ProgressEvery})
 		}(i)
 	}
 	wg.Wait()

@@ -3,11 +3,11 @@ package sim
 import (
 	"testing"
 
-	"boomerang/internal/config"
-	"boomerang/internal/frontend"
-	"boomerang/internal/program"
-	"boomerang/internal/scheme"
-	"boomerang/internal/workload"
+	"boomsim/internal/config"
+	"boomsim/internal/frontend"
+	"boomsim/internal/program"
+	"boomsim/internal/scheme"
+	"boomsim/internal/workload"
 )
 
 // fastProfile shrinks a workload for test runtime while keeping its shape.

@@ -5,7 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"boomerang/internal/xrand"
+	"boomsim/internal/xrand"
 )
 
 func TestEmptySample(t *testing.T) {

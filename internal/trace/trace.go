@@ -22,9 +22,8 @@ import (
 	"fmt"
 	"io"
 
-	"boomerang/internal/isa"
-	"boomerang/internal/program"
-	"boomerang/internal/workload"
+	"boomsim/internal/isa"
+	"boomsim/internal/program"
 )
 
 const magic = "BOOMTRC1"
@@ -58,7 +57,7 @@ func NewWriter(w io.Writer, img *program.Image) (*Writer, error) {
 }
 
 // WriteStep appends one committed step.
-func (t *Writer) WriteStep(s workload.Step) error {
+func (t *Writer) WriteStep(s program.Step) error {
 	var buf [2*binary.MaxVarintLen64 + 1]byte
 	flags := byte(0)
 	if s.Taken {
@@ -93,7 +92,7 @@ func Record(img *program.Image, seed uint64, steps uint64, w io.Writer) (uint64,
 	if err != nil {
 		return 0, err
 	}
-	walker := workload.NewWalker(img, seed)
+	walker := program.NewWalker(img, seed)
 	for i := uint64(0); i < steps; i++ {
 		if err := tw.WriteStep(walker.Next()); err != nil {
 			return tw.Count(), err
@@ -140,22 +139,22 @@ func NewReader(r io.Reader, img *program.Image) (*Reader, error) {
 }
 
 // Next returns the next recorded step, or io.EOF after the last.
-func (t *Reader) Next() (workload.Step, error) {
+func (t *Reader) Next() (program.Step, error) {
 	flags, err := t.r.ReadByte()
 	if err != nil {
-		return workload.Step{}, err // io.EOF passes through
+		return program.Step{}, err // io.EOF passes through
 	}
 	delta, err := binary.ReadVarint(t.r)
 	if err != nil {
-		return workload.Step{}, unexpectedEOF(err)
+		return program.Step{}, unexpectedEOF(err)
 	}
 	addr := isa.Addr(int64(t.prev) + delta)
 	t.prev = addr
 	blk, ok := t.img.BlockAt(addr)
 	if !ok {
-		return workload.Step{}, fmt.Errorf("trace: %#x is not a block start (corrupt trace or wrong image)", addr)
+		return program.Step{}, fmt.Errorf("trace: %#x is not a block start (corrupt trace or wrong image)", addr)
 	}
-	s := workload.Step{
+	s := program.Step{
 		Block:      blk,
 		Taken:      flags&flagTaken != 0,
 		EntryClass: t.entryClass,
@@ -164,7 +163,7 @@ func (t *Reader) Next() (workload.Step, error) {
 	case flags&flagTarget != 0:
 		tdelta, err := binary.ReadVarint(t.r)
 		if err != nil {
-			return workload.Step{}, unexpectedEOF(err)
+			return program.Step{}, unexpectedEOF(err)
 		}
 		s.Target = isa.Addr(int64(blk.FallThrough()) + tdelta)
 	case s.Taken:
@@ -192,7 +191,7 @@ func unexpectedEOF(err error) error {
 // panics — size the simulation window within the recording.
 type Replayer struct {
 	r    *Reader
-	next workload.Step
+	next program.Step
 	err  error
 }
 
@@ -215,7 +214,7 @@ func (rp *Replayer) PC() isa.Addr {
 }
 
 // Next implements frontend.Oracle.
-func (rp *Replayer) Next() workload.Step {
+func (rp *Replayer) Next() program.Step {
 	if rp.err != nil {
 		panic(fmt.Sprintf("trace: replay past end of recording: %v", rp.err))
 	}

@@ -5,13 +5,13 @@ import (
 	"io"
 	"testing"
 
-	"boomerang/internal/bpu"
-	"boomerang/internal/btb"
-	"boomerang/internal/cache"
-	"boomerang/internal/config"
-	"boomerang/internal/frontend"
-	"boomerang/internal/program"
-	"boomerang/internal/workload"
+	"boomsim/internal/bpu"
+	"boomsim/internal/btb"
+	"boomsim/internal/cache"
+	"boomsim/internal/config"
+	"boomsim/internal/frontend"
+	"boomsim/internal/program"
+	"boomsim/internal/workload"
 )
 
 func testImage(t testing.TB, seed uint64) *program.Image {

@@ -7,7 +7,7 @@
 // dispatch behaviour — so the schemes under test are exercised the same way.
 package workload
 
-import "boomerang/internal/program"
+import "boomsim/internal/program"
 
 // Profile names one workload: its generator parameterisation plus metadata.
 type Profile struct {

@@ -3,8 +3,8 @@ package workload
 import (
 	"testing"
 
-	"boomerang/internal/isa"
-	"boomerang/internal/program"
+	"boomsim/internal/isa"
+	"boomsim/internal/program"
 )
 
 func testImage(t testing.TB, seed uint64) *program.Image {

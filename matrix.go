@@ -1,0 +1,81 @@
+package boomsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"boomsim/internal/experiments"
+)
+
+// MatrixOption configures a RunMatrix call.
+type MatrixOption func(*matrixConfig)
+
+type matrixConfig struct {
+	parallelism int
+}
+
+// WithParallelism bounds the number of simulations RunMatrix executes
+// concurrently (0 or unset = GOMAXPROCS, 1 = sequential). Results are
+// identical for every value.
+func WithParallelism(n int) MatrixOption {
+	return func(c *matrixConfig) {
+		c.parallelism = n
+	}
+}
+
+// RunMatrix executes every simulation across a bounded worker pool and
+// returns order-stable results: results[i] is sims[i]'s outcome no matter
+// the parallelism or completion order, and — each simulation being a pure
+// function of its options — the full result slice is deterministic.
+//
+// Cancellation is cooperative at both levels: a fired ctx stops queued
+// simulations from starting and interrupts the ones in flight, returning
+// ErrCanceled. A simulation failure surfaces as the lowest-index error.
+func RunMatrix(ctx context.Context, sims []*Simulation, opts ...MatrixOption) ([]Result, error) {
+	var cfg matrixConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	workers := cfg.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for i, s := range sims {
+		if s == nil {
+			return nil, fmt.Errorf("%w: sims[%d] is nil", ErrInvalidOption, i)
+		}
+	}
+
+	results := make([]Result, len(sims))
+	errs := make([]error, len(sims))
+	ctxErr := experiments.ForEach(ctx, workers, len(sims), func(i int) {
+		results[i], errs[i] = sims[i].Run(ctx)
+	})
+
+	// Genuine simulation failures outrank cancellation noise: report the
+	// lowest-index one so the same failure surfaces at any parallelism.
+	canceled := ctxErr != nil
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrCanceled) {
+			canceled = true
+			continue
+		}
+		return nil, fmt.Errorf("sims[%d] (%s on %s): %w",
+			i, sims[i].schemeName, sims[i].workloadName, err)
+	}
+	if canceled {
+		if ctxErr == nil {
+			ctxErr = ctx.Err()
+		}
+		if ctxErr == nil {
+			return nil, ErrCanceled
+		}
+		return nil, fmt.Errorf("%w: %w", ErrCanceled, ctxErr)
+	}
+	return results, nil
+}

@@ -1,0 +1,133 @@
+package boomsim
+
+import (
+	"boomsim/internal/frontend"
+	"boomsim/internal/sim"
+)
+
+// Result is one simulation's outcome: plain data, ready for JSON.
+type Result struct {
+	// Scheme and Workload name the simulated configuration.
+	Scheme   string `json:"scheme"`
+	Workload string `json:"workload"`
+
+	// Instructions and Cycles span the measurement window; IPC is their
+	// ratio (the paper's per-core performance metric).
+	Instructions uint64  `json:"instructions"`
+	Cycles       int64   `json:"cycles"`
+	IPC          float64 `json:"ipc"`
+
+	// FetchStallCycles counts cycles the fetch engine sat waiting for
+	// instruction lines on the correct path; StallFraction normalises by
+	// total cycles. StallCycles splits them by the discontinuity class of
+	// the stalled line (Figure 3's attribution).
+	FetchStallCycles uint64      `json:"fetch_stall_cycles"`
+	StallFraction    float64     `json:"stall_fraction"`
+	StallCycles      ClassCounts `json:"stall_cycles_by_class"`
+
+	// Squash anatomy (Figure 7's unit: events per kilo-instruction).
+	MispredictSquashesPerKI float64 `json:"mispredict_squashes_per_ki"`
+	BTBMissSquashesPerKI    float64 `json:"btb_miss_squashes_per_ki"`
+
+	// BTB behaviour on correct-path prediction attempts.
+	BTBLookups  uint64  `json:"btb_lookups"`
+	BTBMisses   uint64  `json:"btb_misses"`
+	BTBMissRate float64 `json:"btb_miss_rate"`
+
+	// L1IMissesPerKI is demand instruction-line misses per
+	// kilo-instruction (MPKI).
+	L1IMissesPerKI float64 `json:"l1i_misses_per_ki"`
+
+	// Hierarchy traffic: prefetches issued, LLC accesses and misses.
+	Prefetches  uint64 `json:"prefetches"`
+	LLCAccesses uint64 `json:"llc_accesses"`
+	LLCMisses   uint64 `json:"llc_misses"`
+
+	// PredecodedLines counts cache lines run through a predecoder
+	// (Boomerang's miss scans, Confluence's fill path; zero elsewhere).
+	PredecodedLines uint64 `json:"predecoded_lines"`
+	// PrefetchMetaBytes estimates prefetcher metadata moved (temporal
+	// streamers only).
+	PrefetchMetaBytes uint64 `json:"prefetch_meta_bytes"`
+
+	// StorageOverheadKB is the scheme's per-core metadata bill (Section
+	// VI-D) — the axis of the paper's headline comparison.
+	StorageOverheadKB float64 `json:"storage_overhead_kb"`
+}
+
+// ClassCounts attributes per-class quantities to how the fetch stream
+// entered the line: sequentially, via a taken conditional, or via an
+// unconditional redirect.
+type ClassCounts struct {
+	Sequential    uint64 `json:"sequential"`
+	Conditional   uint64 `json:"conditional"`
+	Unconditional uint64 `json:"unconditional"`
+}
+
+// CMPResult aggregates a chip-level run.
+type CMPResult struct {
+	// PerCore holds each core's individual Result.
+	PerCore []Result `json:"per_core"`
+	// Throughput is total retired instructions divided by the slowest
+	// core's cycles — the paper's chip-level metric.
+	Throughput float64 `json:"throughput"`
+}
+
+func newResult(r sim.Result, storageKB float64) Result {
+	st := r.Stats
+	out := Result{
+		Scheme:       r.SchemeName,
+		Workload:     r.WorkloadName,
+		Instructions: st.RetiredInstrs,
+		Cycles:       st.Cycles,
+		IPC:          r.IPC,
+
+		FetchStallCycles: st.FetchStallCycles,
+		StallFraction:    st.StallFraction(),
+		StallCycles: ClassCounts{
+			Sequential:    st.StallByClass[0],
+			Conditional:   st.StallByClass[1],
+			Unconditional: st.StallByClass[2],
+		},
+
+		MispredictSquashesPerKI: st.MispredictSquashesPerKI(),
+		BTBMissSquashesPerKI:    st.SquashesPerKI(frontend.SquashBTBMiss),
+
+		BTBLookups:  st.BTBLookups,
+		BTBMisses:   st.BTBMisses,
+		BTBMissRate: st.BTBMissRate(),
+
+		Prefetches:  r.Hier.Prefetches,
+		LLCAccesses: r.Hier.LLCAccesses,
+		LLCMisses:   r.Hier.LLCMisses,
+
+		PredecodedLines:   r.PredecodedLines,
+		PrefetchMetaBytes: r.PrefetchMetaBytes,
+		StorageOverheadKB: storageKB,
+	}
+	if st.RetiredInstrs > 0 {
+		out.L1IMissesPerKI = float64(st.DemandLineMisses) * 1000 / float64(st.RetiredInstrs)
+	}
+	return out
+}
+
+// Speedup returns r's performance relative to base (same workload): the
+// ratio of IPCs, the paper's Figures 9/11 metric.
+func Speedup(base, r Result) float64 {
+	if base.IPC == 0 {
+		return 0
+	}
+	return r.IPC / base.IPC
+}
+
+// Coverage returns the fraction of base's front-end stall cycles that r
+// eliminated — the paper's "stall cycles covered" metric (Figures 2, 5, 8).
+// Stall cycles are normalised per retired instruction so windows of
+// different lengths compare fairly; when the baseline barely stalls the
+// metric is defined as zero rather than a noise-amplified ratio. The
+// formula is shared with the internal experiment harness, so figures and
+// public-API output always agree.
+func Coverage(base, r Result) float64 {
+	return sim.CoverageFromStalls(base.FetchStallCycles, base.Instructions,
+		r.FetchStallCycles, r.Instructions)
+}
