@@ -11,18 +11,19 @@ import (
 )
 
 // TestConsumersUseOnlyThePublicAPI pins the api boundary: the binaries in
-// cmd/ and the programs in examples/ must consume the simulator through the
-// public boomsim package, never by reaching into the internal simulation
-// layers. Lower-level plumbing packages (trace, program, frontend, ...)
-// stay importable for tools that genuinely drive hand-built engines; the
-// three banned packages are the ones the public API wraps.
+// cmd/, the programs in examples/ and the boomsimd service layer in
+// internal/server must consume the simulator through the public boomsim
+// package, never by reaching into the internal simulation layers.
+// Lower-level plumbing packages (trace, program, frontend, ...) stay
+// importable for tools that genuinely drive hand-built engines; the three
+// banned packages are the ones the public API wraps.
 func TestConsumersUseOnlyThePublicAPI(t *testing.T) {
 	banned := []string{
 		"boomsim/internal/sim",
 		"boomsim/internal/scheme",
 		"boomsim/internal/workload",
 	}
-	for _, root := range []string{"cmd", "examples"} {
+	for _, root := range []string{"cmd", "examples", "internal/server"} {
 		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 			if err != nil {
 				return err

@@ -38,19 +38,36 @@ type Simulation struct {
 	cfg      config.Core
 }
 
+// Defaults reproduce the paper's headline methodology; New starts from
+// these, and wire protocols (cmd/boomsimd) reference them instead of
+// duplicating the values.
+const (
+	// DefaultScheme and DefaultWorkload are the headline configuration.
+	DefaultScheme   = "Boomerang"
+	DefaultWorkload = "Apache"
+	// DefaultImageSeed and DefaultWalkSeed make unconfigured runs
+	// reproducible.
+	DefaultImageSeed = 1
+	DefaultWalkSeed  = 1
+	// DefaultWarmInstrs and DefaultMeasureInstrs are the SMARTS-style
+	// measurement window: 200K warm + 1M measured instructions.
+	DefaultWarmInstrs    = 200_000
+	DefaultMeasureInstrs = 1_000_000
+)
+
 // New builds a Simulation from functional options, resolving the scheme and
 // workload against the registries and validating the resulting core
 // configuration. Defaults reproduce the paper's headline methodology:
 // Boomerang on Apache, Table I core, 200K warm + 1M measured instructions,
-// seeds 1/1.
+// seeds 1/1 (the Default* constants).
 func New(opts ...Option) (*Simulation, error) {
 	s := &Simulation{
-		schemeName:    "Boomerang",
-		workloadName:  "Apache",
-		imageSeed:     1,
-		walkSeed:      1,
-		warmInstrs:    200_000,
-		measureInstrs: 1_000_000,
+		schemeName:    DefaultScheme,
+		workloadName:  DefaultWorkload,
+		imageSeed:     DefaultImageSeed,
+		walkSeed:      DefaultWalkSeed,
+		warmInstrs:    DefaultWarmInstrs,
+		measureInstrs: DefaultMeasureInstrs,
 	}
 	for _, opt := range opts {
 		if err := opt(s); err != nil {

@@ -1,0 +1,92 @@
+// Command boomsimd serves simulations over HTTP: the public boomsim API
+// wrapped in a cached, batched, backpressured service.
+//
+// Endpoints:
+//
+//	POST /v1/run       one configuration -> JSON result (content-cached)
+//	POST /v1/matrix    batch of configurations -> order-stable results
+//	GET  /v1/schemes   registered schemes
+//	GET  /v1/workloads registered workloads
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      Prometheus text: requests, cache hits, in-flight
+//	                   sims, queue depth, ns/instr
+//
+// Example:
+//
+//	boomsimd -addr :8080 -workers 8 -queue 64
+//	curl -s localhost:8080/v1/run -d '{"scheme":"Boomerang","workload":"DB2"}'
+//
+// SIGINT/SIGTERM drains gracefully: queued and running simulations are
+// canceled through boomsim's cooperative-cancellation path, in-flight HTTP
+// responses are flushed, and the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"boomsim/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "max queued+running flights before 429 (0 = 4x workers)")
+		cache   = flag.Int("cache", 0, "result cache entries (0 = 4096)")
+		timeout = flag.Duration("timeout", 0, "per-request deadline cap (0 = 5m)")
+		grace   = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight HTTP responses")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		RequestTimeout: *timeout,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("boomsimd listening on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		fatalf("serving: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Drain: cancel simulations first so blocked handlers respond promptly,
+	// then let in-flight HTTP responses flush within the grace period.
+	log.Printf("signal received; draining (grace %v)", *grace)
+	srv.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fatalf("shutdown: %v", err)
+	}
+	stats := srv.Stats()
+	log.Printf("drained: %d requests, %d sims, %d cache hits, %.0f ns/instr",
+		stats.Requests, stats.SimsStarted, stats.CacheHits, stats.NsPerInstr())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "boomsimd: "+format+"\n", args...)
+	os.Exit(1)
+}

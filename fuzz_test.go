@@ -1,0 +1,141 @@
+package boomsim_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"boomsim"
+)
+
+// FuzzNew throws arbitrary scheme/workload names and option values at the
+// constructor. The contract under fuzz: New never panics, and either
+// returns one of the typed sentinel errors or a fully usable Simulation
+// (metadata, canonical key and fingerprint all well-defined). Small
+// configurations are additionally executed so the engine itself sees
+// adversarial-but-valid inputs.
+func FuzzNew(f *testing.F) {
+	f.Add("Boomerang", "Apache", "tage", 2048, 30, 64, uint64(1), uint64(1), uint64(200), uint64(1000), int64(0))
+	f.Add("", "", "", 0, 0, 0, uint64(0), uint64(0), uint64(0), uint64(0), int64(0))
+	f.Add("FDIP", "DB2", "never-taken", -1, -5, 16, uint64(99), uint64(7), uint64(0), uint64(500), int64(-3))
+	f.Add("no such scheme", "no such workload", "oracle", 1, 1, 1, uint64(1), uint64(1), uint64(1), uint64(1), int64(1))
+	f.Add("Boomerang-N2", "SPEC-like", "bimodal", 512, 18, 32, uint64(3), uint64(5), uint64(100), uint64(2000), int64(100000))
+
+	f.Fuzz(func(t *testing.T, schemeName, workloadName, predictor string,
+		btb, llc, footprint int, imageSeed, walkSeed, warm, measure uint64, maxCycles int64,
+	) {
+		opts := []boomsim.Option{
+			boomsim.WithSeeds(imageSeed, walkSeed),
+			boomsim.WithWindow(warm, measure),
+			boomsim.WithMaxCycles(maxCycles),
+			boomsim.WithFootprintKB(footprint),
+			boomsim.WithPredictor(predictor),
+		}
+		// Zero means "keep the default" on the wire (see boomsimd's
+		// RunRequest); nonzero values — including invalid negatives — go
+		// through the option so its validation is fuzzed too.
+		if btb != 0 {
+			opts = append(opts, boomsim.WithBTBEntries(btb))
+		}
+		if llc != 0 {
+			opts = append(opts, boomsim.WithLLCLatency(llc))
+		}
+		if schemeName != "" {
+			opts = append(opts, boomsim.WithScheme(schemeName))
+		}
+		if workloadName != "" {
+			opts = append(opts, boomsim.WithWorkload(workloadName))
+		}
+		s, err := boomsim.New(opts...)
+		if err != nil {
+			if !errors.Is(err, boomsim.ErrUnknownScheme) &&
+				!errors.Is(err, boomsim.ErrUnknownWorkload) &&
+				!errors.Is(err, boomsim.ErrInvalidOption) {
+				t.Fatalf("New returned an untyped error: %v", err)
+			}
+			return
+		}
+
+		// A non-error Simulation must be fully formed.
+		if s.Scheme().Name == "" || s.Workload().Name == "" {
+			t.Fatalf("constructed simulation has empty metadata: %+v/%+v", s.Scheme(), s.Workload())
+		}
+		if s.Key() == "" || len(s.Fingerprint()) != 64 {
+			t.Fatalf("constructed simulation has malformed identity: key=%q fp=%q", s.Key(), s.Fingerprint())
+		}
+
+		// ...and runnable, which we prove for configurations small enough
+		// to stay inside the fuzzing budget.
+		if footprint >= 16 && footprint <= 128 && measure >= 100 && measure <= 5_000 && warm <= 5_000 {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			r, err := s.Run(ctx)
+			if err != nil {
+				t.Fatalf("small valid configuration failed to run: %v", err)
+			}
+			// A cycle budget may legitimately stop the run early; only an
+			// unbounded run owes the full window and a meaningful IPC.
+			// Retirement is superscalar-wide, so the window may overshoot
+			// by a retire group — "at least measure" is the contract.
+			if maxCycles == 0 && (r.Instructions < measure || r.Cycles <= 0 || r.IPC <= 0) {
+				t.Fatalf("implausible result for the %d-instruction window: %+v", measure, r)
+			}
+		}
+	})
+}
+
+// FuzzMatrixParallelismInvariance is the property test behind
+// WithParallelism's documentation: for a random small matrix, RunMatrix
+// output is byte-identical at parallelism 1 and 8. Determinism across
+// worker counts is what makes boomsimd's result cache sound, so this
+// property guards the whole serving stack.
+func FuzzMatrixParallelismInvariance(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(0))
+	f.Add(uint64(42), uint8(6), uint8(200))
+	f.Add(uint64(0xdeadbeef), uint8(1), uint8(77))
+
+	schemes := []string{"Base", "FDIP", "Boomerang", "Confluence", "Next Line", "Boomerang-N0"}
+	workloads := []string{"Apache", "DB2", "SPEC-like", "Zeus"}
+
+	f.Fuzz(func(t *testing.T, seed uint64, cells, seedSkew uint8) {
+		n := int(cells)%6 + 1
+		rng := rand.New(rand.NewSource(int64(seed)))
+		sims := make([]*boomsim.Simulation, n)
+		for i := range sims {
+			var err error
+			sims[i], err = boomsim.New(
+				boomsim.WithScheme(schemes[rng.Intn(len(schemes))]),
+				boomsim.WithWorkload(workloads[rng.Intn(len(workloads))]),
+				boomsim.WithFootprintKB(16+rng.Intn(48)),
+				boomsim.WithWindow(uint64(rng.Intn(2000)), 1000+uint64(rng.Intn(4000))),
+				boomsim.WithSeeds(seed%16+uint64(seedSkew), seed%16),
+			)
+			if err != nil {
+				t.Fatalf("building sims[%d]: %v", i, err)
+			}
+		}
+
+		seq, err := boomsim.RunMatrix(context.Background(), sims, boomsim.WithParallelism(1))
+		if err != nil {
+			t.Fatalf("sequential matrix: %v", err)
+		}
+		par, err := boomsim.RunMatrix(context.Background(), sims, boomsim.WithParallelism(8))
+		if err != nil {
+			t.Fatalf("parallel matrix: %v", err)
+		}
+		seqJSON, err := json.Marshal(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parJSON, err := json.Marshal(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(seqJSON) != string(parJSON) {
+			t.Fatalf("matrix results differ across parallelism:\n p=1: %s\n p=8: %s", seqJSON, parJSON)
+		}
+	})
+}

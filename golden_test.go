@@ -1,0 +1,165 @@
+package boomsim_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"boomsim"
+)
+
+// The golden corpus pins the simulator's statistical output — IPC, stall
+// coverage, squash anatomy, BTB and hierarchy counters — for every
+// registered scheme on a 3-workload subset at fixed seeds and a reduced
+// scale. Any refactor that drifts a number the paper's figures are built
+// from fails here with a field-level diff instead of silently skewing
+// results. Regenerate after an intentional behavior change with:
+//
+//	go test -run TestGoldenStats -update .
+//
+// and review the testdata/golden diff like any other code change.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden from current simulator output")
+
+const goldenDir = "testdata/golden"
+
+// goldenWorkloads is the corpus's workload subset: the paper's headline
+// server workload, the largest-footprint commercial one, and the
+// SPEC-like contrast profile.
+var goldenWorkloads = []string{"Apache", "DB2", "SPEC-like"}
+
+// goldenCell is the reduced-scale methodology every corpus entry runs:
+// small enough that the full scheme lineup stays in CI budgets, large
+// enough that every counter in Result is exercised.
+func goldenCell(scheme, workload string) (*boomsim.Simulation, error) {
+	return boomsim.New(
+		boomsim.WithScheme(scheme),
+		boomsim.WithWorkload(workload),
+		boomsim.WithFootprintKB(64),
+		boomsim.WithWindow(5_000, 20_000),
+		boomsim.WithSeeds(7, 11),
+	)
+}
+
+// goldenSchemes returns every built-in scheme, skipping entries other tests
+// registered into the process-global registry (test order is not fixed).
+func goldenSchemes(t *testing.T) []string {
+	t.Helper()
+	var names []string
+	for _, s := range boomsim.Schemes() {
+		if strings.HasPrefix(s.Name, "Test") {
+			continue
+		}
+		names = append(names, s.Name)
+	}
+	if len(names) < 15 {
+		t.Fatalf("only %d built-in schemes visible, want the full lineup", len(names))
+	}
+	return names
+}
+
+func goldenFile(scheme, workload string) string {
+	sanitize := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+				return r
+			default:
+				return '_'
+			}
+		}, s)
+	}
+	return filepath.Join(goldenDir, sanitize(scheme)+"__"+sanitize(workload)+".json")
+}
+
+func TestGoldenStats(t *testing.T) {
+	schemes := goldenSchemes(t)
+	if *updateGolden {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	visited := map[string]bool{}
+	for _, sc := range schemes {
+		for _, wl := range goldenWorkloads {
+			sc, wl := sc, wl
+			path := goldenFile(sc, wl)
+			visited[filepath.Base(path)] = true
+			t.Run(fmt.Sprintf("%s on %s", sc, wl), func(t *testing.T) {
+				t.Parallel()
+				s, err := goldenCell(sc, wl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := s.Run(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := json.MarshalIndent(r, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, '\n')
+
+				if *updateGolden {
+					if err := os.WriteFile(path, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("no golden file for this cell (run with -update to create it): %v", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("stats drifted from the golden corpus:\n%s\nregenerate with -update if the change is intentional",
+						goldenDiff(t, want, got))
+				}
+			})
+		}
+	}
+
+	// Every checked-in golden file must correspond to a live cell:
+	// leftovers from renamed schemes would otherwise rot unnoticed.
+	if !*updateGolden {
+		entries, err := os.ReadDir(goldenDir)
+		if err != nil {
+			t.Fatalf("reading %s (bootstrap with -update): %v", goldenDir, err)
+		}
+		for _, e := range entries {
+			if !visited[e.Name()] {
+				t.Errorf("stale golden file %s: no registered scheme/workload produces it", e.Name())
+			}
+		}
+	}
+}
+
+// goldenDiff renders a field-level comparison so a drifted counter is
+// named, not buried in two JSON blobs.
+func goldenDiff(t *testing.T, want, got []byte) string {
+	t.Helper()
+	var w, g map[string]any
+	if json.Unmarshal(want, &w) != nil || json.Unmarshal(got, &g) != nil {
+		return fmt.Sprintf("want:\n%s\ngot:\n%s", want, got)
+	}
+	var b strings.Builder
+	for k, wv := range w {
+		if gv, ok := g[k]; !ok || fmt.Sprint(gv) != fmt.Sprint(wv) {
+			fmt.Fprintf(&b, "  %s: golden %v, got %v\n", k, wv, gv)
+		}
+	}
+	for k, gv := range g {
+		if _, ok := w[k]; !ok {
+			fmt.Fprintf(&b, "  %s: new field, got %v\n", k, gv)
+		}
+	}
+	if b.Len() == 0 {
+		return fmt.Sprintf("byte-level difference only\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	return b.String()
+}

@@ -1,0 +1,576 @@
+// Package server implements boomsimd's HTTP layer: a long-running
+// simulation service over the public boomsim API.
+//
+// The hot path is built for heavy, repetitive traffic. Results are pure
+// functions of their configuration, so every completed run lands in a
+// content-addressed LRU cache keyed on boomsim's configuration Fingerprint,
+// and identical requests arriving while a run is in flight collapse onto it
+// (singleflight) instead of re-simulating. Admission is bounded: at most
+// QueueDepth distinct flights may be queued or running, the excess is
+// rejected with 429, and at most Workers simulations execute concurrently.
+// Every request carries a deadline; an abandoned flight (all waiters gone,
+// or the server draining) is canceled through boomsim's cooperative
+// cancellation, so no goroutine outlives its usefulness.
+//
+// This package deliberately consumes only the public boomsim API — the API
+// boundary test at the repo root enforces it — making it a living example
+// of building a service on the package.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"boomsim"
+)
+
+// Config sizes the service. The zero value is usable: New fills in the
+// documented defaults.
+type Config struct {
+	// Workers bounds concurrently executing simulations (default
+	// GOMAXPROCS). A matrix flight claims one worker slot plus whatever
+	// spare capacity exists when it starts (up to its requested
+	// parallelism) and fans out through RunMatrix at exactly that width,
+	// so the bound holds server-wide.
+	Workers int
+	// QueueDepth bounds admitted flights — queued plus running — before
+	// requests are rejected with 429 (default 4×Workers). Requests that
+	// join an existing flight or hit the cache consume no capacity.
+	QueueDepth int
+	// CacheEntries bounds the result LRU (default 4096 entries).
+	CacheEntries int
+	// RequestTimeout caps every request's deadline (default 5m). A request
+	// may ask for less via timeout_ms, never more.
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// errQueueFull is the admission-control rejection, surfaced as HTTP 429.
+var errQueueFull = errors.New("server: simulation queue full")
+
+// errDraining rejects new flights once Close has begun, surfaced as 503.
+var errDraining = errors.New("server: draining")
+
+// maxMatrixRuns bounds one matrix request; larger sweeps should be split so
+// backpressure stays meaningful.
+const maxMatrixRuns = 256
+
+// Server is the simulation service. Create it with New, expose Handler on
+// an http.Server, and Close it to drain: Close cancels every queued and
+// running simulation through the cooperative-cancellation path and returns
+// once the last flight goroutine has exited.
+type Server struct {
+	cfg     Config
+	baseCtx context.Context
+	stop    context.CancelFunc
+	sem     chan struct{}
+	cache   *resultCache
+	flights *flightGroup
+	m       metrics
+
+	// closeMu serialises admission against Close: admit's wg.Add and
+	// Close's transition to closed happen under it, so wg.Wait can never
+	// race an Add from a handler still in flight (the documented
+	// WaitGroup hazard).
+	closeMu sync.Mutex
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// New builds a Server from cfg (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		baseCtx: ctx,
+		stop:    cancel,
+		sem:     make(chan struct{}, cfg.Workers),
+		cache:   newResultCache(cfg.CacheEntries),
+	}
+	s.flights = newFlightGroup(func() { s.m.flightShared.Add(1) })
+	return s
+}
+
+// Close drains the server: new flights are refused, all queued and
+// in-flight simulations are canceled, and Close blocks until their
+// goroutines exit. Subsequent requests are answered 503.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	s.closed = true
+	s.closeMu.Unlock()
+	s.stop()
+	s.wg.Wait()
+}
+
+// Stats snapshots the service counters (also exposed on /metrics).
+func (s *Server) Stats() Stats { return s.m.snapshot() }
+
+// Handler returns the service's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
+	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.m.serveHTTP)
+	return mux
+}
+
+// RunRequest is the wire form of one simulation configuration. Absent
+// fields take New's documented defaults (Boomerang on Apache, Table I core,
+// seeds 1/1, 200K warm + 1M measured instructions).
+type RunRequest struct {
+	Scheme        string  `json:"scheme,omitempty"`
+	Workload      string  `json:"workload,omitempty"`
+	Predictor     string  `json:"predictor,omitempty"`
+	BTBEntries    int     `json:"btb_entries,omitempty"`
+	LLCLatency    int     `json:"llc_latency,omitempty"`
+	FootprintKB   int     `json:"footprint_kb,omitempty"`
+	ImageSeed     *uint64 `json:"image_seed,omitempty"`
+	WalkSeed      *uint64 `json:"walk_seed,omitempty"`
+	WarmInstrs    *uint64 `json:"warm_instrs,omitempty"`
+	MeasureInstrs *uint64 `json:"measure_instrs,omitempty"`
+	MaxCycles     int64   `json:"max_cycles,omitempty"`
+	// TimeoutMS tightens this request's deadline below the server cap.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// RunResponse wraps one result with its cache identity.
+type RunResponse struct {
+	// Key is the configuration fingerprint the result is cached under.
+	Key string `json:"key"`
+	// Cached reports whether the result came from the cache without
+	// simulating (a singleflight-collapsed request still reports false).
+	Cached bool           `json:"cached"`
+	Result boomsim.Result `json:"result"`
+}
+
+// MatrixRequest is a batch of configurations executed as one order-stable
+// matrix.
+type MatrixRequest struct {
+	Runs []RunRequest `json:"runs"`
+	// Parallelism bounds the matrix's internal fan-out (0 = server
+	// Workers; capped at server Workers).
+	Parallelism int   `json:"parallelism,omitempty"`
+	TimeoutMS   int64 `json:"timeout_ms,omitempty"`
+}
+
+// MatrixResponse carries results in request order.
+type MatrixResponse struct {
+	// Key fingerprints the whole batch; Cached reports whether every cell
+	// was already in the result cache.
+	Key     string           `json:"key"`
+	Cached  bool             `json:"cached"`
+	Results []boomsim.Result `json:"results"`
+}
+
+func (req RunRequest) options() []boomsim.Option {
+	var opts []boomsim.Option
+	if req.Scheme != "" {
+		opts = append(opts, boomsim.WithScheme(req.Scheme))
+	}
+	if req.Workload != "" {
+		opts = append(opts, boomsim.WithWorkload(req.Workload))
+	}
+	if req.Predictor != "" {
+		opts = append(opts, boomsim.WithPredictor(req.Predictor))
+	}
+	if req.BTBEntries != 0 {
+		opts = append(opts, boomsim.WithBTBEntries(req.BTBEntries))
+	}
+	if req.LLCLatency != 0 {
+		opts = append(opts, boomsim.WithLLCLatency(req.LLCLatency))
+	}
+	if req.FootprintKB != 0 {
+		opts = append(opts, boomsim.WithFootprintKB(req.FootprintKB))
+	}
+	if req.ImageSeed != nil || req.WalkSeed != nil {
+		imageSeed, walkSeed := uint64(boomsim.DefaultImageSeed), uint64(boomsim.DefaultWalkSeed)
+		if req.ImageSeed != nil {
+			imageSeed = *req.ImageSeed
+		}
+		if req.WalkSeed != nil {
+			walkSeed = *req.WalkSeed
+		}
+		opts = append(opts, boomsim.WithSeeds(imageSeed, walkSeed))
+	}
+	if req.WarmInstrs != nil || req.MeasureInstrs != nil {
+		warm, measure := uint64(boomsim.DefaultWarmInstrs), uint64(boomsim.DefaultMeasureInstrs)
+		if req.WarmInstrs != nil {
+			warm = *req.WarmInstrs
+		}
+		if req.MeasureInstrs != nil {
+			measure = *req.MeasureInstrs
+		}
+		opts = append(opts, boomsim.WithWindow(warm, measure))
+	}
+	if req.MaxCycles != 0 {
+		opts = append(opts, boomsim.WithMaxCycles(req.MaxCycles))
+	}
+	return opts
+}
+
+func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.RequestTimeout
+	if timeoutMS > 0 {
+		if d := time.Duration(timeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	var req RunRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	sim, err := boomsim.New(req.options()...)
+	if err != nil {
+		writeError(w, s.statusFor(err), err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	result, cached, err := s.runOne(ctx, sim)
+	if err != nil {
+		writeError(w, s.statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{Key: sim.Fingerprint(), Cached: cached, Result: result})
+}
+
+// runOne resolves one simulation through cache → singleflight → worker
+// pool.
+func (s *Server) runOne(ctx context.Context, sim *boomsim.Simulation) (boomsim.Result, bool, error) {
+	key := sim.Fingerprint()
+	if v, ok := s.cache.Get(key); ok {
+		s.m.cacheHits.Add(1)
+		return v.(boomsim.Result), true, nil
+	}
+	s.m.cacheMisses.Add(1)
+	v, _, err := s.flights.do(ctx, s.baseCtx, key, s.admit, s.spawn,
+		func(fctx context.Context) (any, error) {
+			defer s.release()
+			r, err := s.simulate(fctx, sim)
+			if err != nil {
+				return nil, err
+			}
+			s.cache.Add(key, r)
+			return r, nil
+		})
+	if err != nil {
+		return boomsim.Result{}, false, err
+	}
+	return v.(boomsim.Result), false, nil
+}
+
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	var req MatrixRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Runs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("matrix has no runs"))
+		return
+	}
+	if len(req.Runs) > maxMatrixRuns {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("matrix has %d runs, limit %d — split the sweep", len(req.Runs), maxMatrixRuns))
+		return
+	}
+
+	sims := make([]*boomsim.Simulation, len(req.Runs))
+	keys := make([]string, len(req.Runs))
+	for i, rr := range req.Runs {
+		sim, err := boomsim.New(rr.options()...)
+		if err != nil {
+			writeError(w, s.statusFor(err), fmt.Errorf("runs[%d]: %w", i, err))
+			return
+		}
+		sims[i] = sim
+		keys[i] = sim.Fingerprint()
+	}
+	batchKey := matrixKey(keys)
+
+	// Fast path: every cell already computed (by earlier runs, matrices,
+	// or single-run requests — the cache is shared across endpoints).
+	if results, ok := s.cachedCells(keys); ok {
+		s.m.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, MatrixResponse{Key: batchKey, Cached: true, Results: results})
+		return
+	}
+	s.m.cacheMisses.Add(1)
+
+	parallelism := req.Parallelism
+	if parallelism <= 0 || parallelism > s.cfg.Workers {
+		parallelism = s.cfg.Workers
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	v, _, err := s.flights.do(ctx, s.baseCtx, batchKey, s.admit, s.spawn,
+		func(fctx context.Context) (any, error) {
+			defer s.release()
+			// Re-check the cache per cell inside the flight: other runs or
+			// matrices may have filled cells since the fast-path check, and
+			// a mostly-cached sweep should only simulate its misses.
+			results := make([]boomsim.Result, len(sims))
+			var missing []int
+			for i, k := range keys {
+				if v, ok := s.cache.Get(k); ok {
+					results[i] = v.(boomsim.Result)
+				} else {
+					missing = append(missing, i)
+				}
+			}
+			if len(missing) == 0 {
+				return results, nil
+			}
+			sub := make([]*boomsim.Simulation, len(missing))
+			for j, i := range missing {
+				sub[j] = sims[i]
+			}
+			want := parallelism
+			if want > len(missing) {
+				want = len(missing)
+			}
+			got, err := s.acquireWorkers(fctx, want)
+			if err != nil {
+				return nil, err
+			}
+			defer s.releaseWorkers(got)
+			s.m.simsInflight.Add(int64(got)) // reserved fan-out width
+			defer s.m.simsInflight.Add(-int64(got))
+			start := time.Now()
+			subResults, err := boomsim.RunMatrix(fctx, sub, boomsim.WithParallelism(got))
+			if err != nil {
+				return nil, err
+			}
+			var instrs uint64
+			for j, i := range missing {
+				results[i] = subResults[j]
+				s.cache.Add(keys[i], subResults[j])
+				instrs += subResults[j].Instructions
+			}
+			s.m.simsStarted.Add(uint64(len(subResults)))
+			s.m.simNanos.Add(uint64(time.Since(start)))
+			s.m.simInstrs.Add(instrs)
+			return results, nil
+		})
+	if err != nil {
+		writeError(w, s.statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MatrixResponse{Key: batchKey, Cached: false, Results: v.([]boomsim.Result)})
+}
+
+func (s *Server) cachedCells(keys []string) ([]boomsim.Result, bool) {
+	results := make([]boomsim.Result, len(keys))
+	for i, k := range keys {
+		v, ok := s.cache.Get(k)
+		if !ok {
+			return nil, false
+		}
+		results[i] = v.(boomsim.Result)
+	}
+	return results, true
+}
+
+// matrixKey content-addresses a batch: the hash of its cell fingerprints in
+// request order. Parallelism is excluded — results are identical at any
+// fan-out (a property the root package's fuzz tests pin).
+func matrixKey(keys []string) string {
+	h := sha256.New()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{'\n'})
+	}
+	return "matrix-" + hex.EncodeToString(h.Sum(nil))
+}
+
+// admit claims one unit of queue capacity — and registers the flight with
+// the shutdown WaitGroup — or reports errQueueFull/errDraining. It is
+// called by the flight group only when a new flight would start; the
+// matching wg.Done runs in spawn, which always follows a successful admit.
+func (s *Server) admit() error {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return errDraining
+	}
+	if s.m.queued.Add(1) > int64(s.cfg.QueueDepth) {
+		s.m.queued.Add(-1)
+		s.m.rejected.Add(1)
+		return errQueueFull
+	}
+	s.wg.Add(1)
+	return nil
+}
+
+func (s *Server) release() { s.m.queued.Add(-1) }
+
+// spawn runs an admitted flight on its tracked goroutine.
+func (s *Server) spawn(run func()) {
+	go func() {
+		defer s.wg.Done()
+		run()
+	}()
+}
+
+func (s *Server) acquireWorker(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %w", boomsim.ErrCanceled, ctx.Err())
+	}
+}
+
+func (s *Server) releaseWorker() { <-s.sem }
+
+// acquireWorkers claims one worker slot (blocking, cancelable) plus any
+// immediately-spare capacity up to want, returning the claimed count.
+// Greedy but bounded: claimed slots server-wide never exceed Workers — the
+// package invariant — while a matrix on an idle server fans out to full
+// width, and on a busy one degrades toward sequential instead of
+// oversubscribing.
+func (s *Server) acquireWorkers(ctx context.Context, want int) (int, error) {
+	if err := s.acquireWorker(ctx); err != nil {
+		return 0, err
+	}
+	got := 1
+	for got < want {
+		select {
+		case s.sem <- struct{}{}:
+			got++
+		default:
+			return got, nil
+		}
+	}
+	return got, nil
+}
+
+func (s *Server) releaseWorkers(n int) {
+	for i := 0; i < n; i++ {
+		<-s.sem
+	}
+}
+
+// simulate executes one run on a worker slot with full instrumentation.
+func (s *Server) simulate(ctx context.Context, sim *boomsim.Simulation) (boomsim.Result, error) {
+	if err := s.acquireWorker(ctx); err != nil {
+		return boomsim.Result{}, err
+	}
+	defer s.releaseWorker()
+	s.m.simsStarted.Add(1)
+	s.m.simsInflight.Add(1)
+	defer s.m.simsInflight.Add(-1)
+	start := time.Now()
+	r, err := sim.Run(ctx)
+	if err != nil {
+		return boomsim.Result{}, err
+	}
+	s.m.simNanos.Add(uint64(time.Since(start)))
+	s.m.simInstrs.Add(r.Instructions)
+	return r, nil
+}
+
+func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	writeJSON(w, http.StatusOK, boomsim.Schemes())
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	writeJSON(w, http.StatusOK, boomsim.Workloads())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.baseCtx.Err() != nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"schemes":   len(boomsim.Schemes()),
+		"workloads": len(boomsim.Workloads()),
+	})
+}
+
+// statusFor maps error classes onto HTTP statuses: configuration mistakes
+// are the client's (400/404), capacity is 429, deadlines 504, and a
+// draining server 503.
+func (s *Server) statusFor(err error) int {
+	switch {
+	case errors.Is(err, errQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, boomsim.ErrUnknownScheme), errors.Is(err, boomsim.ErrUnknownWorkload):
+		return http.StatusNotFound
+	case errors.Is(err, boomsim.ErrInvalidOption):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, boomsim.ErrCanceled), errors.Is(err, context.Canceled):
+		// Draining, or the client went away; either way the run did not
+		// complete and a retry elsewhere may.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

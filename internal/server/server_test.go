@@ -1,0 +1,623 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"boomsim"
+)
+
+// fastRun is a request that simulates in a few milliseconds; seed
+// disambiguates cache keys between tests (the cache is per-Server, but
+// distinct keys keep each test's counters self-explanatory).
+func fastRun(scheme, workload string, seed uint64) RunRequest {
+	fp, warm, measure := 64, uint64(2_000), uint64(20_000)
+	return RunRequest{
+		Scheme: scheme, Workload: workload,
+		FootprintKB: fp,
+		ImageSeed:   &seed, WalkSeed: &seed,
+		WarmInstrs: &warm, MeasureInstrs: &measure,
+	}
+}
+
+// slowRun takes a few hundred milliseconds at full speed — long enough that
+// a test can reliably observe it in flight, short enough to finish within
+// the budget when run to completion.
+func slowRun(seed uint64) RunRequest {
+	req := fastRun("Base", "Apache", seed)
+	measure := uint64(3_000_000)
+	req.MeasureInstrs = &measure
+	return req
+}
+
+// endlessRun cannot finish inside any test budget; it exists to be
+// canceled.
+func endlessRun(seed uint64) RunRequest {
+	req := fastRun("Base", "Apache", seed)
+	measure := uint64(500_000_000)
+	req.MeasureInstrs = &measure
+	return req
+}
+
+type testService struct {
+	srv *Server
+	ts  *httptest.Server
+}
+
+func newTestService(t *testing.T, cfg Config) *testService {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ts.Close()
+	})
+	return &testService{srv: srv, ts: ts}
+}
+
+func (s *testService) post(t *testing.T, path string, body any) (int, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.ts.Client().Post(s.ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func (s *testService) get(t *testing.T, path string) (int, []byte) {
+	t.Helper()
+	resp, err := s.ts.Client().Get(s.ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func decodeRun(t *testing.T, raw []byte) RunResponse {
+	t.Helper()
+	var rr RunResponse
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		t.Fatalf("decoding run response %s: %v", raw, err)
+	}
+	return rr
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// checkNoGoroutineLeak asserts the goroutine count settles back to the
+// level captured before the test's server existed.
+func checkNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Errorf("goroutines leaked: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+}
+
+func TestRunEndpointCachesResults(t *testing.T) {
+	s := newTestService(t, Config{})
+	req := fastRun("Boomerang", "Apache", 11)
+
+	code, raw := s.post(t, "/v1/run", req)
+	if code != http.StatusOK {
+		t.Fatalf("first run: status %d: %s", code, raw)
+	}
+	first := decodeRun(t, raw)
+	if first.Cached {
+		t.Errorf("first request reported cached=true")
+	}
+	if first.Key == "" || first.Result.IPC <= 0 || first.Result.Scheme != "Boomerang" {
+		t.Errorf("implausible response: %+v", first)
+	}
+
+	code, raw = s.post(t, "/v1/run", req)
+	if code != http.StatusOK {
+		t.Fatalf("second run: status %d: %s", code, raw)
+	}
+	second := decodeRun(t, raw)
+	if !second.Cached {
+		t.Errorf("identical request was not served from cache")
+	}
+	if !reflect.DeepEqual(first.Result, second.Result) || first.Key != second.Key {
+		t.Errorf("cached result differs from the original")
+	}
+
+	stats := s.srv.Stats()
+	if stats.SimsStarted != 1 || stats.CacheHits != 1 {
+		t.Errorf("stats = %+v, want 1 sim and 1 cache hit", stats)
+	}
+}
+
+func TestConcurrentIdenticalRequestsCollapseToOneSimulation(t *testing.T) {
+	s := newTestService(t, Config{Workers: 4})
+	req := slowRun(21)
+
+	type reply struct {
+		code int
+		raw  []byte
+	}
+	replies := make(chan reply, 2)
+	send := func() {
+		code, raw := s.post(t, "/v1/run", req)
+		replies <- reply{code, raw}
+	}
+
+	go send()
+	// Only dispatch the duplicate once the first simulation is provably in
+	// flight: the duplicate then either joins the flight (singleflight) or
+	// — if the first run won the race and finished — hits the cache. Both
+	// paths collapse to exactly one simulation.
+	waitFor(t, "first simulation in flight", func() bool {
+		st := s.srv.Stats()
+		return st.SimsInflight >= 1 || st.SimsStarted >= 1
+	})
+	go send()
+
+	var results []RunResponse
+	for i := 0; i < 2; i++ {
+		r := <-replies
+		if r.code != http.StatusOK {
+			t.Fatalf("reply %d: status %d: %s", i, r.code, r.raw)
+		}
+		results = append(results, decodeRun(t, r.raw))
+	}
+	if !reflect.DeepEqual(results[0].Result, results[1].Result) {
+		t.Errorf("collapsed requests returned different results")
+	}
+
+	stats := s.srv.Stats()
+	if stats.SimsStarted != 1 {
+		t.Errorf("%d simulations for 2 identical concurrent requests, want 1 (stats %+v)", stats.SimsStarted, stats)
+	}
+	if stats.FlightShared+stats.CacheHits == 0 {
+		t.Errorf("neither singleflight nor cache collapsed the duplicate: %+v", stats)
+	}
+}
+
+func TestQueueFullReturns429(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv := New(Config{Workers: 1, QueueDepth: 1})
+	ts := httptest.NewServer(srv.Handler())
+	s := &testService{srv: srv, ts: ts}
+
+	occupant := make(chan int, 1)
+	go func() {
+		code, _ := s.post(t, "/v1/run", endlessRun(31))
+		occupant <- code
+	}()
+	waitFor(t, "occupant simulation in flight", func() bool {
+		return s.srv.Stats().SimsInflight == 1
+	})
+
+	code, raw := s.post(t, "/v1/run", endlessRun(32))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("request beyond queue depth: status %d: %s, want 429", code, raw)
+	}
+	if !strings.Contains(string(raw), "queue full") {
+		t.Errorf("429 body %s does not explain the rejection", raw)
+	}
+	if got := s.srv.Stats().Rejected; got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+
+	// A duplicate of the running simulation still gets in — joining an
+	// in-flight run consumes no queue capacity — and is then canceled with
+	// it at drain.
+	joiner := make(chan int, 1)
+	go func() {
+		code, _ := s.post(t, "/v1/run", endlessRun(31))
+		joiner <- code
+	}()
+	waitFor(t, "duplicate joined the flight", func() bool {
+		return s.srv.Stats().FlightShared == 1
+	})
+
+	srv.Close() // drain: cancels the occupant and its joiner
+	for name, ch := range map[string]chan int{"occupant": occupant, "joiner": joiner} {
+		select {
+		case code := <-ch:
+			if code != http.StatusServiceUnavailable {
+				t.Errorf("%s after drain: status %d, want 503", name, code)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("%s did not return after drain", name)
+		}
+	}
+	ts.Close()
+	checkNoGoroutineLeak(t, before)
+}
+
+func TestDrainCancelsInflightRunsCleanly(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv := New(Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	s := &testService{srv: srv, ts: ts}
+
+	done := make(chan struct{})
+	var code int
+	var raw []byte
+	go func() {
+		defer close(done)
+		code, raw = s.post(t, "/v1/run", endlessRun(41))
+	}()
+	waitFor(t, "simulation in flight", func() bool {
+		return s.srv.Stats().SimsInflight == 1
+	})
+
+	srv.Close() // the SIGINT path: cancel everything, wait for flights
+	<-done
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("drained request: status %d: %s, want 503", code, raw)
+	}
+	if st := s.srv.Stats(); st.SimsInflight != 0 || st.Queued != 0 {
+		t.Errorf("after drain: %+v, want zero in-flight and queued", st)
+	}
+
+	// Draining is sticky: the server now refuses work on every path.
+	if hcode, _ := s.get(t, "/healthz"); hcode != http.StatusServiceUnavailable {
+		t.Errorf("healthz after drain: status %d, want 503", hcode)
+	}
+	if rcode, rbody := s.post(t, "/v1/run", fastRun("Base", "Apache", 42)); rcode != http.StatusServiceUnavailable {
+		t.Errorf("run after drain: status %d: %s, want 503", rcode, rbody)
+	}
+	ts.Close()
+	checkNoGoroutineLeak(t, before)
+}
+
+func TestAbandonedFlightIsCanceledNotLeaked(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv := New(Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	s := &testService{srv: srv, ts: ts}
+
+	// A request with a tight deadline against an endless simulation: the
+	// lone waiter abandons, the flight's refcount hits zero, and the
+	// simulation is canceled through the cooperative path.
+	ms := int64(50)
+	req := endlessRun(51)
+	req.TimeoutMS = ms
+	code, raw := s.post(t, "/v1/run", req)
+	if code != http.StatusGatewayTimeout {
+		t.Errorf("timed-out request: status %d: %s, want 504", code, raw)
+	}
+	waitFor(t, "abandoned flight to unwind", func() bool {
+		st := s.srv.Stats()
+		return st.SimsInflight == 0 && st.Queued == 0
+	})
+
+	// The server is still healthy and the canceled run was not cached.
+	if hcode, _ := s.get(t, "/healthz"); hcode != http.StatusOK {
+		t.Errorf("healthz after abandoned flight: %d, want 200", hcode)
+	}
+	if s.srv.cache.Len() != 0 {
+		t.Errorf("canceled run was cached")
+	}
+
+	srv.Close()
+	ts.Close()
+	checkNoGoroutineLeak(t, before)
+}
+
+func TestMatrixEndpoint(t *testing.T) {
+	s := newTestService(t, Config{Workers: 4})
+	runs := []RunRequest{
+		fastRun("Base", "Apache", 61),
+		fastRun("FDIP", "Apache", 61),
+		fastRun("Boomerang", "Apache", 61),
+		fastRun("Boomerang", "DB2", 61),
+	}
+	code, raw := s.post(t, "/v1/matrix", MatrixRequest{Runs: runs, Parallelism: 8})
+	if code != http.StatusOK {
+		t.Fatalf("matrix: status %d: %s", code, raw)
+	}
+	var mr MatrixResponse
+	if err := json.Unmarshal(raw, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Cached || len(mr.Results) != len(runs) {
+		t.Fatalf("matrix response: cached=%v, %d results, want fresh with %d", mr.Cached, len(mr.Results), len(runs))
+	}
+	for i, res := range mr.Results {
+		if res.Scheme != runs[i].Scheme || res.Workload != runs[i].Workload {
+			t.Errorf("results[%d] = %s/%s, want %s/%s (order-stable)",
+				i, res.Scheme, res.Workload, runs[i].Scheme, runs[i].Workload)
+		}
+	}
+
+	// The matrix populated the shared per-cell cache: a single-run request
+	// for any cell is a hit, and the identical matrix is fully cached.
+	code, raw = s.post(t, "/v1/run", runs[2])
+	if code != http.StatusOK {
+		t.Fatalf("cell run: status %d: %s", code, raw)
+	}
+	if rr := decodeRun(t, raw); !rr.Cached || !reflect.DeepEqual(rr.Result, mr.Results[2]) {
+		t.Errorf("cell not served from the matrix-populated cache (cached=%v)", rr.Cached)
+	}
+	code, raw = s.post(t, "/v1/matrix", MatrixRequest{Runs: runs})
+	if code != http.StatusOK {
+		t.Fatalf("repeat matrix: status %d: %s", code, raw)
+	}
+	var again MatrixResponse
+	if err := json.Unmarshal(raw, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || !reflect.DeepEqual(again.Results, mr.Results) {
+		t.Errorf("repeat matrix: cached=%v, results equal=%v, want fully cached and identical",
+			again.Cached, reflect.DeepEqual(again.Results, mr.Results))
+	}
+	if st := s.srv.Stats(); st.SimsStarted != uint64(len(runs)) {
+		t.Errorf("%d sims for matrix + cached repeats, want %d", st.SimsStarted, len(runs))
+	}
+}
+
+func TestRegistryAndHealthEndpoints(t *testing.T) {
+	s := newTestService(t, Config{})
+
+	code, raw := s.get(t, "/v1/schemes")
+	var schemes []boomsim.SchemeInfo
+	if err := json.Unmarshal(raw, &schemes); err != nil || code != http.StatusOK {
+		t.Fatalf("schemes: status %d, err %v", code, err)
+	}
+	if len(schemes) < 15 {
+		t.Errorf("schemes endpoint lists %d entries, want the full registry", len(schemes))
+	}
+
+	code, raw = s.get(t, "/v1/workloads")
+	var workloads []boomsim.WorkloadInfo
+	if err := json.Unmarshal(raw, &workloads); err != nil || code != http.StatusOK {
+		t.Fatalf("workloads: status %d, err %v", code, err)
+	}
+	if len(workloads) < 7 {
+		t.Errorf("workloads endpoint lists %d entries, want >= 7", len(workloads))
+	}
+
+	if code, raw = s.get(t, "/healthz"); code != http.StatusOK || !strings.Contains(string(raw), `"ok"`) {
+		t.Errorf("healthz: status %d body %s", code, raw)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestService(t, Config{})
+	if code, _ := s.post(t, "/v1/run", fastRun("Base", "Apache", 71)); code != http.StatusOK {
+		t.Fatalf("priming run failed: %d", code)
+	}
+	code, raw := s.get(t, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	body := string(raw)
+	for _, metric := range []string{
+		"boomsimd_requests_total", "boomsimd_cache_hits_total", "boomsimd_cache_misses_total",
+		"boomsimd_flight_shared_total", "boomsimd_sims_started_total", "boomsimd_sims_inflight",
+		"boomsimd_queue_depth", "boomsimd_sim_ns_per_instr", "boomsimd_rejected_total",
+	} {
+		if !strings.Contains(body, metric) {
+			t.Errorf("metrics output missing %s", metric)
+		}
+	}
+	if !strings.Contains(body, "boomsimd_sims_started_total 1") {
+		t.Errorf("sims_started not reported as 1:\n%s", body)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	s := newTestService(t, Config{})
+	cases := []struct {
+		name string
+		path string
+		body any
+		want int
+	}{
+		{"unknown scheme", "/v1/run", RunRequest{Scheme: "no-such"}, http.StatusNotFound},
+		{"unknown workload", "/v1/run", RunRequest{Workload: "no-such"}, http.StatusNotFound},
+		{"invalid option", "/v1/run", RunRequest{BTBEntries: -1}, http.StatusBadRequest},
+		{"empty matrix", "/v1/matrix", MatrixRequest{}, http.StatusBadRequest},
+		{"bad cell", "/v1/matrix", MatrixRequest{Runs: []RunRequest{{Scheme: "no-such"}}}, http.StatusNotFound},
+		{"oversized matrix", "/v1/matrix", MatrixRequest{Runs: make([]RunRequest, maxMatrixRuns+1)}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if code, raw := s.post(t, c.path, c.body); code != c.want {
+			t.Errorf("%s: status %d: %s, want %d", c.name, code, raw, c.want)
+		}
+	}
+
+	resp, err := s.ts.Client().Post(s.ts.URL+"/v1/run", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = s.ts.Client().Get(s.ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestLRUCacheEviction pins the cache's bound and recency behaviour without
+// going through HTTP.
+func TestLRUCacheEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if _, ok := c.Get("a"); !ok { // touch: a is now most recent
+		t.Fatal("a missing")
+	}
+	c.Add("c", 3) // evicts b, the least recently used
+	if _, ok := c.Get("b"); ok {
+		t.Errorf("b survived eviction; LRU order not respected")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Errorf("recently-used a was evicted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache len %d, want 2", c.Len())
+	}
+	c.Add("c", 33) // update in place, no growth
+	if v, _ := c.Get("c"); v != 33 || c.Len() != 2 {
+		t.Errorf("update in place failed: v=%v len=%d", v, c.Len())
+	}
+}
+
+// TestFlightGroupRefcountCancel pins the singleflight cancellation
+// contract directly: the flight context dies only when the last waiter
+// leaves or the base context fires.
+func TestFlightGroupRefcountCancel(t *testing.T) {
+	g := newFlightGroup(nil)
+	base := context.Background()
+	started := make(chan context.Context, 1)
+	spawn := func(run func()) { go run() }
+	admit := func() error { return nil }
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+
+	res := make(chan error, 2)
+	blocker := func(fctx context.Context) (any, error) {
+		started <- fctx
+		<-fctx.Done()
+		return nil, fmt.Errorf("canceled: %w", fctx.Err())
+	}
+	go func() {
+		_, _, err := g.do(ctx1, base, "k", admit, spawn, blocker)
+		res <- err
+	}()
+	fctx := <-started
+	go func() {
+		_, _, err := g.do(ctx2, base, "k", admit, spawn, blocker)
+		res <- err
+	}()
+	waitFor(t, "second waiter to join", func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		f := g.flights["k"]
+		return f != nil && f.waiters == 2
+	})
+
+	cancel1() // first waiter leaves; second still wants the result
+	if err := <-res; err != context.Canceled {
+		t.Fatalf("abandoning waiter got %v, want context.Canceled", err)
+	}
+	select {
+	case <-fctx.Done():
+		t.Fatal("flight canceled while a waiter remained")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	cancel2() // last waiter leaves: the flight must be canceled
+	if err := <-res; err != context.Canceled {
+		t.Fatalf("second waiter got %v, want context.Canceled", err)
+	}
+	select {
+	case <-fctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("flight context not canceled after the last waiter left")
+	}
+}
+
+// TestAbandonedFlightDoesNotPoisonSuccessors pins the unmapping half of
+// the refcount contract: once the last waiter abandons a flight, a fresh
+// request for the same key starts a new run — even while the doomed run is
+// still tearing down — instead of inheriting its cancellation.
+func TestAbandonedFlightDoesNotPoisonSuccessors(t *testing.T) {
+	g := newFlightGroup(nil)
+	base := context.Background()
+	spawn := func(run func()) { go run() }
+	admit := func() error { return nil }
+
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	doomed := func(fctx context.Context) (any, error) {
+		started <- struct{}{}
+		<-fctx.Done()
+		<-release // cancellation noticed, but teardown is slow
+		return nil, fctx.Err()
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	abandoned := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(ctx1, base, "k", admit, spawn, doomed)
+		abandoned <- err
+	}()
+	<-started
+	cancel1()
+	if err := <-abandoned; err != context.Canceled {
+		t.Fatalf("abandoning waiter got %v, want context.Canceled", err)
+	}
+
+	// The doomed run is canceled but still blocked in teardown; a new
+	// request must get a fresh flight and a real result.
+	fresh := func(fctx context.Context) (any, error) {
+		if fctx.Err() != nil {
+			return nil, fmt.Errorf("fresh flight born canceled: %w", fctx.Err())
+		}
+		return 42, nil
+	}
+	got := make(chan any, 1)
+	errs := make(chan error, 1)
+	go func() {
+		v, _, err := g.do(context.Background(), base, "k", admit, spawn, fresh)
+		got <- v
+		errs <- err
+	}()
+	select {
+	case v := <-got:
+		if err := <-errs; err != nil || v != 42 {
+			t.Fatalf("successor got (%v, %v), want (42, nil)", v, err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("successor request never completed; it inherited the doomed flight")
+	}
+	close(release) // let the doomed runner finish; it must not unmap anything current
+	if _, _, err := g.do(context.Background(), base, "k", admit, spawn, fresh); err != nil {
+		t.Fatalf("post-teardown request: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup collapses concurrent work for the same key into a single
+// execution. It differs from the classic singleflight in two ways the
+// simulation service needs:
+//
+//   - The function runs on its own goroutine with a context derived from the
+//     server's lifetime, not from any one request: a waiter abandoning (its
+//     request context fires) must not cancel the run other waiters still
+//     want.
+//   - Flights are reference-counted. When the last waiter abandons, the
+//     flight's context is canceled so the simulation stops through the
+//     cooperative-cancellation path instead of burning cycles for nobody.
+//
+// Server shutdown cancels the base context, which cancels every flight.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+	// onJoin, if set, is called each time a caller collapses onto an
+	// existing flight — at join time, so gauges see it while the flight is
+	// still running.
+	onJoin func()
+}
+
+type flight struct {
+	waiters  int
+	finished bool
+	cancel   context.CancelFunc
+	done     chan struct{}
+	val      any
+	err      error
+}
+
+func newFlightGroup(onJoin func()) *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight), onJoin: onJoin}
+}
+
+// do returns the result of fn for key, collapsing concurrent calls: the
+// first caller starts fn on a new goroutine (tracked via spawn, so the
+// server can wait for it at shutdown) with a context derived from base;
+// later callers with the same key wait for that execution. shared reports
+// whether this caller joined an existing flight. admit is consulted only
+// when a new flight would start — joining an in-flight execution costs no
+// queue capacity — and its error is returned verbatim.
+//
+// If ctx fires while waiting, do returns ctx.Err() immediately; the flight
+// keeps running for any remaining waiters and is canceled when none remain.
+func (g *flightGroup) do(ctx, base context.Context, key string,
+	admit func() error, spawn func(func()), fn func(context.Context) (any, error),
+) (val any, shared bool, err error) {
+	g.mu.Lock()
+	f, ok := g.flights[key]
+	if ok {
+		f.waiters++
+		g.mu.Unlock()
+		if g.onJoin != nil {
+			g.onJoin()
+		}
+		return g.wait(ctx, key, f)
+	}
+	if err := admit(); err != nil {
+		g.mu.Unlock()
+		return nil, false, err
+	}
+	fctx, cancel := context.WithCancel(base)
+	f = &flight{waiters: 1, cancel: cancel, done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	spawn(func() {
+		val, err := fn(fctx)
+		g.mu.Lock()
+		f.val, f.err = val, err
+		f.finished = true
+		// An abandoned flight was already unmapped, and a successor may
+		// own the key by now — only remove our own entry.
+		if g.flights[key] == f {
+			delete(g.flights, key)
+		}
+		g.mu.Unlock()
+		close(f.done)
+		cancel()
+	})
+	v, _, err := g.wait(ctx, key, f)
+	return v, false, err
+}
+
+func (g *flightGroup) wait(ctx context.Context, key string, f *flight) (any, bool, error) {
+	select {
+	case <-f.done:
+		return f.val, true, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 && !f.finished {
+			// Nobody wants this result anymore: cancel the run AND unmap
+			// the flight immediately, so a fresh request for the same key
+			// starts a new run instead of inheriting a doomed one.
+			f.cancel()
+			if g.flights[key] == f {
+				delete(g.flights, key)
+			}
+		}
+		g.mu.Unlock()
+		return nil, true, ctx.Err()
+	}
+}

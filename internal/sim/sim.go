@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"sync"
@@ -68,14 +69,27 @@ type Result struct {
 	PrefetchMetaBytes uint64
 }
 
-// imageCache memoises generated images: experiments run many schemes over
-// the same workload and image generation is the expensive part. Each entry
-// carries a sync.Once so concurrent runs of the same (workload, seed) — the
-// common case under the parallel experiment runner — generate the image
-// exactly once instead of racing to do duplicate work.
-var imageCache sync.Map // key string -> *imageCacheEntry
+// The image cache memoises generated images: experiments run many schemes
+// over the same workload and image generation is the expensive part. Each
+// entry carries a sync.Once so concurrent runs of the same (workload, seed)
+// — the common case under the parallel experiment runner — generate the
+// image exactly once instead of racing to do duplicate work.
+//
+// The cache is bounded (LRU): long-running services expose the key's
+// parameters (footprint, image seed) to clients, and an unbounded cache of
+// multi-megabyte images would grow monotonically under a parameter sweep.
+// An evicted-while-generating entry still completes for the runs holding
+// it; it is simply not shared afterwards.
+const imageCacheEntries = 32
+
+var (
+	imageMu    sync.Mutex
+	imageLRU   = list.New() // front = most recently used; values are *imageCacheEntry
+	imageIndex = map[string]*list.Element{}
+)
 
 type imageCacheEntry struct {
+	key  string
 	once sync.Once
 	img  *program.Image
 	err  error
@@ -86,8 +100,23 @@ func imageFor(p workload.Profile, seed uint64) (*program.Image, error) {
 	// profile name: public-API callers can override the footprint (or
 	// register same-named variants), and those must not share an image.
 	key := fmt.Sprintf("%s/%d/%+v", p.Name, seed, p.Gen)
-	v, _ := imageCache.LoadOrStore(key, &imageCacheEntry{})
-	e := v.(*imageCacheEntry)
+	imageMu.Lock()
+	var e *imageCacheEntry
+	if el, ok := imageIndex[key]; ok {
+		imageLRU.MoveToFront(el)
+		e = el.Value.(*imageCacheEntry)
+	} else {
+		e = &imageCacheEntry{key: key}
+		imageIndex[key] = imageLRU.PushFront(e)
+		for imageLRU.Len() > imageCacheEntries {
+			oldest := imageLRU.Back()
+			imageLRU.Remove(oldest)
+			delete(imageIndex, oldest.Value.(*imageCacheEntry).key)
+		}
+	}
+	imageMu.Unlock()
+	// Generation runs outside the lock; the Once makes concurrent callers
+	// of the same entry share one generation.
 	e.once.Do(func() {
 		e.img, e.err = p.Image(seed)
 	})

@@ -1,0 +1,34 @@
+package boomsim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Key returns the canonical identity of the simulation's full configuration:
+// scheme, workload, predictor, BTB and LLC overrides, footprint override,
+// both seeds, the measurement window and the cycle budget. Two Simulations
+// with equal Keys produce byte-identical Results — a Run is a pure function
+// of this string — so the Key is safe to use as a cache or memoisation key.
+// Progress callbacks are deliberately excluded: they observe a run without
+// affecting it.
+//
+// The format is stable within a process and human-readable; persist the
+// Fingerprint instead if you need a fixed-width identifier.
+func (s *Simulation) Key() string {
+	return fmt.Sprintf(
+		"scheme=%q|workload=%q|predictor=%q|btb=%d|llc=%d|footprint=%d|imageseed=%d|walkseed=%d|warm=%d|measure=%d|maxcycles=%d",
+		s.schemeName, s.workloadName, s.predictor,
+		s.btbEntries, s.llcLatency, s.footprintKB,
+		s.imageSeed, s.walkSeed,
+		s.warmInstrs, s.measureInstrs, s.maxCycles)
+}
+
+// Fingerprint returns the SHA-256 of Key as lowercase hex: a fixed-width,
+// content-addressed identifier for the configuration, suitable for cache
+// keys, file names and log correlation.
+func (s *Simulation) Fingerprint() string {
+	sum := sha256.Sum256([]byte(s.Key()))
+	return hex.EncodeToString(sum[:])
+}

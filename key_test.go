@@ -1,0 +1,68 @@
+package boomsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"boomsim"
+)
+
+func mustNew(t *testing.T, opts ...boomsim.Option) *boomsim.Simulation {
+	t.Helper()
+	s, err := boomsim.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestKeyIdentifiesTheFullConfiguration(t *testing.T) {
+	base := mustNew(t)
+	same := mustNew(t)
+	if base.Key() != same.Key() {
+		t.Errorf("identical options produced different keys:\n %s\n %s", base.Key(), same.Key())
+	}
+	if base.Fingerprint() != same.Fingerprint() {
+		t.Errorf("identical options produced different fingerprints")
+	}
+	if len(base.Fingerprint()) != 64 {
+		t.Errorf("Fingerprint() = %q, want 64 hex chars", base.Fingerprint())
+	}
+
+	// Every axis that changes the result must change the key.
+	variants := map[string]*boomsim.Simulation{
+		"scheme":    mustNew(t, boomsim.WithScheme("FDIP")),
+		"workload":  mustNew(t, boomsim.WithWorkload("DB2")),
+		"predictor": mustNew(t, boomsim.WithPredictor("bimodal")),
+		"btb":       mustNew(t, boomsim.WithBTBEntries(4096)),
+		"llc":       mustNew(t, boomsim.WithLLCLatency(18)),
+		"footprint": mustNew(t, boomsim.WithFootprintKB(128)),
+		"seeds":     mustNew(t, boomsim.WithSeeds(2, 1)),
+		"walkseed":  mustNew(t, boomsim.WithSeeds(1, 2)),
+		"window":    mustNew(t, boomsim.WithWindow(200_000, 2_000_000)),
+		"maxcycles": mustNew(t, boomsim.WithMaxCycles(1_000_000)),
+	}
+	seen := map[string]string{base.Fingerprint(): "default"}
+	for axis, s := range variants {
+		if s.Key() == base.Key() {
+			t.Errorf("changing %s did not change Key()", axis)
+		}
+		if prev, dup := seen[s.Fingerprint()]; dup {
+			t.Errorf("fingerprint collision between %s and %s", axis, prev)
+		}
+		seen[s.Fingerprint()] = axis
+	}
+
+	// Progress hooks observe without affecting results; they stay out of
+	// the key so instrumented and plain runs share cache entries.
+	hooked := mustNew(t, boomsim.WithProgress(1000, func(done, total uint64) {}))
+	if hooked.Key() != base.Key() {
+		t.Errorf("WithProgress changed Key(); progress must not affect identity")
+	}
+
+	for _, want := range []string{"scheme=", "workload=", "imageseed=", "measure="} {
+		if !strings.Contains(base.Key(), want) {
+			t.Errorf("Key() %q missing %q", base.Key(), want)
+		}
+	}
+}

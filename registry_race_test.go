@@ -1,0 +1,85 @@
+package boomsim_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"boomsim"
+	"boomsim/internal/scheme"
+	"boomsim/internal/workload"
+)
+
+// TestRegistryConcurrentRegisterAndLookup hammers the process-global
+// registries from many goroutines at once — the access pattern boomsimd
+// makes routine, with /v1/schemes listings, per-request lookups and
+// (in principle) runtime registrations interleaving freely. Run under
+// -race this pins the RWMutex discipline in registry.go: any unguarded
+// read or write trips the detector.
+//
+// Registered names carry the "Test" prefix so the golden corpus skips
+// them, and registration tolerates duplicates so the test is idempotent
+// under -count.
+func TestRegistryConcurrentRegisterAndLookup(t *testing.T) {
+	const writers, readers, perWriter = 8, 8, 25
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s := scheme.Base()
+				s.Name = fmt.Sprintf("TestRaceScheme-%d-%d", w, i)
+				if err := boomsim.RegisterScheme(s); err != nil && !errors.Is(err, boomsim.ErrInvalidOption) {
+					t.Errorf("RegisterScheme: %v", err)
+				}
+				p := workload.SPECLike()
+				// The TestCustom prefix keeps TestRegistryLookup's
+				// built-in census accurate whatever the test order.
+				p.Name = fmt.Sprintf("TestCustomRaceWorkload-%d-%d", w, i)
+				if err := boomsim.RegisterWorkload(p); err != nil && !errors.Is(err, boomsim.ErrInvalidOption) {
+					t.Errorf("RegisterWorkload: %v", err)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Every read path: listings, typed lookups, misses, and
+				// full construction through New.
+				if got := boomsim.Schemes(); len(got) < 15 {
+					t.Errorf("Schemes() shrank to %d entries mid-hammer", len(got))
+				}
+				if got := boomsim.Workloads(); len(got) < 7 {
+					t.Errorf("Workloads() shrank to %d entries mid-hammer", len(got))
+				}
+				if _, err := boomsim.LookupScheme("Boomerang"); err != nil {
+					t.Errorf("LookupScheme(Boomerang): %v", err)
+				}
+				if _, err := boomsim.LookupWorkload("Apache"); err != nil {
+					t.Errorf("LookupWorkload(Apache): %v", err)
+				}
+				if _, err := boomsim.LookupScheme(fmt.Sprintf("TestRaceMissing-%d-%d", r, i)); !errors.Is(err, boomsim.ErrUnknownScheme) {
+					t.Errorf("lookup miss = %v, want ErrUnknownScheme", err)
+				}
+				if _, err := boomsim.New(boomsim.WithScheme("FDIP"), boomsim.WithWorkload("DB2")); err != nil {
+					t.Errorf("New during registration churn: %v", err)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// Everything registered during the hammer is immediately resolvable.
+	for w := 0; w < writers; w++ {
+		name := fmt.Sprintf("TestRaceScheme-%d-%d", w, perWriter-1)
+		if _, err := boomsim.LookupScheme(name); err != nil {
+			t.Errorf("scheme %s registered but not found: %v", name, err)
+		}
+	}
+}
