@@ -11,19 +11,20 @@ import (
 )
 
 // TestConsumersUseOnlyThePublicAPI pins the api boundary: the binaries in
-// cmd/, the programs in examples/ and the boomsimd service layer in
-// internal/server must consume the simulator through the public boomsim
-// package, never by reaching into the internal simulation layers.
-// Lower-level plumbing packages (trace, program, frontend, ...) stay
-// importable for tools that genuinely drive hand-built engines; the three
-// banned packages are the ones the public API wraps.
+// cmd/, the programs in examples/, the boomsimd service layer in
+// internal/server and the cluster coordinator in internal/cluster must
+// consume the simulator through the public boomsim package, never by
+// reaching into the internal simulation layers. Lower-level plumbing
+// packages (trace, program, frontend, ...) stay importable for tools that
+// genuinely drive hand-built engines; the three banned packages are the
+// ones the public API wraps.
 func TestConsumersUseOnlyThePublicAPI(t *testing.T) {
 	banned := []string{
 		"boomsim/internal/sim",
 		"boomsim/internal/scheme",
 		"boomsim/internal/workload",
 	}
-	for _, root := range []string{"cmd", "examples", "internal/server"} {
+	for _, root := range []string{"cmd", "examples", "internal/server", "internal/cluster"} {
 		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 			if err != nil {
 				return err
@@ -52,5 +53,42 @@ func TestConsumersUseOnlyThePublicAPI(t *testing.T) {
 		if err != nil {
 			t.Fatalf("walking %s: %v", root, err)
 		}
+	}
+}
+
+// TestClusterSpeaksOnlyWireTypes pins the coordinator's tighter contract:
+// internal/cluster may depend, module-internally, on nothing but the shared
+// wire vocabulary. The public boomsim package builds its distributed runner
+// on the coordinator, so any other internal import is either an import
+// cycle waiting to happen (boomsim itself) or a layering leak (the server's
+// implementation); the coordinator must treat workers as remote HTTP
+// services, full stop.
+func TestClusterSpeaksOnlyWireTypes(t *testing.T) {
+	allowed := map[string]bool{"boomsim/internal/wire": true}
+	err := filepath.WalkDir("internal/cluster", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if (ip == "boomsim" || strings.HasPrefix(ip, "boomsim/")) && !allowed[ip] {
+				t.Errorf("%s imports %s; internal/cluster may only use the standard library and boomsim/internal/wire", path, ip)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking internal/cluster: %v", err)
 	}
 }

@@ -1,0 +1,265 @@
+// Command boomctl runs a simulation matrix across a pool of boomsimd
+// workers: the paper's scheme x workload x seed sweep, sharded by the
+// distributed experiment fabric (rendezvous routing on each cell's
+// configuration key, worker backpressure, straggler hedging, re-dispatch on
+// worker death) and reassembled in deterministic matrix order — the same
+// bytes a local run would produce.
+//
+// Examples:
+//
+//	boomctl -workers http://sim-1:8080,http://sim-2:8080,http://sim-3:8080
+//	boomctl -workers ... -schemes Base,FDIP,Boomerang -workloads Apache,DB2
+//	boomctl -workers ... -schemes all -workloads all -image-seeds 1,2,3 -json
+//	boomctl -workers ... -hedge 30s -metrics-addr :9090
+//
+// The run summary (dispatch, retry, hedge and cache-hit counters plus
+// per-worker load) goes to stderr; results go to stdout as a table, or as
+// JSON with -json.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"boomsim"
+)
+
+func main() {
+	var (
+		workers     = flag.String("workers", "", "comma-separated boomsimd endpoints (required), e.g. http://sim-1:8080,http://sim-2:8080")
+		schemesCSV  = flag.String("schemes", "all", `schemes to sweep ("all" = every registered scheme)`)
+		workloadCSV = flag.String("workloads", "Apache,DB2,SPEC-like", `workloads to sweep ("all" = every registered workload)`)
+		predictor   = flag.String("predictor", "", "FDIP direction predictor: tage|bimodal|never-taken")
+		btb         = flag.Int("btb", 0, "override BTB entries (0 = Table I default)")
+		llc         = flag.Int("llc", 0, "override LLC latency in cycles (0 = default)")
+		footprint   = flag.Int("footprint", 0, "override workload footprint in KB (0 = profile's own)")
+		warm        = flag.Uint64("warm", boomsim.DefaultWarmInstrs, "warmup instructions per cell")
+		measure     = flag.Uint64("measure", boomsim.DefaultMeasureInstrs, "measured instructions per cell")
+		imageSeeds  = flag.String("image-seeds", "1", "comma-separated code-image seeds")
+		walkSeeds   = flag.String("walk-seeds", "1", "comma-separated oracle-walk seeds")
+
+		inflight    = flag.Int("inflight", 2, "max in-flight batches per worker")
+		batch       = flag.Int("batch", 4, "cells per worker request")
+		retries     = flag.Int("retries", 4, "dispatch attempts per cell before the sweep fails")
+		hedge       = flag.Duration("hedge", 0, "duplicate straggling cells after this in-flight time (0 = off)")
+		timeout     = flag.Duration("timeout", 5*time.Minute, "per-batch transport budget, retries included")
+		metricsAddr = flag.String("metrics-addr", "", "serve coordinator Prometheus metrics on this address during the run")
+		jsonOut     = flag.Bool("json", false, "emit results as a JSON array instead of a table")
+	)
+	flag.Parse()
+	if *workers == "" {
+		fatalf("-workers is required (comma-separated boomsimd endpoints)")
+	}
+
+	schemes := resolveNames(*schemesCSV, schemeNames())
+	workloads := resolveNames(*workloadCSV, workloadNames())
+	iseeds := parseSeeds("image-seeds", *imageSeeds)
+	wseeds := parseSeeds("walk-seeds", *walkSeeds)
+
+	// Matrix order is deterministic: seeds outermost, then workload, then
+	// scheme — the order the paper's figures group by.
+	var sims []*boomsim.Simulation
+	for _, is := range iseeds {
+		for _, ws := range wseeds {
+			for _, wl := range workloads {
+				for _, sch := range schemes {
+					opts := []boomsim.Option{
+						boomsim.WithScheme(sch),
+						boomsim.WithWorkload(wl),
+						boomsim.WithSeeds(is, ws),
+						boomsim.WithWindow(*warm, *measure),
+					}
+					if *predictor != "" {
+						opts = append(opts, boomsim.WithPredictor(*predictor))
+					}
+					if *btb > 0 {
+						opts = append(opts, boomsim.WithBTBEntries(*btb))
+					}
+					if *llc > 0 {
+						opts = append(opts, boomsim.WithLLCLatency(*llc))
+					}
+					if *footprint > 0 {
+						opts = append(opts, boomsim.WithFootprintKB(*footprint))
+					}
+					s, err := boomsim.New(opts...)
+					if err != nil {
+						fatalf("%s on %s: %v", sch, wl, err)
+					}
+					sims = append(sims, s)
+				}
+			}
+		}
+	}
+
+	clOpts := []boomsim.ClusterOption{
+		boomsim.WithEndpoints(strings.Split(*workers, ",")...),
+		boomsim.WithWorkerInFlight(*inflight),
+		boomsim.WithBatchSize(*batch),
+		boomsim.WithJobAttempts(*retries),
+		boomsim.WithClusterTimeout(*timeout),
+	}
+	if *hedge > 0 {
+		clOpts = append(clOpts, boomsim.WithHedgeAfter(*hedge))
+	}
+	cl, err := boomsim.NewCluster(clOpts...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", cl.MetricsHandler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "boomctl: metrics listener: %v\n", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "boomctl: %d cells (%d schemes x %d workloads x %d seed pairs) across %d workers\n",
+		len(sims), len(schemes), len(workloads), len(iseeds)*len(wseeds), len(strings.Split(*workers, ",")))
+	start := time.Now()
+	results, err := cl.RunMatrix(ctx, sims)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	elapsed := time.Since(start)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fatalf("encoding results: %v", err)
+		}
+	} else {
+		printTable(results, len(schemes)*len(workloads))
+	}
+	printSummary(cl.Stats(), len(sims), elapsed)
+}
+
+// printTable renders one row per cell; when Base is part of the sweep each
+// row also shows speedup over Base for the same workload cell — the
+// paper's Figure 9 axis. Cells sharing a seed pair form one contiguous
+// block of perBlock rows (seeds are the outermost sweep dimension), and
+// each block's speedups are computed against the Base rows of that same
+// block — never against another seed's baseline.
+func printTable(results []boomsim.Result, perBlock int) {
+	hasBase := false
+	for _, r := range results {
+		if r.Scheme == "Base" {
+			hasBase = true
+			break
+		}
+	}
+	fmt.Printf("%-22s %-12s %8s %8s %10s", "SCHEME", "WORKLOAD", "IPC", "MPKI", "STALL%")
+	if hasBase {
+		fmt.Printf(" %9s", "SPEEDUP")
+	}
+	fmt.Println()
+	for start := 0; start < len(results); start += perBlock {
+		block := results[start:min(start+perBlock, len(results))]
+		base := make(map[string]boomsim.Result)
+		for _, r := range block {
+			if r.Scheme == "Base" {
+				base[r.Workload] = r
+			}
+		}
+		for _, r := range block {
+			fmt.Printf("%-22s %-12s %8.3f %8.2f %9.1f%%",
+				r.Scheme, r.Workload, r.IPC, r.L1IMissesPerKI, 100*r.StallFraction)
+			if b, ok := base[r.Workload]; ok {
+				fmt.Printf(" %8.3fx", boomsim.Speedup(b, r))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func printSummary(st boomsim.ClusterStats, cells int, elapsed time.Duration) {
+	fmt.Fprintf(os.Stderr,
+		"boomctl: %d cells in %v — dispatched %d, retried %d, hedged %d, cache hits %d (%.0f%%), worker deaths %d\n",
+		cells, elapsed.Round(time.Millisecond), st.JobsDispatched, st.JobsRetried, st.JobsHedged,
+		st.CacheHits, 100*st.CacheHitRatio(), st.WorkerDeaths)
+	for _, w := range st.Workers {
+		avg := time.Duration(0)
+		if w.Requests > 0 {
+			avg = time.Duration(w.LatencyNanos / w.Requests)
+		}
+		state := "alive"
+		if !w.Alive {
+			state = "dead"
+		}
+		fmt.Fprintf(os.Stderr, "boomctl:   %-30s %5s  jobs %4d  requests %4d  failures %2d  avg batch %v\n",
+			w.Endpoint, state, w.Jobs, w.Requests, w.Failures, avg.Round(time.Millisecond))
+	}
+}
+
+func resolveNames(csv string, all []string) []string {
+	if csv == "all" {
+		return all
+	}
+	var out []string
+	for _, name := range strings.Split(csv, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	if len(out) == 0 {
+		fatalf("empty name list %q", csv)
+	}
+	return out
+}
+
+func parseSeeds(flagName, csv string) []uint64 {
+	var out []uint64
+	for _, s := range strings.Split(csv, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			fatalf("-%s: %q is not a seed: %v", flagName, s, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		fatalf("-%s: no seeds in %q", flagName, csv)
+	}
+	return out
+}
+
+func schemeNames() []string {
+	infos := boomsim.Schemes()
+	out := make([]string, len(infos))
+	for i, s := range infos {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func workloadNames() []string {
+	infos := boomsim.Workloads()
+	out := make([]string, len(infos))
+	for i, w := range infos {
+		out[i] = w.Name
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "boomctl: "+format+"\n", args...)
+	os.Exit(1)
+}

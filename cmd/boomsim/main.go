@@ -10,6 +10,7 @@
 //	boomsim -scheme FDIP -workload Zeus -predictor never-taken
 //	boomsim -scheme Boomerang -workload Oracle -cores 16
 //	boomsim -scheme Boomerang -workload Apache -json
+//	boomsim -remote http://sim-1:8080 -scheme FDIP -workload DB2
 //	boomsim -list
 package main
 
@@ -23,6 +24,8 @@ import (
 	"strings"
 
 	"boomsim"
+	"boomsim/internal/cluster"
+	"boomsim/internal/wire"
 )
 
 func main() {
@@ -40,6 +43,7 @@ func main() {
 		baseline   = flag.Bool("baseline", false, "also run the Base scheme and report speedup/coverage")
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of text")
 		list       = flag.Bool("list", false, "list registered schemes and workloads, then exit")
+		remote     = flag.String("remote", "", "run on a boomsimd at this base URL instead of locally (implies -json output)")
 	)
 	flag.Parse()
 
@@ -50,6 +54,22 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *remote != "" {
+		if *cores > 1 || *baseline {
+			fatalf("-remote supports single runs only (no -cores/-baseline)")
+		}
+		runRemote(ctx, *remote, wire.RunRequest{
+			Scheme:     *schemeName,
+			Workload:   *wlName,
+			Predictor:  *predictor,
+			BTBEntries: *btb,
+			LLCLatency: *llc,
+			ImageSeed:  imageSeed, WalkSeed: walkSeed,
+			WarmInstrs: warm, MeasureInstrs: measure,
+		})
+		return
+	}
 
 	newSim := func(scheme string) (*boomsim.Simulation, error) {
 		opts := []boomsim.Option{
@@ -111,6 +131,26 @@ func main() {
 		fmt.Printf("\nvs Base (IPC %.3f):\n", b.IPC)
 		fmt.Printf("  speedup             %.3fx\n", boomsim.Speedup(b, r))
 		fmt.Printf("  stall cycle coverage %.1f%%\n", 100*boomsim.Coverage(b, r))
+	}
+}
+
+// runRemote posts the configuration to a boomsimd's /v1/run through the
+// shared retrying client — transport errors and 429 backpressure (with its
+// Retry-After hint) are retried with jittered backoff — and prints the
+// response JSON verbatim.
+func runRemote(ctx context.Context, base string, req wire.RunRequest) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		fatalf("encoding request: %v", err)
+	}
+	client := &cluster.RetryClient{}
+	raw, err := client.PostJSON(ctx, strings.TrimRight(base, "/")+"/v1/run", body)
+	if err != nil {
+		fatalf("remote run: %v", err)
+	}
+	os.Stdout.Write(raw)
+	if len(raw) > 0 && raw[len(raw)-1] != '\n' {
+		fmt.Println()
 	}
 }
 

@@ -4,10 +4,16 @@
 // Endpoints:
 //
 //	POST /v1/run       one configuration -> JSON result (content-cached)
-//	POST /v1/matrix    batch of configurations -> order-stable results
+//	POST /v1/matrix    batch of configurations -> order-stable results,
+//	                   executed as one all-or-nothing flight
+//	POST /v1/jobs      batch of independent jobs -> per-job results and
+//	                   per-job errors (429 carries retry_after_ms); the
+//	                   endpoint the boomctl cluster coordinator speaks
 //	GET  /v1/schemes   registered schemes
 //	GET  /v1/workloads registered workloads
-//	GET  /healthz      liveness (503 while draining)
+//	GET  /healthz      liveness + build/version and current load
+//	                   (in-flight sims, queued flights, capacities) for
+//	                   coordinator placement decisions; 503 while draining
 //	GET  /metrics      Prometheus text: requests, cache hits, in-flight
 //	                   sims, queue depth, ns/instr
 //

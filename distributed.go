@@ -1,0 +1,276 @@
+package boomsim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"boomsim/internal/cluster"
+	"boomsim/internal/wire"
+)
+
+// Cluster shards simulation matrices across a pool of boomsimd workers.
+// Every matrix cell is routed to a worker by rendezvous hashing on its
+// configuration Key, so each worker's content-addressed result cache stays
+// hot and repeating a sweep collapses to cache hits; backpressure (429 +
+// Retry-After), straggler hedging and worker-death re-dispatch are handled
+// by the coordinator, and results come back in matrix order, byte-identical
+// to a local RunMatrix of the same simulations.
+//
+// A Cluster is reusable across sweeps (worker liveness is re-probed per
+// run) and Stats/MetricsHandler are safe to read while a sweep runs.
+type Cluster struct {
+	coord *cluster.Coordinator
+}
+
+// ClusterOption configures NewCluster.
+type ClusterOption func(*cluster.Config) error
+
+// WithEndpoints names the boomsimd workers (base URLs, e.g.
+// "http://sim-3:8080"). At least one endpoint is required.
+func WithEndpoints(endpoints ...string) ClusterOption {
+	return func(c *cluster.Config) error {
+		c.Endpoints = append(c.Endpoints, endpoints...)
+		return nil
+	}
+}
+
+// WithWorkerInFlight bounds concurrently outstanding batches per worker
+// (default 2) — the coordinator-side half of backpressure.
+func WithWorkerInFlight(n int) ClusterOption {
+	return func(c *cluster.Config) error {
+		if n <= 0 {
+			return fmt.Errorf("%w: worker in-flight must be positive, got %d", ErrInvalidOption, n)
+		}
+		c.InFlight = n
+		return nil
+	}
+}
+
+// WithBatchSize bounds how many cells travel in one worker request
+// (default 4).
+func WithBatchSize(n int) ClusterOption {
+	return func(c *cluster.Config) error {
+		if n <= 0 {
+			return fmt.Errorf("%w: batch size must be positive, got %d", ErrInvalidOption, n)
+		}
+		c.BatchSize = n
+		return nil
+	}
+}
+
+// WithJobAttempts bounds dispatch attempts per cell before the sweep fails
+// with ErrWorkerFailed (default 4).
+func WithJobAttempts(n int) ClusterOption {
+	return func(c *cluster.Config) error {
+		if n <= 0 {
+			return fmt.Errorf("%w: job attempts must be positive, got %d", ErrInvalidOption, n)
+		}
+		c.MaxAttempts = n
+		return nil
+	}
+}
+
+// WithHedgeAfter duplicates a straggling cell onto its next-preferred
+// worker once it has been in flight for d (0 disables hedging, the
+// default). Results are pure functions of their configuration, so the
+// duplicate is harmless — whichever copy finishes first wins.
+func WithHedgeAfter(d time.Duration) ClusterOption {
+	return func(c *cluster.Config) error {
+		if d < 0 {
+			return fmt.Errorf("%w: hedge delay must be >= 0, got %v", ErrInvalidOption, d)
+		}
+		c.HedgeAfter = d
+		return nil
+	}
+}
+
+// WithRetryBackoff tunes the transport's jittered exponential backoff
+// (defaults 100ms base, 5s cap); the cap also bounds honored Retry-After
+// hints.
+func WithRetryBackoff(base, max time.Duration) ClusterOption {
+	return func(c *cluster.Config) error {
+		if base <= 0 || max < base {
+			return fmt.Errorf("%w: retry backoff needs 0 < base <= max, got %v, %v", ErrInvalidOption, base, max)
+		}
+		ensureClient(c)
+		c.Client.BaseDelay, c.Client.MaxDelay = base, max
+		return nil
+	}
+}
+
+// WithClusterTimeout caps one batch's total transport time, retries
+// included (default 5m).
+func WithClusterTimeout(d time.Duration) ClusterOption {
+	return func(c *cluster.Config) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: cluster timeout must be positive, got %v", ErrInvalidOption, d)
+		}
+		c.RequestTimeout = d
+		return nil
+	}
+}
+
+// WithClusterClient substitutes the underlying *http.Client (custom
+// transports, TLS, test doubles).
+func WithClusterClient(hc *http.Client) ClusterOption {
+	return func(c *cluster.Config) error {
+		if hc == nil {
+			return fmt.Errorf("%w: nil cluster HTTP client", ErrInvalidOption)
+		}
+		ensureClient(c)
+		c.Client.HTTP = hc
+		return nil
+	}
+}
+
+func ensureClient(c *cluster.Config) {
+	if c.Client == nil {
+		c.Client = &cluster.RetryClient{}
+	}
+}
+
+// NewCluster builds a Cluster from options; WithEndpoints is mandatory.
+func NewCluster(opts ...ClusterOption) (*Cluster, error) {
+	var cfg cluster.Config
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	coord, err := cluster.New(cfg)
+	if err != nil {
+		return nil, wrapClusterError(err)
+	}
+	return &Cluster{coord: coord}, nil
+}
+
+// RunMatrix executes every simulation across the worker pool and returns
+// order-stable results: results[i] is sims[i]'s outcome exactly as a local
+// RunMatrix would produce it (each cell is a pure function of its
+// configuration, and Result JSON round-trips bytes exactly). Progress
+// callbacks do not cross the wire and are ignored.
+func (c *Cluster) RunMatrix(ctx context.Context, sims []*Simulation) ([]Result, error) {
+	jobs := make([]cluster.Job, len(sims))
+	for i, s := range sims {
+		if s == nil {
+			return nil, fmt.Errorf("%w: sims[%d] is nil", ErrInvalidOption, i)
+		}
+		jobs[i] = cluster.Job{Key: s.Fingerprint(), Req: wireRequest(s)}
+	}
+	out, err := c.coord.Run(ctx, jobs)
+	if err != nil {
+		return nil, wrapClusterError(err)
+	}
+	results := make([]Result, len(out))
+	for i, jr := range out {
+		if err := json.Unmarshal(jr.Result, &results[i]); err != nil {
+			return nil, fmt.Errorf("boomsim: decoding sims[%d] result: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// Stats snapshots the coordinator counters; safe during a running sweep.
+func (c *Cluster) Stats() ClusterStats {
+	s := c.coord.Stats()
+	out := ClusterStats{
+		JobsDispatched: s.JobsDispatched,
+		JobsCompleted:  s.JobsCompleted,
+		JobsRetried:    s.JobsRetried,
+		JobsHedged:     s.JobsHedged,
+		CacheHits:      s.CacheHits,
+		WorkerDeaths:   s.WorkerDeaths,
+		Workers:        make([]ClusterWorkerStats, len(s.Workers)),
+	}
+	for i, w := range s.Workers {
+		out.Workers[i] = ClusterWorkerStats(w)
+	}
+	return out
+}
+
+// MetricsHandler serves the coordinator's counters in Prometheus text
+// format: jobs dispatched/retried/hedged, cache-hit ratio, per-worker
+// request counts, failures and latency.
+func (c *Cluster) MetricsHandler() http.Handler { return c.coord.MetricsHandler() }
+
+// ClusterStats is a point-in-time snapshot of a Cluster's counters.
+type ClusterStats struct {
+	JobsDispatched uint64 `json:"jobs_dispatched"`
+	JobsCompleted  uint64 `json:"jobs_completed"`
+	JobsRetried    uint64 `json:"jobs_retried"`
+	JobsHedged     uint64 `json:"jobs_hedged"`
+	CacheHits      uint64 `json:"cache_hits"`
+	WorkerDeaths   uint64 `json:"worker_deaths"`
+
+	Workers []ClusterWorkerStats `json:"workers"`
+}
+
+// ClusterWorkerStats is one worker endpoint's share of a Cluster's
+// counters.
+type ClusterWorkerStats struct {
+	Endpoint     string `json:"endpoint"`
+	Alive        bool   `json:"alive"`
+	Requests     uint64 `json:"requests"`
+	Failures     uint64 `json:"failures"`
+	Jobs         uint64 `json:"jobs"`
+	LatencyNanos uint64 `json:"latency_nanos"`
+}
+
+// CacheHitRatio is the coordinator-observed fraction of completed cells
+// answered from worker result caches — the number key-affine routing
+// exists to maximise on repeat sweeps.
+func (s ClusterStats) CacheHitRatio() float64 {
+	if s.JobsCompleted == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.JobsCompleted)
+}
+
+// RunMatrixDistributed is the one-shot form of Cluster.RunMatrix: build a
+// cluster from opts, run the matrix, return order-stable results.
+func RunMatrixDistributed(ctx context.Context, sims []*Simulation, opts ...ClusterOption) ([]Result, error) {
+	c, err := NewCluster(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return c.RunMatrix(ctx, sims)
+}
+
+// wireRequest spells out the simulation's full configuration — defaults
+// included — so the worker reconstructs the exact Key-identified cell
+// regardless of its own defaults.
+func wireRequest(s *Simulation) wire.RunRequest {
+	imageSeed, walkSeed := s.imageSeed, s.walkSeed
+	warm, measure := s.warmInstrs, s.measureInstrs
+	return wire.RunRequest{
+		Scheme:        s.schemeName,
+		Workload:      s.workloadName,
+		Predictor:     s.predictor,
+		BTBEntries:    s.btbEntries,
+		LLCLatency:    s.llcLatency,
+		FootprintKB:   s.footprintKB,
+		ImageSeed:     &imageSeed,
+		WalkSeed:      &walkSeed,
+		WarmInstrs:    &warm,
+		MeasureInstrs: &measure,
+		MaxCycles:     s.maxCycles,
+	}
+}
+
+// wrapClusterError maps coordinator failures onto the public sentinels.
+func wrapClusterError(err error) error {
+	switch {
+	case errors.Is(err, cluster.ErrNoWorkers):
+		return fmt.Errorf("%w: %w", ErrNoWorkers, err)
+	case errors.Is(err, cluster.ErrWorkerFailed):
+		return fmt.Errorf("%w: %w", ErrWorkerFailed, err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	default:
+		return err
+	}
+}

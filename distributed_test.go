@@ -1,0 +1,255 @@
+package boomsim_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"boomsim"
+	"boomsim/internal/server"
+)
+
+// testWorker is one in-process boomsimd: the real service handler on a real
+// HTTP listener.
+type testWorker struct {
+	srv  *server.Server
+	http *httptest.Server
+}
+
+func startWorkers(t *testing.T, n int) []*testWorker {
+	t.Helper()
+	workers := make([]*testWorker, n)
+	for i := range workers {
+		srv := server.New(server.Config{QueueDepth: 512})
+		hs := httptest.NewServer(srv.Handler())
+		workers[i] = &testWorker{srv: srv, http: hs}
+		t.Cleanup(hs.Close)
+		t.Cleanup(srv.Close)
+	}
+	return workers
+}
+
+func endpoints(workers []*testWorker) []string {
+	eps := make([]string, len(workers))
+	for i, w := range workers {
+		eps[i] = w.http.URL
+	}
+	return eps
+}
+
+// fullMatrix is the paper's full figure matrix at CI scale: every
+// registered scheme (18) on the golden three-workload subset.
+func fullMatrix(t *testing.T, imageSeed, walkSeed, warm, measure uint64) []*boomsim.Simulation {
+	t.Helper()
+	var sims []*boomsim.Simulation
+	for _, sch := range boomsim.Schemes() {
+		for _, wl := range []string{"Apache", "DB2", "SPEC-like"} {
+			s, err := boomsim.New(
+				boomsim.WithScheme(sch.Name),
+				boomsim.WithWorkload(wl),
+				boomsim.WithFootprintKB(64),
+				boomsim.WithWindow(warm, measure),
+				boomsim.WithSeeds(imageSeed, walkSeed),
+			)
+			if err != nil {
+				t.Fatalf("New(%s, %s): %v", sch.Name, wl, err)
+			}
+			sims = append(sims, s)
+		}
+	}
+	if len(sims) < 18*3 {
+		t.Fatalf("matrix has %d cells, want >= %d", len(sims), 18*3)
+	}
+	return sims
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestDistributedMatrixMatchesLocal is the fabric's core contract: a full
+// 18-scheme x 3-workload matrix sharded over 3 workers returns byte-for-
+// byte the JSON a local RunMatrix produces, and a repeated identical sweep
+// is answered almost entirely from the workers' caches thanks to key-affine
+// routing.
+func TestDistributedMatrixMatchesLocal(t *testing.T) {
+	workers := startWorkers(t, 3)
+	sims := fullMatrix(t, 7, 11, 1000, 5000)
+	ctx := context.Background()
+
+	local, err := boomsim.RunMatrix(ctx, sims)
+	if err != nil {
+		t.Fatalf("local RunMatrix: %v", err)
+	}
+
+	cl, err := boomsim.NewCluster(
+		boomsim.WithEndpoints(endpoints(workers)...),
+		boomsim.WithBatchSize(4),
+		boomsim.WithRetryBackoff(time.Millisecond, 50*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	// Route through RunMatrix's WithCluster option so the public switch
+	// between local and distributed execution is what's under test.
+	dist, err := boomsim.RunMatrix(ctx, sims, boomsim.WithCluster(cl))
+	if err != nil {
+		t.Fatalf("distributed RunMatrix: %v", err)
+	}
+	if lraw, draw := mustJSON(t, local), mustJSON(t, dist); !bytes.Equal(lraw, draw) {
+		t.Fatalf("distributed results differ from local:\nlocal: %.400s\ndist:  %.400s", lraw, draw)
+	}
+
+	stats := cl.Stats()
+	if stats.JobsCompleted != uint64(len(sims)) {
+		t.Errorf("JobsCompleted = %d, want %d", stats.JobsCompleted, len(sims))
+	}
+	spread := 0
+	for _, w := range stats.Workers {
+		if w.Jobs > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Errorf("only %d of 3 workers served cells — rendezvous routing did not spread the matrix", spread)
+	}
+
+	// Identical sweep, fresh coordinator: key-affine routing must land
+	// every cell on the worker that already holds it.
+	repeat, err := boomsim.RunMatrixDistributed(ctx, sims,
+		boomsim.WithEndpoints(endpoints(workers)...),
+		boomsim.WithBatchSize(4),
+	)
+	if err != nil {
+		t.Fatalf("repeat distributed sweep: %v", err)
+	}
+	if !bytes.Equal(mustJSON(t, local), mustJSON(t, repeat)) {
+		t.Fatal("repeat sweep results differ from local")
+	}
+	var served uint64
+	for _, w := range workers {
+		served += w.srv.Stats().CacheHits
+	}
+	// The coordinator's own observation is the acceptance metric: >90% of
+	// the repeat sweep must be cache hits (it is 100% when routing is
+	// perfectly affine; the threshold leaves room for a hedged duplicate).
+	// Only the second coordinator's stats cover the repeat sweep alone.
+	if ratio := hitRatioOfRepeatSweep(t, ctx, workers, sims); ratio < 0.9 {
+		t.Errorf("coordinator-observed cache-hit ratio on repeat sweep = %.2f, want > 0.9", ratio)
+	}
+	if served == 0 {
+		t.Error("workers report zero cache hits after an identical repeat sweep")
+	}
+}
+
+// hitRatioOfRepeatSweep reruns the sweep once more on a fresh coordinator
+// and returns its observed cache-hit ratio.
+func hitRatioOfRepeatSweep(t *testing.T, ctx context.Context, workers []*testWorker, sims []*boomsim.Simulation) float64 {
+	t.Helper()
+	cl, err := boomsim.NewCluster(boomsim.WithEndpoints(endpoints(workers)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.RunMatrix(ctx, sims); err != nil {
+		t.Fatal(err)
+	}
+	return cl.Stats().CacheHitRatio()
+}
+
+// TestDistributedSurvivesWorkerDeath kills one of three workers while the
+// sweep is in flight: its in-flight and queued cells must re-dispatch to
+// the survivors and the reassembled matrix must still be byte-identical to
+// the local run.
+func TestDistributedSurvivesWorkerDeath(t *testing.T) {
+	workers := startWorkers(t, 3)
+	// Distinct seeds from the other test so every worker cache is cold and
+	// the victim actually owns unfinished work when it dies.
+	sims := fullMatrix(t, 13, 17, 2000, 10000)
+	ctx := context.Background()
+
+	local, err := boomsim.RunMatrix(ctx, sims)
+	if err != nil {
+		t.Fatalf("local RunMatrix: %v", err)
+	}
+
+	cl, err := boomsim.NewCluster(
+		boomsim.WithEndpoints(endpoints(workers)...),
+		boomsim.WithBatchSize(3),
+		boomsim.WithWorkerInFlight(1),
+		boomsim.WithJobAttempts(10),
+		boomsim.WithRetryBackoff(time.Millisecond, 20*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if cl.Stats().JobsCompleted >= 2 {
+				// Sever live connections and refuse new ones: the worker
+				// is gone as far as the coordinator can tell.
+				workers[1].http.CloseClientConnections()
+				workers[1].http.Listener.Close()
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	dist, err := cl.RunMatrix(ctx, sims)
+	<-killed
+	if err != nil {
+		t.Fatalf("distributed sweep with worker death: %v", err)
+	}
+	if !bytes.Equal(mustJSON(t, local), mustJSON(t, dist)) {
+		t.Fatal("post-death distributed results differ from local")
+	}
+	stats := cl.Stats()
+	if stats.WorkerDeaths == 0 {
+		t.Error("WorkerDeaths = 0, want >= 1 after killing a worker mid-sweep")
+	}
+	if stats.JobsRetried == 0 {
+		t.Error("JobsRetried = 0, want >= 1 — the dead worker's cells must have re-dispatched")
+	}
+}
+
+// TestDistributedNoWorkers pins the typed error for an empty/dead pool.
+func TestDistributedNoWorkers(t *testing.T) {
+	if _, err := boomsim.NewCluster(); !errors.Is(err, boomsim.ErrNoWorkers) {
+		t.Fatalf("NewCluster() err = %v, want ErrNoWorkers", err)
+	}
+
+	dead := httptest.NewServer(nil)
+	dead.Close()
+	sims := []*boomsim.Simulation{mustSim(t)}
+	_, err := boomsim.RunMatrixDistributed(context.Background(), sims,
+		boomsim.WithEndpoints(dead.URL))
+	if !errors.Is(err, boomsim.ErrNoWorkers) {
+		t.Fatalf("RunMatrixDistributed err = %v, want ErrNoWorkers", err)
+	}
+}
+
+func mustSim(t *testing.T, opts ...boomsim.Option) *boomsim.Simulation {
+	t.Helper()
+	opts = append([]boomsim.Option{
+		boomsim.WithFootprintKB(64),
+		boomsim.WithWindow(500, 2000),
+	}, opts...)
+	s, err := boomsim.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

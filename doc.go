@@ -42,6 +42,24 @@
 //
 //	results, err := boomsim.RunMatrix(ctx, sims, boomsim.WithParallelism(8))
 //
+// # Distributed runs
+//
+// A matrix can shard across a pool of boomsimd workers instead of the
+// local pool: cells route by rendezvous hashing on their configuration
+// Key (keeping worker result caches hot across sweeps), worker
+// backpressure is honored, stragglers can be hedged, a dying worker's
+// cells re-dispatch to the survivors, and results return in matrix order,
+// byte-identical to a local run:
+//
+//	cl, err := boomsim.NewCluster(boomsim.WithEndpoints("http://sim-1:8080", "http://sim-2:8080"))
+//	results, err := cl.RunMatrix(ctx, sims)
+//	// or: boomsim.RunMatrix(ctx, sims, boomsim.WithCluster(cl))
+//	// or: boomsim.RunMatrixDistributed(ctx, sims, boomsim.WithEndpoints(...))
+//
+// ErrNoWorkers and ErrWorkerFailed type the distributed failure modes;
+// Cluster.Stats and Cluster.MetricsHandler expose coordinator counters
+// (dispatches, retries, hedges, cache-hit ratio, per-worker latency).
+//
 // The implementation lives under internal/: internal/core holds the
 // Boomerang mechanism itself, internal/scheme the evaluated configurations,
 // internal/sim the run harness, and internal/experiments the per-figure

@@ -24,4 +24,13 @@ var (
 	// unusable value (zero measurement window, negative BTB size, unknown
 	// predictor name, ...).
 	ErrInvalidOption = errors.New("boomsim: invalid option")
+
+	// ErrNoWorkers is returned by NewCluster and distributed runs when the
+	// worker pool is empty or every worker is unreachable or has been
+	// declared dead mid-sweep.
+	ErrNoWorkers = errors.New("boomsim: no live cluster workers")
+
+	// ErrWorkerFailed is returned by distributed runs when a matrix cell
+	// exhausted its dispatch attempts across the pool.
+	ErrWorkerFailed = errors.New("boomsim: cluster worker failed")
 )

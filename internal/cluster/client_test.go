@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRetryClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	var gap atomic.Int64
+	var last atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now().UnixNano()
+		if prev := last.Swap(now); prev != 0 {
+			gap.Store(now - prev)
+		}
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+
+	// BaseDelay alone would retry after ~1–2ms; the 1s Retry-After hint
+	// must dominate, capped by MaxDelay.
+	c := &RetryClient{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 250 * time.Millisecond}
+	raw, err := c.PostJSON(context.Background(), srv.URL, []byte(`{}`))
+	if err != nil {
+		t.Fatalf("PostJSON: %v", err)
+	}
+	if string(raw) != `{"ok":true}` {
+		t.Fatalf("body = %s", raw)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+	if g := time.Duration(gap.Load()); g < 200*time.Millisecond {
+		t.Errorf("retry came after %v; the Retry-After hint (capped at 250ms) was not honored", g)
+	}
+}
+
+func TestRetryClientDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad scheme", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c := &RetryClient{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	_, err := c.PostJSON(context.Background(), srv.URL, []byte(`{}`))
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 — 4xx must not be retried", got)
+	}
+}
+
+func TestRetryClientRetriesServerErrors(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`ok`))
+	}))
+	defer srv.Close()
+
+	c := &RetryClient{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	raw, err := c.PostJSON(context.Background(), srv.URL, nil)
+	if err != nil || string(raw) != "ok" {
+		t.Fatalf("PostJSON = %q, %v; want ok after 2 retries", raw, err)
+	}
+}
+
+func TestRetryClientGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := &RetryClient{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	_, err := c.PostJSON(context.Background(), srv.URL, nil)
+	if err == nil {
+		t.Fatal("want error after exhausting attempts")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestRetryClientRespectsContextDuringBackoff(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	c := &RetryClient{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Minute}
+	start := time.Now()
+	_, err := c.PostJSON(ctx, srv.URL, nil)
+	if err == nil {
+		t.Fatal("want context error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("PostJSON blocked %v through a canceled context", elapsed)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	if d, ok := parseRetryAfter("2"); !ok || d != 2*time.Second {
+		t.Errorf("parseRetryAfter(2) = %v, %v", d, ok)
+	}
+	if _, ok := parseRetryAfter(""); ok {
+		t.Error("empty Retry-After parsed")
+	}
+	if _, ok := parseRetryAfter("soon"); ok {
+		t.Error("garbage Retry-After parsed")
+	}
+	future := time.Now().Add(3 * time.Second).UTC().Format(http.TimeFormat)
+	if d, ok := parseRetryAfter(future); !ok || d <= 0 || d > 3*time.Second {
+		t.Errorf("parseRetryAfter(date) = %v, %v", d, ok)
+	}
+}

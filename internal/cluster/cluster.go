@@ -1,0 +1,632 @@
+// Package cluster shards simulation matrices across a pool of boomsimd
+// workers: the horizontal scale-out layer over the single-node service.
+//
+// The coordinator expands a matrix into per-cell jobs identified by their
+// configuration Key and routes each job to a worker by rendezvous hashing
+// on that Key, so every worker's content-addressed result cache stays hot
+// and a repeated sweep collapses to cache hits instead of re-simulating.
+// Dispatch is an event loop with explicit backpressure: at most InFlight
+// batches per worker, per-job 429/503 responses (and their Retry-After
+// hints) cool the worker down, transport failures re-dispatch the affected
+// jobs with a capped attempt budget, a worker that keeps failing is
+// declared dead and only its keys move (the rendezvous property), and
+// stragglers can be hedged to the key's next-preferred worker. Results
+// reassemble in matrix order regardless of completion order, so a
+// distributed sweep is byte-identical to a local RunMatrix.
+//
+// The package deliberately speaks only internal/wire and the standard
+// library: the public boomsim package builds on it, so it cannot import
+// boomsim, and the API-boundary test pins it to the wire vocabulary.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"boomsim/internal/wire"
+)
+
+// Sentinel errors; the public boomsim package wraps them into its own
+// typed errors.
+var (
+	// ErrNoWorkers reports an empty or fully-dead worker pool.
+	ErrNoWorkers = errors.New("cluster: no live workers")
+	// ErrWorkerFailed reports a job that exhausted its dispatch attempts.
+	ErrWorkerFailed = errors.New("cluster: worker failed")
+)
+
+// Config sizes a Coordinator. Endpoints is required; everything else
+// defaults sensibly.
+type Config struct {
+	// Endpoints lists worker base URLs (http://host:port). Duplicates and
+	// trailing slashes are normalised away.
+	Endpoints []string
+	// InFlight bounds concurrently outstanding batches per worker
+	// (default 2) — the coordinator-side half of backpressure.
+	InFlight int
+	// BatchSize bounds jobs per /v1/jobs request (default 4).
+	BatchSize int
+	// MaxAttempts bounds dispatch attempts per job before the sweep fails
+	// with ErrWorkerFailed (default 4).
+	MaxAttempts int
+	// DeadAfter is the consecutive-failure threshold after which a worker
+	// is declared dead and its keys redistribute (default 2).
+	DeadAfter int
+	// HedgeAfter duplicates a batch's unfinished jobs onto each key's
+	// next-preferred worker once the batch has been in flight this long
+	// (0 = hedging disabled).
+	HedgeAfter time.Duration
+	// JobTimeoutMS is forwarded as each batch's server-side deadline hint
+	// (0 = the worker's own cap).
+	JobTimeoutMS int64
+	// RequestTimeout caps one batch's total transport time, retries
+	// included (default 5m). A worker that accepts connections but never
+	// answers burns this budget, strikes out, and its keys move on.
+	RequestTimeout time.Duration
+	// ProbeTimeout bounds the per-worker /healthz probe at sweep start
+	// (default 2s; negative disables probing).
+	ProbeTimeout time.Duration
+	// Client is the transport (default a zero RetryClient: 3 attempts,
+	// 100ms base backoff, Retry-After honored).
+	Client *RetryClient
+}
+
+func (c Config) withDefaults() Config {
+	if c.InFlight <= 0 {
+		c.InFlight = 2
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 4
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 2
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Minute
+	}
+	if c.Client == nil {
+		c.Client = &RetryClient{}
+	}
+	return c
+}
+
+// Job is one matrix cell: the configuration Key it is cached under (the
+// routing identity) and its wire request.
+type Job struct {
+	Key string
+	Req wire.RunRequest
+}
+
+// JobResult is one completed cell: the raw result JSON and whether the
+// worker answered it from cache.
+type JobResult struct {
+	Cached bool
+	Result json.RawMessage
+}
+
+// Coordinator shards jobs across the configured workers. It is safe for
+// sequential reuse across sweeps (worker liveness is re-probed per Run) and
+// its Stats/MetricsHandler may be read concurrently with a running sweep.
+type Coordinator struct {
+	cfg Config
+	m   *metrics
+
+	// runMu serialises Run: the event loop owns per-run state exclusively.
+	runMu sync.Mutex
+}
+
+// New validates cfg and builds a Coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	var endpoints []string
+	seen := make(map[string]bool)
+	for _, ep := range cfg.Endpoints {
+		ep = strings.TrimRight(strings.TrimSpace(ep), "/")
+		if ep == "" || seen[ep] {
+			continue
+		}
+		seen[ep] = true
+		endpoints = append(endpoints, ep)
+	}
+	if len(endpoints) == 0 {
+		return nil, ErrNoWorkers
+	}
+	cfg.Endpoints = endpoints
+	return &Coordinator{cfg: cfg, m: newMetrics(endpoints)}, nil
+}
+
+// Stats snapshots the coordinator counters; safe during a running sweep.
+func (c *Coordinator) Stats() Stats { return c.m.snapshot() }
+
+// MetricsHandler serves the counters in Prometheus text format.
+func (c *Coordinator) MetricsHandler() http.Handler { return http.HandlerFunc(c.m.serveHTTP) }
+
+// workerState is one endpoint's per-run dispatch state, owned by the event
+// loop goroutine.
+type workerState struct {
+	endpoint      string
+	metrics       *workerMetrics
+	alive         bool
+	probeFailed   bool
+	inflight      int   // outstanding batches
+	queue         []int // job indices awaiting dispatch
+	consecFails   int
+	cooldownUntil time.Time
+}
+
+type batch struct {
+	id      int
+	worker  *workerState
+	jobs    []int
+	started time.Time
+	hedged  bool
+}
+
+type batchEvent struct {
+	batch *batch
+	resp  *wire.JobsResponse
+	err   error
+}
+
+// runState is one sweep's bookkeeping; every field is owned by the Run
+// goroutine, with launched batches communicating back over events.
+type runState struct {
+	cfg     Config
+	m       *metrics
+	ctx     context.Context
+	jobs    []Job
+	results []JobResult
+	done    []bool
+	fails   []int // failed dispatch attempts per job
+	hedgedJ []bool
+	workers []*workerState
+	byEP    map[string]*workerState
+
+	remaining int
+	inflight  map[int]*batch
+	nextID    int
+	events    chan batchEvent
+}
+
+// Run dispatches jobs across the pool and returns their results in input
+// order. On failure every in-flight request is canceled before returning.
+func (c *Coordinator) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	st := &runState{
+		cfg:       c.cfg,
+		m:         c.m,
+		ctx:       runCtx,
+		jobs:      jobs,
+		results:   make([]JobResult, len(jobs)),
+		done:      make([]bool, len(jobs)),
+		fails:     make([]int, len(jobs)),
+		hedgedJ:   make([]bool, len(jobs)),
+		byEP:      make(map[string]*workerState, len(c.cfg.Endpoints)),
+		remaining: len(jobs),
+		inflight:  make(map[int]*batch),
+		events:    make(chan batchEvent, len(c.cfg.Endpoints)*c.cfg.InFlight+8),
+	}
+	for _, ep := range c.cfg.Endpoints {
+		w := &workerState{endpoint: ep, metrics: c.m.worker(ep), alive: true}
+		w.metrics.alive.Store(true)
+		st.workers = append(st.workers, w)
+		st.byEP[ep] = w
+	}
+
+	if err := st.probe(runCtx); err != nil {
+		return nil, err
+	}
+	for i := range jobs {
+		w := st.ownerOf(jobs[i].Key)
+		if w == nil {
+			return nil, ErrNoWorkers
+		}
+		w.queue = append(w.queue, i)
+	}
+
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	defer timer.Stop()
+	for st.remaining > 0 {
+		st.schedule()
+		var timerC <-chan time.Time
+		if wake, ok := st.nextWake(); ok {
+			d := time.Until(wake)
+			if d < time.Millisecond {
+				d = time.Millisecond
+			}
+			timer.Reset(d)
+			timerC = timer.C
+		} else {
+			timer.Stop()
+		}
+		select {
+		case ev := <-st.events:
+			if err := st.handle(ev); err != nil {
+				return nil, err
+			}
+		case <-timerC:
+			st.hedgeScan()
+		case <-runCtx.Done():
+			return nil, fmt.Errorf("cluster: sweep canceled: %w", runCtx.Err())
+		}
+	}
+	return st.results, nil
+}
+
+// probe checks every worker's /healthz concurrently; unreachable workers
+// start the sweep dead so their keys route elsewhere from the first batch.
+func (st *runState) probe(ctx context.Context) error {
+	if st.cfg.ProbeTimeout < 0 {
+		return nil
+	}
+	httpc := st.cfg.Client.httpClient()
+	var wg sync.WaitGroup
+	for _, w := range st.workers {
+		wg.Add(1)
+		go func(w *workerState) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, st.cfg.ProbeTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet, w.endpoint+"/healthz", nil)
+			if err != nil {
+				w.probeFailed = true
+				return
+			}
+			resp, err := httpc.Do(req)
+			if err != nil {
+				w.probeFailed = true
+				return
+			}
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				w.probeFailed = true
+			}
+		}(w)
+	}
+	wg.Wait()
+	alive := 0
+	for _, w := range st.workers {
+		if w.probeFailed {
+			w.alive = false
+			w.metrics.alive.Store(false)
+			st.m.probeFailures.Add(1)
+		} else {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return fmt.Errorf("%w: all %d health probes failed", ErrNoWorkers, len(st.workers))
+	}
+	return nil
+}
+
+// aliveEndpoints materialises the current live set for the hash functions.
+func (st *runState) aliveEndpoints() []string {
+	eps := make([]string, 0, len(st.workers))
+	for _, w := range st.workers {
+		if w.alive {
+			eps = append(eps, w.endpoint)
+		}
+	}
+	return eps
+}
+
+// ownerOf returns the live rendezvous owner of key, or nil when the pool is
+// dead.
+func (st *runState) ownerOf(key string) *workerState {
+	ep := rendezvousOwner(key, st.aliveEndpoints())
+	if ep == "" {
+		return nil
+	}
+	return st.byEP[ep]
+}
+
+// schedule launches as many batches as capacity allows: per alive,
+// non-cooling worker, pop up to BatchSize pending jobs per free in-flight
+// slot. Jobs completed elsewhere in the meantime (hedge duplicates) are
+// discarded at pop time.
+func (st *runState) schedule() {
+	now := time.Now()
+	for _, w := range st.workers {
+		if !w.alive || now.Before(w.cooldownUntil) {
+			continue
+		}
+		for w.inflight < st.cfg.InFlight && len(w.queue) > 0 {
+			var idxs []int
+			for len(idxs) < st.cfg.BatchSize && len(w.queue) > 0 {
+				j := w.queue[0]
+				w.queue = w.queue[1:]
+				if st.done[j] {
+					continue
+				}
+				idxs = append(idxs, j)
+			}
+			if len(idxs) == 0 {
+				break
+			}
+			st.launch(w, idxs)
+		}
+	}
+}
+
+func (st *runState) launch(w *workerState, idxs []int) {
+	b := &batch{id: st.nextID, worker: w, jobs: idxs, started: time.Now()}
+	st.nextID++
+	st.inflight[b.id] = b
+	w.inflight++
+	st.m.batchesDispatched.Add(1)
+	st.m.jobsDispatched.Add(uint64(len(idxs)))
+	w.metrics.requests.Add(1)
+
+	reqs := make([]wire.RunRequest, len(idxs))
+	for k, j := range idxs {
+		reqs[k] = st.jobs[j].Req
+	}
+	body, err := json.Marshal(wire.JobsRequest{Jobs: reqs, TimeoutMS: st.cfg.JobTimeoutMS})
+	if err != nil {
+		// Unreachable for wire types; fail through the event path so the
+		// loop's accounting stays consistent.
+		go st.send(batchEvent{batch: b, err: err})
+		return
+	}
+	client, url := st.cfg.Client, w.endpoint+"/v1/jobs"
+	ctx, cancel := context.WithTimeout(st.ctx, st.cfg.RequestTimeout)
+	go func() {
+		defer cancel()
+		raw, err := client.PostJSON(ctx, url, body)
+		ev := batchEvent{batch: b, err: err}
+		if err == nil {
+			var resp wire.JobsResponse
+			if uerr := json.Unmarshal(raw, &resp); uerr != nil {
+				ev.err = fmt.Errorf("decoding %s response: %w", url, uerr)
+			} else {
+				ev.resp = &resp
+			}
+		}
+		st.send(ev)
+	}()
+}
+
+func (st *runState) send(ev batchEvent) {
+	select {
+	case st.events <- ev:
+	case <-st.ctx.Done():
+	}
+}
+
+// handle settles one batch: record results, and requeue, cool down, or
+// declare workers dead on the failure paths. A non-nil return aborts the
+// sweep.
+func (st *runState) handle(ev batchEvent) error {
+	b := ev.batch
+	delete(st.inflight, b.id)
+	w := b.worker
+	w.inflight--
+	w.metrics.latencyNanos.Add(uint64(time.Since(b.started)))
+
+	if ev.err != nil {
+		w.metrics.failures.Add(1)
+		return st.handleBatchFailure(b, ev.err)
+	}
+	if len(ev.resp.Jobs) != len(b.jobs) {
+		w.metrics.failures.Add(1)
+		return st.handleBatchFailure(b, fmt.Errorf(
+			"worker %s returned %d results for %d jobs", w.endpoint, len(ev.resp.Jobs), len(b.jobs)))
+	}
+
+	sawDraining := false
+	for k, jr := range ev.resp.Jobs {
+		j := b.jobs[k]
+		if jr.Error == "" {
+			if !st.done[j] {
+				st.done[j] = true
+				st.remaining--
+				st.results[j] = JobResult{Cached: jr.Cached, Result: jr.Result}
+				st.m.jobsCompleted.Add(1)
+				w.metrics.jobs.Add(1)
+				if jr.Cached {
+					st.m.cacheHits.Add(1)
+				}
+			}
+			continue
+		}
+		if st.done[j] {
+			continue
+		}
+		if !jr.Retryable() {
+			return fmt.Errorf("cluster: worker %s rejected job %q: %s (http %d)",
+				w.endpoint, st.jobs[j].Key, jr.Error, jr.Status)
+		}
+		if jr.Status == http.StatusServiceUnavailable {
+			sawDraining = true
+		}
+		// Cool the worker down for the server's hinted interval — the
+		// in-band Retry-After — before offering it more work.
+		cool := time.Duration(jr.RetryAfterMS) * time.Millisecond
+		if cool <= 0 {
+			cool = 200 * time.Millisecond
+		}
+		if until := time.Now().Add(cool); until.After(w.cooldownUntil) {
+			w.cooldownUntil = until
+		}
+		// A 429 is a healthy worker saying "not yet": pure backpressure,
+		// paced by the cooldown and bounded by the caller's context, so it
+		// must not consume the job's failure budget — a busy pool would
+		// otherwise abort a long sweep that was making steady progress.
+		charge := jr.Status != http.StatusTooManyRequests
+		if err := st.requeue(j, charge, fmt.Errorf("worker %s: %s (http %d)", w.endpoint, jr.Error, jr.Status)); err != nil {
+			return err
+		}
+	}
+	// A draining worker will 503 everything it is offered; treat it like a
+	// transport failure so it is retired after DeadAfter strikes. Only a
+	// batch free of draining signals clears the strike count — resetting
+	// unconditionally would let a 200-wrapped stream of per-job 503s keep
+	// the worker alive forever.
+	if sawDraining {
+		w.consecFails++
+		if w.alive && w.consecFails >= st.cfg.DeadAfter {
+			return st.killWorker(w, errors.New("worker draining"))
+		}
+	} else {
+		w.consecFails = 0
+	}
+	return nil
+}
+
+// handleBatchFailure requeues a failed batch's jobs, escalating the worker
+// toward death on repeated strikes. Non-retryable whole-request rejections
+// (a 4xx other than 429) are the coordinator's own bug and abort the sweep.
+func (st *runState) handleBatchFailure(b *batch, cause error) error {
+	w := b.worker
+	var se *StatusError
+	if errors.As(cause, &se) && se.Code >= 400 && se.Code < 500 && se.Code != http.StatusTooManyRequests {
+		return fmt.Errorf("cluster: worker %s rejected batch: %w", w.endpoint, cause)
+	}
+	w.consecFails++
+	if w.alive && w.consecFails >= st.cfg.DeadAfter {
+		if err := st.killWorker(w, cause); err != nil {
+			return err
+		}
+	} else {
+		w.cooldownUntil = time.Now().Add(time.Duration(w.consecFails) * 200 * time.Millisecond)
+	}
+	for _, j := range b.jobs {
+		if st.done[j] {
+			continue
+		}
+		if err := st.requeue(j, true, fmt.Errorf("worker %s: %w", w.endpoint, cause)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// requeue re-dispatches job j to its current live owner. charge says
+// whether the failure counts against the job's attempt budget — genuine
+// failures do, capacity rejections (429) do not.
+func (st *runState) requeue(j int, charge bool, cause error) error {
+	if charge {
+		st.fails[j]++
+	}
+	if st.fails[j] >= st.cfg.MaxAttempts {
+		return fmt.Errorf("%w: job %q failed %d dispatch attempts, last: %v",
+			ErrWorkerFailed, st.jobs[j].Key, st.fails[j], cause)
+	}
+	st.m.jobsRetried.Add(1)
+	w := st.ownerOf(st.jobs[j].Key)
+	if w == nil {
+		return fmt.Errorf("%w: while re-dispatching job %q: %v", ErrNoWorkers, st.jobs[j].Key, cause)
+	}
+	w.queue = append(w.queue, j)
+	return nil
+}
+
+// killWorker retires w and re-routes its queued jobs to their new
+// rendezvous owners — by construction only keys w owned move.
+func (st *runState) killWorker(w *workerState, cause error) error {
+	w.alive = false
+	w.metrics.alive.Store(false)
+	st.m.workerDeaths.Add(1)
+	if len(st.aliveEndpoints()) == 0 {
+		return fmt.Errorf("%w: last worker %s failed: %v", ErrNoWorkers, w.endpoint, cause)
+	}
+	q := w.queue
+	w.queue = nil
+	for _, j := range q {
+		if st.done[j] {
+			continue
+		}
+		next := st.ownerOf(st.jobs[j].Key)
+		next.queue = append(next.queue, j)
+	}
+	return nil
+}
+
+// hedgeScan duplicates unfinished jobs from batches past the hedge deadline
+// onto each key's next-preferred live worker: a straggling or silently
+// wedged worker no longer gates the sweep, and because results are pure
+// functions of their key, whichever copy finishes first wins and the other
+// is discarded on arrival.
+func (st *runState) hedgeScan() {
+	if st.cfg.HedgeAfter <= 0 {
+		return
+	}
+	now := time.Now()
+	for _, b := range st.inflight {
+		if b.hedged || now.Sub(b.started) < st.cfg.HedgeAfter {
+			continue
+		}
+		b.hedged = true
+		for _, j := range b.jobs {
+			if st.done[j] || st.hedgedJ[j] {
+				continue
+			}
+			target := st.hedgeTarget(st.jobs[j].Key, b.worker)
+			if target == nil {
+				continue
+			}
+			st.hedgedJ[j] = true
+			st.m.jobsHedged.Add(1)
+			target.queue = append(target.queue, j)
+		}
+	}
+}
+
+// hedgeTarget picks the highest-ranked live worker other than the one
+// already holding the job.
+func (st *runState) hedgeTarget(key string, holder *workerState) *workerState {
+	for _, ep := range rendezvousRank(key, st.aliveEndpoints()) {
+		if w := st.byEP[ep]; w != holder {
+			return w
+		}
+	}
+	return nil
+}
+
+// nextWake returns the earliest future instant the loop must act without an
+// event: a cooled-down worker with runnable work, or a hedge deadline.
+func (st *runState) nextWake() (time.Time, bool) {
+	var wake time.Time
+	consider := func(t time.Time) {
+		if wake.IsZero() || t.Before(wake) {
+			wake = t
+		}
+	}
+	now := time.Now()
+	for _, w := range st.workers {
+		if w.alive && len(w.queue) > 0 && w.inflight < st.cfg.InFlight && w.cooldownUntil.After(now) {
+			consider(w.cooldownUntil)
+		}
+	}
+	if st.cfg.HedgeAfter > 0 {
+		for _, b := range st.inflight {
+			if !b.hedged {
+				consider(b.started.Add(st.cfg.HedgeAfter))
+			}
+		}
+	}
+	return wake, !wake.IsZero()
+}

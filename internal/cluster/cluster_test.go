@@ -1,0 +1,378 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"boomsim/internal/wire"
+)
+
+// fakeWorker is a minimal boomsimd stand-in: /healthz and /v1/jobs over
+// canned per-job behavior, recording which keys it served. Jobs carry their
+// key in Req.Scheme so the fake needs no simulator.
+type fakeWorker struct {
+	srv   *httptest.Server
+	delay time.Duration
+	// perJob overrides a job's outcome; nil or a nil return means success.
+	perJob func(key string, timesSeen int) *wire.JobResult
+
+	mu     sync.Mutex
+	served map[string]int
+}
+
+func okResult(key string) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(`{"key":%q}`, key))
+}
+
+func newFakeWorker(t *testing.T) *fakeWorker {
+	t.Helper()
+	f := &fakeWorker{served: make(map[string]int)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req wire.JobsRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if f.delay > 0 {
+			select {
+			case <-time.After(f.delay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		resp := wire.JobsResponse{Jobs: make([]wire.JobResult, len(req.Jobs))}
+		for i, job := range req.Jobs {
+			key := job.Scheme
+			f.mu.Lock()
+			f.served[key]++
+			seen := f.served[key]
+			f.mu.Unlock()
+			if f.perJob != nil {
+				if jr := f.perJob(key, seen); jr != nil {
+					resp.Jobs[i] = *jr
+					continue
+				}
+			}
+			resp.Jobs[i] = wire.JobResult{Key: key, Cached: seen > 1, Result: okResult(key)}
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeWorker) servedKeys() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int, len(f.served))
+	for k, v := range f.served {
+		out[k] = v
+	}
+	return out
+}
+
+func makeJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		key := fmt.Sprintf("key-%03d", i)
+		jobs[i] = Job{Key: key, Req: wire.RunRequest{Scheme: key}}
+	}
+	return jobs
+}
+
+func testConfig(workers ...*fakeWorker) Config {
+	eps := make([]string, len(workers))
+	for i, w := range workers {
+		eps[i] = w.srv.URL
+	}
+	return Config{
+		Endpoints: eps,
+		Client:    &RetryClient{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond},
+	}
+}
+
+func checkResults(t *testing.T, jobs []Job, results []JobResult) {
+	t.Helper()
+	if len(results) != len(jobs) {
+		t.Fatalf("%d results for %d jobs", len(results), len(jobs))
+	}
+	for i, r := range results {
+		var got struct {
+			Key string `json:"key"`
+		}
+		if err := json.Unmarshal(r.Result, &got); err != nil {
+			t.Fatalf("results[%d]: %v (%s)", i, err, r.Result)
+		}
+		if got.Key != jobs[i].Key {
+			t.Fatalf("results[%d] is for key %q, want %q — matrix order broken", i, got.Key, jobs[i].Key)
+		}
+	}
+}
+
+func TestCoordinatorRunsAllJobsWithKeyAffinity(t *testing.T) {
+	w1, w2, w3 := newFakeWorker(t), newFakeWorker(t), newFakeWorker(t)
+	co, err := New(testConfig(w1, w2, w3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := makeJobs(40)
+	results, err := co.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, jobs, results)
+
+	first := map[*fakeWorker]map[string]int{w1: w1.servedKeys(), w2: w2.servedKeys(), w3: w3.servedKeys()}
+	active := 0
+	for _, served := range first {
+		if len(served) > 0 {
+			active++
+		}
+	}
+	if active < 2 {
+		t.Errorf("only %d of 3 workers served jobs — sharding did not spread the sweep", active)
+	}
+
+	// A second identical sweep must route every key to the same worker:
+	// that affinity is what keeps worker caches hot.
+	if _, err := co.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	for w, served := range first {
+		for key, n := range w.servedKeys() {
+			if served[key] == 0 && n > 0 && served[key] != n {
+				t.Errorf("key %q moved workers between identical sweeps", key)
+			}
+		}
+	}
+	st := co.Stats()
+	if st.JobsCompleted != 80 {
+		t.Errorf("JobsCompleted = %d, want 80", st.JobsCompleted)
+	}
+	if st.CacheHits != 40 {
+		t.Errorf("CacheHits = %d, want 40 (second sweep fully cached)", st.CacheHits)
+	}
+}
+
+func TestCoordinatorRetriesAfterPerJob429(t *testing.T) {
+	w := newFakeWorker(t)
+	// Reject every job 3 times before accepting it, with MaxAttempts 2:
+	// capacity rejections are backpressure, not failures, so they must not
+	// consume the job's attempt budget and the sweep must still finish.
+	w.perJob = func(key string, seen int) *wire.JobResult {
+		if seen <= 3 {
+			return &wire.JobResult{Error: "queue full", Status: http.StatusTooManyRequests, RetryAfterMS: 5}
+		}
+		return nil
+	}
+	cfg := testConfig(w)
+	cfg.MaxAttempts = 2
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := makeJobs(6)
+	results, err := co.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("sweep failed under pure backpressure: %v", err)
+	}
+	checkResults(t, jobs, results)
+	if st := co.Stats(); st.JobsRetried == 0 {
+		t.Error("JobsRetried = 0, want >0 after per-job 429s")
+	}
+}
+
+func TestCoordinatorRedistributesOnWorkerDeath(t *testing.T) {
+	w1, w2 := newFakeWorker(t), newFakeWorker(t)
+	// w1 dies after answering its first batch: subsequent connections are
+	// refused, so its remaining keys must fail over to w2.
+	var once sync.Once
+	w1.perJob = func(key string, seen int) *wire.JobResult {
+		once.Do(func() { go w1.srv.Close() })
+		return nil
+	}
+	cfg := testConfig(w1, w2)
+	cfg.BatchSize = 2
+	cfg.InFlight = 1
+	cfg.MaxAttempts = 6
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := makeJobs(30)
+	results, err := co.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("sweep failed despite a surviving worker: %v", err)
+	}
+	checkResults(t, jobs, results)
+	st := co.Stats()
+	if st.WorkerDeaths == 0 {
+		t.Error("WorkerDeaths = 0, want >0 after killing w1")
+	}
+	if len(w2.servedKeys()) == 0 {
+		t.Error("surviving worker served nothing")
+	}
+}
+
+func TestCoordinatorRetiresDrainingWorker(t *testing.T) {
+	draining, healthy := newFakeWorker(t), newFakeWorker(t)
+	// A draining boomsimd answers 200 with per-job 503s; it must strike
+	// out after DeadAfter batches and its keys must move to the survivor —
+	// the 200 wrapper must not keep resetting the strike count.
+	draining.perJob = func(key string, seen int) *wire.JobResult {
+		return &wire.JobResult{Error: "draining", Status: http.StatusServiceUnavailable}
+	}
+	cfg := testConfig(draining, healthy)
+	cfg.MaxAttempts = 8
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := makeJobs(20)
+	results, err := co.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("sweep failed despite a healthy survivor: %v", err)
+	}
+	checkResults(t, jobs, results)
+	if st := co.Stats(); st.WorkerDeaths != 1 {
+		t.Errorf("WorkerDeaths = %d, want exactly 1 for one draining worker", st.WorkerDeaths)
+	}
+}
+
+func TestCoordinatorHedgesStragglers(t *testing.T) {
+	slow, fast := newFakeWorker(t), newFakeWorker(t)
+	slow.delay = 300 * time.Millisecond
+	cfg := testConfig(slow, fast)
+	cfg.HedgeAfter = 20 * time.Millisecond
+	cfg.BatchSize = 2
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := makeJobs(12)
+	start := time.Now()
+	results, err := co.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, jobs, results)
+	st := co.Stats()
+	if st.JobsHedged == 0 {
+		t.Error("JobsHedged = 0, want >0 with a straggling worker")
+	}
+	// Without hedging the slow worker's ~6 keys serialize at 300ms per
+	// batch; hedged onto the fast worker the sweep finishes far sooner.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("sweep took %v; hedging should have routed around the straggler", elapsed)
+	}
+}
+
+func TestCoordinatorFailsWhenPoolDies(t *testing.T) {
+	w := newFakeWorker(t)
+	cfg := testConfig(w)
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.srv.Close()
+	// Probe sees the dead worker: ErrNoWorkers before anything dispatches.
+	if _, err := co.Run(context.Background(), makeJobs(4)); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+func TestCoordinatorAbortsOnTerminalRejection(t *testing.T) {
+	w := newFakeWorker(t)
+	w.perJob = func(key string, seen int) *wire.JobResult {
+		return &wire.JobResult{Error: "unknown scheme", Status: http.StatusNotFound}
+	}
+	co, err := New(testConfig(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = co.Run(context.Background(), makeJobs(3))
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("err = %v, want terminal rejection", err)
+	}
+}
+
+func TestCoordinatorExhaustsJobAttempts(t *testing.T) {
+	w1, w2 := newFakeWorker(t), newFakeWorker(t)
+	broken := func(key string, seen int) *wire.JobResult {
+		return &wire.JobResult{Error: "internal", Status: http.StatusInternalServerError}
+	}
+	w1.perJob, w2.perJob = broken, broken
+	cfg := testConfig(w1, w2)
+	cfg.MaxAttempts = 2
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Run(context.Background(), makeJobs(3)); !errors.Is(err, ErrWorkerFailed) {
+		t.Fatalf("err = %v, want ErrWorkerFailed", err)
+	}
+}
+
+func TestNewRejectsEmptyPool(t *testing.T) {
+	if _, err := New(Config{}); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+	if _, err := New(Config{Endpoints: []string{"", "  "}}); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers for blank endpoints", err)
+	}
+}
+
+func TestCoordinatorCancellation(t *testing.T) {
+	w := newFakeWorker(t)
+	w.delay = time.Second
+	co, err := New(testConfig(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := co.Run(ctx, makeJobs(4)); err == nil {
+		t.Fatal("want cancellation error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Run held for %v past cancellation", elapsed)
+	}
+}
+
+func TestMetricsHandlerServesPrometheusText(t *testing.T) {
+	w := newFakeWorker(t)
+	co, err := New(testConfig(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Run(context.Background(), makeJobs(5)); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	co.MetricsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"boomsim_coordinator_jobs_completed_total 5",
+		"boomsim_coordinator_jobs_dispatched_total",
+		"boomsim_coordinator_cache_hit_ratio",
+		"boomsim_coordinator_worker_alive{worker=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import "hash/fnv"
+
+// Rendezvous (highest-random-weight) hashing routes every job key to one
+// worker endpoint so each worker's content-addressed result cache stays hot
+// across sweeps, and so losing a worker redistributes only the keys that
+// worker owned — every other key's score ordering is untouched, which is
+// exactly the property consistent routing needs and the fuzz test pins.
+//
+// Scores depend only on the (endpoint, key) pair, never on the candidate
+// set, and ties break toward the lexicographically smaller endpoint, so
+// ownership is a pure function of the key and the *set* of live endpoints —
+// slice order, dead entries and coordinator restarts cannot move a job.
+
+// rendezvousScore is FNV-1a over endpoint NUL key, pushed through a
+// murmur3 finalizer. The finalizer matters: raw FNV has poor avalanche, so
+// similar keys after a long shared endpoint prefix produce scores whose
+// ordering across endpoints barely changes and one worker wins everything;
+// fmix64 spreads those low-order differences across the whole word and the
+// ownership distribution becomes ~uniform.
+func rendezvousScore(endpoint, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(endpoint))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return fmix64(h.Sum64())
+}
+
+// fmix64 is MurmurHash3's 64-bit finalizer: full avalanche in three
+// multiply-xorshift rounds.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// rendezvousOwner returns the owning endpoint for key among endpoints, or
+// "" when endpoints is empty.
+func rendezvousOwner(key string, endpoints []string) string {
+	best, bestScore := "", uint64(0)
+	for _, ep := range endpoints {
+		s := rendezvousScore(ep, key)
+		if best == "" || s > bestScore || (s == bestScore && ep < best) {
+			best, bestScore = ep, s
+		}
+	}
+	return best
+}
+
+// rendezvousRank returns endpoints ordered by descending preference for
+// key: rank 0 is the owner, rank 1 the worker that inherits the key if the
+// owner dies, and so on. Used to pick hedge targets that will own the key's
+// cache line should the straggling owner be lost.
+func rendezvousRank(key string, endpoints []string) []string {
+	ranked := make([]string, len(endpoints))
+	copy(ranked, endpoints)
+	scores := make(map[string]uint64, len(ranked))
+	for _, ep := range ranked {
+		scores[ep] = rendezvousScore(ep, key)
+	}
+	// Insertion sort: worker sets are small (a handful of endpoints).
+	for i := 1; i < len(ranked); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ranked[j-1], ranked[j]
+			if scores[b] > scores[a] || (scores[b] == scores[a] && b < a) {
+				ranked[j-1], ranked[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return ranked
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func endpointsN(n int) []string {
+	eps := make([]string, n)
+	for i := range eps {
+		eps[i] = fmt.Sprintf("http://worker-%d:8080", i)
+	}
+	return eps
+}
+
+func TestRendezvousOwnerIsStableAndBalanced(t *testing.T) {
+	eps := endpointsN(4)
+	counts := make(map[string]int)
+	for i := 0; i < 4000; i++ {
+		key := fmt.Sprintf("scheme=%d|workload=%d", i%20, i)
+		a := rendezvousOwner(key, eps)
+		b := rendezvousOwner(key, []string{eps[2], eps[0], eps[3], eps[1]})
+		if a != b {
+			t.Fatalf("owner depends on slice order: %q vs %q for %q", a, b, key)
+		}
+		counts[a]++
+	}
+	for _, ep := range eps {
+		if counts[ep] < 4000/4/3 {
+			t.Errorf("worker %s owns only %d/4000 keys — distribution badly skewed: %v", ep, counts[ep], counts)
+		}
+	}
+}
+
+func TestRendezvousRankLeadsWithOwner(t *testing.T) {
+	eps := endpointsN(5)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		rank := rendezvousRank(key, eps)
+		if len(rank) != len(eps) {
+			t.Fatalf("rank has %d entries, want %d", len(rank), len(eps))
+		}
+		if rank[0] != rendezvousOwner(key, eps) {
+			t.Fatalf("rank[0]=%q, owner=%q for %q", rank[0], rendezvousOwner(key, eps), key)
+		}
+		seen := make(map[string]bool)
+		for _, ep := range rank {
+			if seen[ep] {
+				t.Fatalf("rank repeats %q for %q", ep, key)
+			}
+			seen[ep] = true
+		}
+		// Losing the owner promotes exactly rank[1]: the failover order is
+		// the rank order.
+		var rest []string
+		for _, ep := range eps {
+			if ep != rank[0] {
+				rest = append(rest, ep)
+			}
+		}
+		if got := rendezvousOwner(key, rest); got != rank[1] {
+			t.Fatalf("owner after losing rank[0] is %q, want rank[1]=%q", got, rank[1])
+		}
+	}
+}
+
+// FuzzRendezvous pins the two properties the distributed fabric leans on:
+// every key maps to exactly one worker of the live set, and removing a
+// worker moves only the keys that worker owned — every other key keeps its
+// owner, so worker loss cannot thrash the surviving workers' caches.
+func FuzzRendezvous(f *testing.F) {
+	f.Add("scheme=\"Boomerang\"|workload=\"Apache\"", uint8(3), uint8(1))
+	f.Add("", uint8(1), uint8(0))
+	f.Add("k", uint8(16), uint8(15))
+	f.Add("some|longer|key|with|fields=7", uint8(7), uint8(3))
+	f.Fuzz(func(t *testing.T, key string, n, dead uint8) {
+		nWorkers := int(n%16) + 1
+		eps := endpointsN(nWorkers)
+		owner := rendezvousOwner(key, eps)
+
+		// Exactly one owner, in the set, deterministically.
+		found := false
+		for _, ep := range eps {
+			if ep == owner {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("owner %q not in worker set %v", owner, eps)
+		}
+		if again := rendezvousOwner(key, eps); again != owner {
+			t.Fatalf("non-deterministic owner: %q then %q", owner, again)
+		}
+
+		// Remove one worker.
+		removed := eps[int(dead)%nWorkers]
+		var rest []string
+		for _, ep := range eps {
+			if ep != removed {
+				rest = append(rest, ep)
+			}
+		}
+		if len(rest) == 0 {
+			return
+		}
+		newOwner := rendezvousOwner(key, rest)
+		if removed == owner {
+			// The dead worker's keys must land on a surviving worker.
+			ok := false
+			for _, ep := range rest {
+				if ep == newOwner {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("reassigned owner %q not in surviving set %v", newOwner, rest)
+			}
+		} else if newOwner != owner {
+			// Keys not owned by the dead worker must not move.
+			t.Fatalf("key %q moved from %q to %q when unrelated worker %q died",
+				key, owner, newOwner, removed)
+		}
+	})
+}

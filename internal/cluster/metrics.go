@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// Metrics instruments a Coordinator: plain atomics so Stats() can be read
+// live from another goroutine (the kill-switch in the e2e test, boomctl's
+// /metrics listener) while the dispatch loop mutates them.
+type metrics struct {
+	batchesDispatched atomic.Uint64
+	jobsDispatched    atomic.Uint64
+	jobsCompleted     atomic.Uint64
+	jobsRetried       atomic.Uint64
+	jobsHedged        atomic.Uint64
+	cacheHits         atomic.Uint64
+	workerDeaths      atomic.Uint64
+	probeFailures     atomic.Uint64
+
+	workers []*workerMetrics
+}
+
+// workerMetrics is one endpoint's share; the slice is fixed at New so no
+// locking is needed.
+type workerMetrics struct {
+	endpoint     string
+	alive        atomic.Bool
+	requests     atomic.Uint64
+	failures     atomic.Uint64
+	jobs         atomic.Uint64
+	latencyNanos atomic.Uint64
+}
+
+// Stats snapshots the coordinator counters.
+type Stats struct {
+	BatchesDispatched uint64 `json:"batches_dispatched"`
+	JobsDispatched    uint64 `json:"jobs_dispatched"`
+	JobsCompleted     uint64 `json:"jobs_completed"`
+	JobsRetried       uint64 `json:"jobs_retried"`
+	JobsHedged        uint64 `json:"jobs_hedged"`
+	CacheHits         uint64 `json:"cache_hits"`
+	WorkerDeaths      uint64 `json:"worker_deaths"`
+	ProbeFailures     uint64 `json:"probe_failures"`
+
+	Workers []WorkerStats `json:"workers"`
+}
+
+// WorkerStats is one endpoint's snapshot.
+type WorkerStats struct {
+	Endpoint     string `json:"endpoint"`
+	Alive        bool   `json:"alive"`
+	Requests     uint64 `json:"requests"`
+	Failures     uint64 `json:"failures"`
+	Jobs         uint64 `json:"jobs"`
+	LatencyNanos uint64 `json:"latency_nanos"`
+}
+
+// CacheHitRatio is the coordinator-observed fraction of completed jobs the
+// workers answered from their result caches — the number key-affine
+// routing exists to maximise on repeat sweeps.
+func (s Stats) CacheHitRatio() float64 {
+	if s.JobsCompleted == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.JobsCompleted)
+}
+
+func newMetrics(endpoints []string) *metrics {
+	m := &metrics{workers: make([]*workerMetrics, len(endpoints))}
+	for i, ep := range endpoints {
+		m.workers[i] = &workerMetrics{endpoint: ep}
+		m.workers[i].alive.Store(true)
+	}
+	return m
+}
+
+func (m *metrics) worker(endpoint string) *workerMetrics {
+	for _, w := range m.workers {
+		if w.endpoint == endpoint {
+			return w
+		}
+	}
+	return nil
+}
+
+func (m *metrics) snapshot() Stats {
+	s := Stats{
+		BatchesDispatched: m.batchesDispatched.Load(),
+		JobsDispatched:    m.jobsDispatched.Load(),
+		JobsCompleted:     m.jobsCompleted.Load(),
+		JobsRetried:       m.jobsRetried.Load(),
+		JobsHedged:        m.jobsHedged.Load(),
+		CacheHits:         m.cacheHits.Load(),
+		WorkerDeaths:      m.workerDeaths.Load(),
+		ProbeFailures:     m.probeFailures.Load(),
+		Workers:           make([]WorkerStats, len(m.workers)),
+	}
+	for i, w := range m.workers {
+		s.Workers[i] = WorkerStats{
+			Endpoint:     w.endpoint,
+			Alive:        w.alive.Load(),
+			Requests:     w.requests.Load(),
+			Failures:     w.failures.Load(),
+			Jobs:         w.jobs.Load(),
+			LatencyNanos: w.latencyNanos.Load(),
+		}
+	}
+	return s
+}
+
+// serveHTTP renders the counters in Prometheus text exposition format.
+func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	s := m.snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	write := func(name, kind, help string, value any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, kind, name, value)
+	}
+	write("boomsim_coordinator_batches_dispatched_total", "counter", "Batches posted to workers.", s.BatchesDispatched)
+	write("boomsim_coordinator_jobs_dispatched_total", "counter", "Job dispatches, including retries and hedges.", s.JobsDispatched)
+	write("boomsim_coordinator_jobs_completed_total", "counter", "Jobs with a recorded result.", s.JobsCompleted)
+	write("boomsim_coordinator_jobs_retried_total", "counter", "Job re-dispatches after per-job or transport failures.", s.JobsRetried)
+	write("boomsim_coordinator_jobs_hedged_total", "counter", "Duplicate dispatches of straggling jobs.", s.JobsHedged)
+	write("boomsim_coordinator_cache_hits_total", "counter", "Jobs answered from a worker's result cache.", s.CacheHits)
+	write("boomsim_coordinator_cache_hit_ratio", "gauge", "Coordinator-observed worker cache-hit ratio.", s.CacheHitRatio())
+	write("boomsim_coordinator_worker_deaths_total", "counter", "Workers declared dead and drained.", s.WorkerDeaths)
+	write("boomsim_coordinator_probe_failures_total", "counter", "Health probes that failed at sweep start.", s.ProbeFailures)
+	perWorker := func(name, kind, help string, value func(WorkerStats) any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		for _, ws := range s.Workers {
+			fmt.Fprintf(w, "%s{worker=%q} %v\n", name, ws.Endpoint, value(ws))
+		}
+	}
+	perWorker("boomsim_coordinator_worker_alive", "gauge", "1 while the worker is considered live.",
+		func(ws WorkerStats) any { return b2i(ws.Alive) })
+	perWorker("boomsim_coordinator_worker_requests_total", "counter", "Batch requests sent to the worker.",
+		func(ws WorkerStats) any { return ws.Requests })
+	perWorker("boomsim_coordinator_worker_failures_total", "counter", "Batch requests that failed at the transport.",
+		func(ws WorkerStats) any { return ws.Failures })
+	perWorker("boomsim_coordinator_worker_jobs_total", "counter", "Jobs completed by the worker.",
+		func(ws WorkerStats) any { return ws.Jobs })
+	perWorker("boomsim_coordinator_worker_latency_seconds_total", "counter", "Wall time spent in the worker's batch requests.",
+		func(ws WorkerStats) any { return float64(ws.LatencyNanos) / 1e9 })
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -26,11 +26,17 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"boomsim"
+	"boomsim/internal/wire"
 )
+
+// Version identifies the service build on /healthz; the VCS revision is
+// added from build info when available.
+const Version = "0.4.0"
 
 // Config sizes the service. The zero value is usable: New fills in the
 // documented defaults.
@@ -134,6 +140,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -141,24 +148,11 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// RunRequest is the wire form of one simulation configuration. Absent
-// fields take New's documented defaults (Boomerang on Apache, Table I core,
-// seeds 1/1, 200K warm + 1M measured instructions).
-type RunRequest struct {
-	Scheme        string  `json:"scheme,omitempty"`
-	Workload      string  `json:"workload,omitempty"`
-	Predictor     string  `json:"predictor,omitempty"`
-	BTBEntries    int     `json:"btb_entries,omitempty"`
-	LLCLatency    int     `json:"llc_latency,omitempty"`
-	FootprintKB   int     `json:"footprint_kb,omitempty"`
-	ImageSeed     *uint64 `json:"image_seed,omitempty"`
-	WalkSeed      *uint64 `json:"walk_seed,omitempty"`
-	WarmInstrs    *uint64 `json:"warm_instrs,omitempty"`
-	MeasureInstrs *uint64 `json:"measure_instrs,omitempty"`
-	MaxCycles     int64   `json:"max_cycles,omitempty"`
-	// TimeoutMS tightens this request's deadline below the server cap.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-}
+// RunRequest is the wire form of one simulation configuration (shared with
+// the cluster coordinator and remote CLI clients through internal/wire).
+// Absent fields take New's documented defaults (Boomerang on Apache, Table
+// I core, seeds 1/1, 200K warm + 1M measured instructions).
+type RunRequest = wire.RunRequest
 
 // RunResponse wraps one result with its cache identity.
 type RunResponse struct {
@@ -189,7 +183,7 @@ type MatrixResponse struct {
 	Results []boomsim.Result `json:"results"`
 }
 
-func (req RunRequest) options() []boomsim.Option {
+func runOptions(req RunRequest) []boomsim.Option {
 	var opts []boomsim.Option
 	if req.Scheme != "" {
 		opts = append(opts, boomsim.WithScheme(req.Scheme))
@@ -251,7 +245,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	sim, err := boomsim.New(req.options()...)
+	sim, err := boomsim.New(runOptions(req)...)
 	if err != nil {
 		writeError(w, s.statusFor(err), err)
 		return
@@ -311,7 +305,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	sims := make([]*boomsim.Simulation, len(req.Runs))
 	keys := make([]string, len(req.Runs))
 	for i, rr := range req.Runs {
-		sim, err := boomsim.New(rr.options()...)
+		sim, err := boomsim.New(runOptions(rr)...)
 		if err != nil {
 			writeError(w, s.statusFor(err), fmt.Errorf("runs[%d]: %w", i, err))
 			return
@@ -391,6 +385,76 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, MatrixResponse{Key: batchKey, Cached: false, Results: v.([]boomsim.Result)})
+}
+
+// handleJobs executes a batch of independent jobs: each one resolves
+// through the cache → singleflight → worker-pool path on its own, and each
+// reports its own success or failure. This is the endpoint the cluster
+// coordinator speaks — key-affine routing wants per-cell cache visibility
+// and per-cell retryability, which the all-or-nothing /v1/matrix flight
+// deliberately does not offer.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Add(1)
+	var req wire.JobsRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("batch has no jobs"))
+		return
+	}
+	if len(req.Jobs) > maxMatrixRuns {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch has %d jobs, limit %d — split it", len(req.Jobs), maxMatrixRuns))
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	out := make([]wire.JobResult, len(req.Jobs))
+	var wg sync.WaitGroup
+	for i, jr := range req.Jobs {
+		sim, err := boomsim.New(runOptions(jr)...)
+		if err != nil {
+			out[i] = s.jobError(fmt.Errorf("jobs[%d]: %w", i, err))
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sim *boomsim.Simulation, timeoutMS int64) {
+			defer wg.Done()
+			// A job may tighten (never widen) its own deadline below the
+			// batch's, matching /v1/run's timeout_ms contract.
+			jctx := ctx
+			if timeoutMS > 0 {
+				var cancel context.CancelFunc
+				jctx, cancel = context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
+				defer cancel()
+			}
+			result, cached, err := s.runOne(jctx, sim)
+			if err != nil {
+				out[i] = s.jobError(err)
+				return
+			}
+			raw, err := json.Marshal(result)
+			if err != nil {
+				out[i] = s.jobError(err)
+				return
+			}
+			out[i] = wire.JobResult{Key: sim.Fingerprint(), Cached: cached, Result: raw}
+		}(i, sim, jr.TimeoutMS)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, wire.JobsResponse{Jobs: out})
+}
+
+// jobError renders one job's failure with its HTTP-equivalent status and,
+// for capacity rejections, the same backoff hint the 429 header path gives.
+func (s *Server) jobError(err error) wire.JobResult {
+	jr := wire.JobResult{Error: err.Error(), Status: s.statusFor(err)}
+	if jr.Status == http.StatusTooManyRequests {
+		jr.RetryAfterMS = 1000
+	}
+	return jr
 }
 
 func (s *Server) cachedCells(keys []string) ([]boomsim.Result, bool) {
@@ -514,15 +578,40 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, boomsim.Workloads())
 }
 
+// vcsRevision extracts the build's VCS revision once; empty outside a
+// stamped build (plain `go test`, for instance).
+var vcsRevision = sync.OnceValue(func() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, kv := range info.Settings {
+		if kv.Key == "vcs.revision" {
+			return kv.Value
+		}
+	}
+	return ""
+})
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.baseCtx.Err() != nil {
 		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"schemes":   len(boomsim.Schemes()),
-		"workloads": len(boomsim.Workloads()),
+	writeJSON(w, http.StatusOK, wire.Health{
+		Status:    "ok",
+		Version:   Version,
+		GoVersion: runtime.Version(),
+		Revision:  vcsRevision(),
+
+		Schemes:   len(boomsim.Schemes()),
+		Workloads: len(boomsim.Workloads()),
+
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.cfg.QueueDepth,
+		InFlightSims:  s.m.simsInflight.Load(),
+		QueuedFlights: s.m.queued.Load(),
+		CacheEntries:  s.cache.Len(),
 	})
 }
 

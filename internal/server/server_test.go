@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"boomsim"
+	"boomsim/internal/wire"
 )
 
 // fastRun is a request that simulates in a few milliseconds; seed
@@ -619,5 +620,123 @@ func TestAbandonedFlightDoesNotPoisonSuccessors(t *testing.T) {
 	close(release) // let the doomed runner finish; it must not unmap anything current
 	if _, _, err := g.do(context.Background(), base, "k", admit, spawn, fresh); err != nil {
 		t.Fatalf("post-teardown request: %v", err)
+	}
+}
+
+// TestJobsEndpoint exercises the batch surface the cluster coordinator
+// speaks: independent per-job execution, per-job errors with status and
+// backoff hints, and per-job cache visibility on repeats.
+func TestJobsEndpoint(t *testing.T) {
+	s := newTestService(t, Config{})
+	batch := wire.JobsRequest{Jobs: []RunRequest{
+		fastRun("Base", "Apache", 501),
+		{Scheme: "NoSuchScheme"},
+		fastRun("FDIP", "DB2", 501),
+	}}
+	code, raw := s.post(t, "/v1/jobs", batch)
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/jobs: status %d body %s", code, raw)
+	}
+	var resp wire.JobsResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatalf("decoding jobs response: %v", err)
+	}
+	if len(resp.Jobs) != 3 {
+		t.Fatalf("got %d job results, want 3", len(resp.Jobs))
+	}
+	for _, i := range []int{0, 2} {
+		jr := resp.Jobs[i]
+		if jr.Error != "" || len(jr.Result) == 0 || jr.Key == "" {
+			t.Errorf("jobs[%d] = %+v, want a keyed result", i, jr)
+		}
+		var r boomsim.Result
+		if err := json.Unmarshal(jr.Result, &r); err != nil || r.Instructions == 0 {
+			t.Errorf("jobs[%d] result undecodable or empty: %v", i, err)
+		}
+	}
+	if bad := resp.Jobs[1]; bad.Error == "" || bad.Status != http.StatusNotFound || bad.Retryable() {
+		t.Errorf("jobs[1] = %+v, want non-retryable 404", bad)
+	}
+
+	// The same batch again: the good cells must now be cache hits.
+	_, raw = s.post(t, "/v1/jobs", batch)
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Jobs[0].Cached || !resp.Jobs[2].Cached {
+		t.Errorf("repeat batch not served from cache: %+v", resp.Jobs)
+	}
+
+	// Batch-level validation.
+	if code, _ := s.post(t, "/v1/jobs", wire.JobsRequest{}); code != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", code)
+	}
+	big := wire.JobsRequest{Jobs: make([]RunRequest, maxMatrixRuns+1)}
+	if code, _ := s.post(t, "/v1/jobs", big); code != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d, want 400", code)
+	}
+}
+
+// TestJobsEndpointReportsBackpressure pins the per-job 429 + retry hint
+// path: with no capacity, each job fails individually and carries the
+// backoff hint the coordinator's cooldown consumes.
+func TestJobsEndpointReportsBackpressure(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QueueDepth: 1})
+	// Occupy the only queue slot with an endless run.
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		s.post(t, "/v1/run", endlessRun(502))
+	}()
+	<-started
+	waitFor(t, "flight admitted", func() bool { return s.srv.Stats().Queued >= 1 })
+
+	_, raw := s.post(t, "/v1/jobs", wire.JobsRequest{Jobs: []RunRequest{fastRun("Base", "Apache", 503)}})
+	var resp wire.JobsResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	jr := resp.Jobs[0]
+	if jr.Status != http.StatusTooManyRequests || jr.RetryAfterMS <= 0 || !jr.Retryable() {
+		t.Fatalf("job under backpressure = %+v, want retryable 429 with retry_after_ms", jr)
+	}
+}
+
+// TestHealthzReportsBuildAndLoad pins the operator/coordinator contract:
+// /healthz carries version info and live load, not just a bare 200.
+func TestHealthzReportsBuildAndLoad(t *testing.T) {
+	s := newTestService(t, Config{Workers: 3, QueueDepth: 7})
+	code, raw := s.get(t, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	var h wire.Health
+	if err := json.Unmarshal(raw, &h); err != nil {
+		t.Fatalf("decoding healthz %s: %v", raw, err)
+	}
+	if h.Status != "ok" || h.Version != Version || h.GoVersion == "" {
+		t.Errorf("healthz identity = %+v, want ok/%s with a Go version", h, Version)
+	}
+	if h.Workers != 3 || h.QueueDepth != 7 {
+		t.Errorf("healthz capacity = %d workers / %d queue, want 3/7", h.Workers, h.QueueDepth)
+	}
+	if h.Schemes == 0 || h.Workloads == 0 {
+		t.Errorf("healthz registries empty: %+v", h)
+	}
+
+	// Load must move with in-flight work.
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		s.post(t, "/v1/run", endlessRun(504))
+	}()
+	<-started
+	waitFor(t, "sim in flight", func() bool { return s.srv.Stats().SimsInflight >= 1 })
+	_, raw = s.get(t, "/healthz")
+	if err := json.Unmarshal(raw, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.InFlightSims < 1 || h.QueuedFlights < 1 {
+		t.Errorf("healthz load = %d inflight / %d queued, want >= 1 each", h.InFlightSims, h.QueuedFlights)
 	}
 }

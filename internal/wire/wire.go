@@ -1,0 +1,106 @@
+// Package wire defines the JSON types shared by boomsimd's HTTP API, the
+// cluster coordinator and remote-mode CLI clients. It deliberately imports
+// nothing from the rest of the module: the root boomsim package builds
+// these requests, internal/server serves them, and internal/cluster routes
+// them, so this is the one vocabulary all three may depend on without
+// import cycles.
+//
+// Simulation results travel as json.RawMessage here. The server marshals
+// boomsim.Result into the field; clients that want typed access (the root
+// package's distributed runner) unmarshal it back — boomsim.Result
+// round-trips bytes exactly — while transport-only consumers (the
+// coordinator) never pay for a decode they do not need.
+package wire
+
+import "encoding/json"
+
+// RunRequest is the wire form of one simulation configuration. Absent
+// fields take boomsim.New's documented defaults (Boomerang on Apache,
+// Table I core, seeds 1/1, 200K warm + 1M measured instructions); pointer
+// fields distinguish "absent" from an explicit zero.
+type RunRequest struct {
+	Scheme        string  `json:"scheme,omitempty"`
+	Workload      string  `json:"workload,omitempty"`
+	Predictor     string  `json:"predictor,omitempty"`
+	BTBEntries    int     `json:"btb_entries,omitempty"`
+	LLCLatency    int     `json:"llc_latency,omitempty"`
+	FootprintKB   int     `json:"footprint_kb,omitempty"`
+	ImageSeed     *uint64 `json:"image_seed,omitempty"`
+	WalkSeed      *uint64 `json:"walk_seed,omitempty"`
+	WarmInstrs    *uint64 `json:"warm_instrs,omitempty"`
+	MeasureInstrs *uint64 `json:"measure_instrs,omitempty"`
+	MaxCycles     int64   `json:"max_cycles,omitempty"`
+	// TimeoutMS tightens this request's deadline below the server cap.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// RunResponse is the client-side view of POST /v1/run's body: the shape
+// internal/server writes (with a typed Result), decoded with the result
+// left raw.
+type RunResponse struct {
+	Key    string          `json:"key"`
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result"`
+}
+
+// JobsRequest is a batch of independent jobs for POST /v1/jobs. Unlike
+// /v1/matrix — one flight, one shared fate — every job is admitted, cached
+// and executed on its own, and failures are reported per job so a
+// coordinator can re-dispatch exactly the cells that need it.
+type JobsRequest struct {
+	Jobs []RunRequest `json:"jobs"`
+	// TimeoutMS tightens the whole batch's deadline below the server cap.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// JobResult is one job's outcome: exactly one of Result or Error is set.
+type JobResult struct {
+	Key    string          `json:"key,omitempty"`
+	Cached bool            `json:"cached,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+
+	// Error carries the failure text and Status its HTTP-equivalent code
+	// (429 queue full, 400/404 bad configuration, 503 draining, 504
+	// deadline). RetryAfterMS, when set, is the server's backoff hint —
+	// the in-band equivalent of a Retry-After header.
+	Error        string `json:"error,omitempty"`
+	Status       int    `json:"status,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// Retryable reports whether the job's failure is worth re-dispatching:
+// capacity and transient conditions are, configuration errors are not.
+func (j JobResult) Retryable() bool {
+	switch j.Status {
+	case 0:
+		return false
+	case 400, 404:
+		return false
+	}
+	return true
+}
+
+// JobsResponse carries per-job outcomes in request order.
+type JobsResponse struct {
+	Jobs []JobResult `json:"jobs"`
+}
+
+// Health is GET /healthz's body: liveness plus the build and load facts a
+// coordinator (or an operator) needs for placement decisions.
+type Health struct {
+	Status    string `json:"status"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+
+	Schemes   int `json:"schemes"`
+	Workloads int `json:"workloads"`
+
+	// Load: current in-flight simulations and admitted flights against
+	// their configured capacities.
+	Workers       int   `json:"workers"`
+	QueueDepth    int   `json:"queue_depth"`
+	InFlightSims  int64 `json:"inflight_sims"`
+	QueuedFlights int64 `json:"queued_flights"`
+	CacheEntries  int   `json:"cache_entries"`
+}

@@ -14,6 +14,7 @@ type MatrixOption func(*matrixConfig)
 
 type matrixConfig struct {
 	parallelism int
+	cluster     *Cluster
 }
 
 // WithParallelism bounds the number of simulations RunMatrix executes
@@ -22,6 +23,18 @@ type matrixConfig struct {
 func WithParallelism(n int) MatrixOption {
 	return func(c *matrixConfig) {
 		c.parallelism = n
+	}
+}
+
+// WithCluster routes the matrix through a pool of boomsimd workers instead
+// of the local worker pool. Results are byte-identical either way — each
+// cell is a pure function of its configuration — so callers can switch a
+// sweep between local and distributed execution with this one option.
+// WithParallelism is ignored for distributed runs; the cluster's own
+// in-flight and batch bounds govern fan-out.
+func WithCluster(cl *Cluster) MatrixOption {
+	return func(c *matrixConfig) {
+		c.cluster = cl
 	}
 }
 
@@ -37,6 +50,9 @@ func RunMatrix(ctx context.Context, sims []*Simulation, opts ...MatrixOption) ([
 	var cfg matrixConfig
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.cluster != nil {
+		return cfg.cluster.RunMatrix(ctx, sims)
 	}
 	workers := cfg.parallelism
 	if workers <= 0 {
