@@ -5,9 +5,12 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
+
+	"boomsim"
 )
 
 // TestConsumersUseOnlyThePublicAPI pins the api boundary: the binaries in
@@ -53,6 +56,73 @@ func TestConsumersUseOnlyThePublicAPI(t *testing.T) {
 		if err != nil {
 			t.Fatalf("walking %s: %v", root, err)
 		}
+	}
+}
+
+// TestSchemeConfigIsPureData pins the config plane's core property: a
+// SchemeConfig (and everything reachable from it) is plain serializable
+// data — no functions, channels, interfaces or unsafe pointers anywhere in
+// the type graph. This is what guarantees schemes round-trip through JSON,
+// travel on the wire, and can never smuggle a closure back in; a `Build
+// func` field reappearing on any config struct fails here.
+func TestSchemeConfigIsPureData(t *testing.T) {
+	seen := map[reflect.Type]bool{}
+	var check func(path string, ty reflect.Type)
+	check = func(path string, ty reflect.Type) {
+		if seen[ty] {
+			return
+		}
+		seen[ty] = true
+		switch ty.Kind() {
+		case reflect.Func, reflect.Chan, reflect.Interface, reflect.UnsafePointer:
+			t.Errorf("%s has kind %s; scheme configs must be pure data", path, ty.Kind())
+		case reflect.Pointer, reflect.Slice, reflect.Array:
+			check(path, ty.Elem())
+		case reflect.Map:
+			check(path+"(key)", ty.Key())
+			check(path+"(value)", ty.Elem())
+		case reflect.Struct:
+			for i := 0; i < ty.NumField(); i++ {
+				f := ty.Field(i)
+				check(path+"."+f.Name, f.Type)
+			}
+		}
+	}
+	check("SchemeConfig", reflect.TypeOf(boomsim.SchemeConfig{}))
+}
+
+// TestServerSpeaksPublicAPIAndWireOnly pins boomsimd's side of the
+// cluster↔server contract: internal/server may depend, module-internally,
+// on nothing but the public boomsim package and the shared wire vocabulary
+// — in particular never on internal/cluster, so the service and the
+// coordinator only ever meet over HTTP with wire-typed bodies.
+func TestServerSpeaksPublicAPIAndWireOnly(t *testing.T) {
+	allowed := map[string]bool{"boomsim": true, "boomsim/internal/wire": true}
+	err := filepath.WalkDir("internal/server", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if (ip == "boomsim" || strings.HasPrefix(ip, "boomsim/")) && !allowed[ip] {
+				t.Errorf("%s imports %s; internal/server may only use the standard library, the public boomsim package and boomsim/internal/wire", path, ip)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking internal/server: %v", err)
 	}
 }
 

@@ -23,6 +23,9 @@ type Simulation struct {
 	btbEntries   int
 	llcLatency   int
 	footprintKB  int
+	// schemeCfg, when non-nil, is an inline declarative scheme
+	// (WithSchemeConfig) that bypasses the registry.
+	schemeCfg *SchemeConfig
 
 	imageSeed, walkSeed       uint64
 	warmInstrs, measureInstrs uint64
@@ -76,7 +79,11 @@ func New(opts ...Option) (*Simulation, error) {
 	}
 
 	var err error
-	if s.scheme, err = schemeByName(s.schemeName); err != nil {
+	if s.schemeCfg != nil {
+		// Inline declarative scheme: already validated by WithSchemeConfig.
+		s.scheme = *s.schemeCfg
+		s.schemeName = s.schemeCfg.Name
+	} else if s.scheme, err = schemeByName(s.schemeName); err != nil {
 		return nil, err
 	}
 	if s.workload, err = workloadByName(s.workloadName); err != nil {

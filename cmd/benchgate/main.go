@@ -1,0 +1,198 @@
+// Command benchgate turns `go test -bench` output into the repo's recorded
+// performance trajectory and gates regressions in CI.
+//
+// It parses benchmark output on stdin (or -in), extracts the headline
+// simulation-speed metrics from BenchmarkSimulatorThroughput — simulated
+// MIPS, its reciprocal ns/instr, and the hot loop's allocs/op — plus every
+// custom metric of every other benchmark, and writes them to BENCH_<pr>.json
+// in -dir. If an earlier BENCH_<n>.json (highest n below -pr) is already
+// checked in, benchgate compares ns/instr against it and exits non-zero on
+// a regression beyond -threshold (default 10%), so the perf trajectory is
+// both populated and enforced by the same step:
+//
+//	go test -run '^$' -bench . -benchtime=1x -benchmem . | benchgate -pr 6
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one PR's recorded performance point.
+type Record struct {
+	PR int `json:"pr"`
+	// CPU is the `cpu:` line of the benchmark run. ns/instr is only
+	// comparable between equal machines, so the gate skips (with a notice)
+	// when the previous record came from different hardware.
+	CPU string `json:"cpu,omitempty"`
+	// MIPS is BenchmarkSimulatorThroughput's simulated million instructions
+	// per wall-clock second; NsPerInstr is its reciprocal, the repo's
+	// headline cost metric (see internal/server/metrics.go NsPerInstr).
+	MIPS       float64 `json:"mips"`
+	NsPerInstr float64 `json:"ns_per_instr"`
+	// AllocsPerOp pins the measured loop's zero-allocation contract.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds every parsed "<benchmark>/<unit>" value for trajectory
+	// analysis beyond the headline (figure-level custom metrics included).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	var (
+		pr         = flag.Int("pr", 0, "PR number to record under (required; output file is BENCH_<pr>.json)")
+		in         = flag.String("in", "", "benchmark output file (default stdin)")
+		dir        = flag.String("dir", ".", "directory holding BENCH_*.json records")
+		threshold  = flag.Float64("threshold", 0.10, "maximum tolerated ns/instr regression vs the previous record")
+		recordOnly = flag.Bool("record-only", false, "write the record but never fail on regression (push-to-main runs)")
+	)
+	flag.Parse()
+	if *pr <= 0 {
+		fatalf("-pr is required and must be positive")
+	}
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+	rec, err := parse(src)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rec.PR = *pr
+
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	out = append(out, '\n')
+	path := filepath.Join(*dir, fmt.Sprintf("BENCH_%d.json", *pr))
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: wrote %s (%.1f MIPS, %.1f ns/instr, %g allocs/op)\n",
+		path, rec.MIPS, rec.NsPerInstr, rec.AllocsPerOp)
+
+	prev, ok, err := previous(*dir, *pr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchgate: no previous record; nothing to gate against")
+		return
+	}
+	if prev.NsPerInstr <= 0 || rec.NsPerInstr <= 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: missing ns/instr on one side; skipping the gate")
+		return
+	}
+	ratio := rec.NsPerInstr/prev.NsPerInstr - 1
+	fmt.Fprintf(os.Stderr, "benchgate: ns/instr %.2f -> %.2f vs PR %d (%+.1f%%)\n",
+		prev.NsPerInstr, rec.NsPerInstr, prev.PR, 100*ratio)
+	switch {
+	case *recordOnly:
+		fmt.Fprintln(os.Stderr, "benchgate: record-only mode; not gating")
+	case prev.CPU != rec.CPU:
+		// ns/instr measured on different hardware gates the machine, not
+		// the code; record the point and report, but do not fail.
+		fmt.Fprintf(os.Stderr, "benchgate: previous record is from different hardware (%q vs %q); skipping the gate\n",
+			prev.CPU, rec.CPU)
+	case ratio > *threshold:
+		fatalf("ns/instr regressed %.1f%% vs PR %d (threshold %.0f%%)", 100*ratio, prev.PR, 100**threshold)
+	}
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// parse extracts every "value unit" metric pair from benchmark output.
+func parse(r io.Reader) (Record, error) {
+	rec := Record{Metrics: map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if cpu, ok := strings.CutPrefix(sc.Text(), "cpu: "); ok {
+			rec.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		if i := strings.IndexByte(name, '-'); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			rec.Metrics[name+"/"+fields[i+1]] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rec, err
+	}
+	if len(rec.Metrics) == 0 {
+		return rec, fmt.Errorf("no benchmark lines found in input")
+	}
+	if mips, ok := rec.Metrics["SimulatorThroughput/MIPS"]; ok && mips > 0 {
+		rec.MIPS = mips
+		rec.NsPerInstr = 1000 / mips
+	}
+	if allocs, ok := rec.Metrics["SimulatorThroughput/allocs/op"]; ok {
+		rec.AllocsPerOp = allocs
+	}
+	return rec, nil
+}
+
+// previous loads the highest-numbered BENCH_<n>.json with n < pr.
+func previous(dir string, pr int) (Record, bool, error) {
+	entries, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return Record{}, false, err
+	}
+	sort.Strings(entries)
+	best, found := Record{}, false
+	for _, path := range entries {
+		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "BENCH_"), ".json")
+		n, err := strconv.Atoi(base)
+		if err != nil || n >= pr {
+			continue
+		}
+		if found && n <= best.PR {
+			continue
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return Record{}, false, err
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return Record{}, false, fmt.Errorf("%s: %w", path, err)
+		}
+		if rec.PR == 0 {
+			rec.PR = n
+		}
+		best, found = rec, true
+	}
+	return best, found, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

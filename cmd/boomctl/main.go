@@ -10,6 +10,7 @@
 //	boomctl -workers http://sim-1:8080,http://sim-2:8080,http://sim-3:8080
 //	boomctl -workers ... -schemes Base,FDIP,Boomerang -workloads Apache,DB2
 //	boomctl -workers ... -schemes all -workloads all -image-seeds 1,2,3 -json
+//	boomctl -workers ... -scheme-file deep-ftq.json,wide-boom.json -workloads Apache
 //	boomctl -workers ... -hedge 30s -metrics-addr :9090
 //
 // The run summary (dispatch, retry, hedge and cache-hit counters plus
@@ -37,6 +38,7 @@ func main() {
 	var (
 		workers     = flag.String("workers", "", "comma-separated boomsimd endpoints (required), e.g. http://sim-1:8080,http://sim-2:8080")
 		schemesCSV  = flag.String("schemes", "all", `schemes to sweep ("all" = every registered scheme)`)
+		schemeFiles = flag.String("scheme-file", "", "comma-separated JSON scheme files swept alongside -schemes (custom declarative scenarios; see EXPERIMENTS.md)")
 		workloadCSV = flag.String("workloads", "Apache,DB2,SPEC-like", `workloads to sweep ("all" = every registered workload)`)
 		predictor   = flag.String("predictor", "", "FDIP direction predictor: tage|bimodal|never-taken")
 		btb         = flag.Int("btb", 0, "override BTB entries (0 = Table I default)")
@@ -60,10 +62,42 @@ func main() {
 		fatalf("-workers is required (comma-separated boomsimd endpoints)")
 	}
 
-	schemes := resolveNames(*schemesCSV, schemeNames())
+	// "none" is a scheme-only escape hatch (sweep just the -scheme-file
+	// cells); an empty workload list stays a hard error.
+	var schemes []string
+	if *schemesCSV != "none" {
+		schemes = resolveNames(*schemesCSV, schemeNames())
+	}
 	workloads := resolveNames(*workloadCSV, workloadNames())
 	iseeds := parseSeeds("image-seeds", *imageSeeds)
 	wseeds := parseSeeds("walk-seeds", *walkSeeds)
+
+	// Cells sweep the named registry schemes plus any custom declarative
+	// schemes loaded from JSON files; each cell is either a name or an
+	// inline config that travels to the workers over the wire.
+	type schemeCell struct {
+		name string
+		cfg  *boomsim.SchemeConfig
+	}
+	var cells []schemeCell
+	for _, sch := range schemes {
+		cells = append(cells, schemeCell{name: sch})
+	}
+	if *schemeFiles != "" {
+		for _, path := range strings.Split(*schemeFiles, ",") {
+			if path = strings.TrimSpace(path); path == "" {
+				continue
+			}
+			cfg, err := boomsim.LoadSchemeConfig(path)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			cells = append(cells, schemeCell{name: cfg.Name, cfg: &cfg})
+		}
+	}
+	if len(cells) == 0 {
+		fatalf("no schemes to sweep (-schemes none needs -scheme-file)")
+	}
 
 	// Matrix order is deterministic: seeds outermost, then workload, then
 	// scheme — the order the paper's figures group by.
@@ -71,12 +105,15 @@ func main() {
 	for _, is := range iseeds {
 		for _, ws := range wseeds {
 			for _, wl := range workloads {
-				for _, sch := range schemes {
+				for _, cell := range cells {
 					opts := []boomsim.Option{
-						boomsim.WithScheme(sch),
+						boomsim.WithScheme(cell.name),
 						boomsim.WithWorkload(wl),
 						boomsim.WithSeeds(is, ws),
 						boomsim.WithWindow(*warm, *measure),
+					}
+					if cell.cfg != nil {
+						opts = append(opts, boomsim.WithSchemeConfig(*cell.cfg))
 					}
 					if *predictor != "" {
 						opts = append(opts, boomsim.WithPredictor(*predictor))
@@ -92,7 +129,7 @@ func main() {
 					}
 					s, err := boomsim.New(opts...)
 					if err != nil {
-						fatalf("%s on %s: %v", sch, wl, err)
+						fatalf("%s on %s: %v", cell.name, wl, err)
 					}
 					sims = append(sims, s)
 				}
@@ -129,7 +166,7 @@ func main() {
 	defer stop()
 
 	fmt.Fprintf(os.Stderr, "boomctl: %d cells (%d schemes x %d workloads x %d seed pairs) across %d workers\n",
-		len(sims), len(schemes), len(workloads), len(iseeds)*len(wseeds), len(strings.Split(*workers, ",")))
+		len(sims), len(cells), len(workloads), len(iseeds)*len(wseeds), len(strings.Split(*workers, ",")))
 	start := time.Now()
 	results, err := cl.RunMatrix(ctx, sims)
 	if err != nil {
@@ -144,7 +181,7 @@ func main() {
 			fatalf("encoding results: %v", err)
 		}
 	} else {
-		printTable(results, len(schemes)*len(workloads))
+		printTable(results, len(cells)*len(workloads))
 	}
 	printSummary(cl.Stats(), len(sims), elapsed)
 }

@@ -10,7 +10,9 @@
 //	boomsim -scheme FDIP -workload Zeus -predictor never-taken
 //	boomsim -scheme Boomerang -workload Oracle -cores 16
 //	boomsim -scheme Boomerang -workload Apache -json
+//	boomsim -scheme-file my-scheme.json -workload DB2 -stats
 //	boomsim -remote http://sim-1:8080 -scheme FDIP -workload DB2
+//	boomsim -remote http://sim-1:8080 -scheme-file my-scheme.json
 //	boomsim -list
 package main
 
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 
 	"boomsim"
@@ -44,6 +47,8 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of text")
 		list       = flag.Bool("list", false, "list registered schemes and workloads, then exit")
 		remote     = flag.String("remote", "", "run on a boomsimd at this base URL instead of locally (implies -json output)")
+		schemeFile = flag.String("scheme-file", "", "run a custom declarative scheme from this JSON file instead of -scheme (see EXPERIMENTS.md)")
+		showStats  = flag.Bool("stats", false, "also print the full per-component statistics registry, grouped by namespace")
 	)
 	flag.Parse()
 
@@ -55,11 +60,22 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// A custom declarative scheme loads once and substitutes for -scheme
+	// everywhere (local runs, remote runs, the CMP harness).
+	var customScheme *boomsim.SchemeConfig
+	if *schemeFile != "" {
+		cfg, err := boomsim.LoadSchemeConfig(*schemeFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		customScheme = &cfg
+	}
+
 	if *remote != "" {
 		if *cores > 1 || *baseline {
 			fatalf("-remote supports single runs only (no -cores/-baseline)")
 		}
-		runRemote(ctx, *remote, wire.RunRequest{
+		req := wire.RunRequest{
 			Scheme:     *schemeName,
 			Workload:   *wlName,
 			Predictor:  *predictor,
@@ -67,7 +83,16 @@ func main() {
 			LLCLatency: *llc,
 			ImageSeed:  imageSeed, WalkSeed: walkSeed,
 			WarmInstrs: warm, MeasureInstrs: measure,
-		})
+		}
+		if customScheme != nil {
+			raw, err := json.Marshal(customScheme)
+			if err != nil {
+				fatalf("encoding scheme config: %v", err)
+			}
+			req.Scheme = ""
+			req.SchemeConfig = raw
+		}
+		runRemote(ctx, *remote, req)
 		return
 	}
 
@@ -78,6 +103,9 @@ func main() {
 			boomsim.WithPredictor(*predictor),
 			boomsim.WithWindow(*warm, *measure),
 			boomsim.WithSeeds(*imageSeed, *walkSeed),
+		}
+		if customScheme != nil && scheme != "Base" {
+			opts = append(opts, boomsim.WithSchemeConfig(*customScheme))
 		}
 		if *btb > 0 {
 			opts = append(opts, boomsim.WithBTBEntries(*btb))
@@ -108,6 +136,9 @@ func main() {
 	}
 	if !*jsonOut {
 		printResult(r)
+		if *showStats {
+			printStats(r)
+		}
 	}
 
 	if *baseline {
@@ -193,6 +224,26 @@ func printResult(r boomsim.Result) {
 	fmt.Printf("  hierarchy            prefetches=%d LLC accesses=%d LLC misses=%d\n",
 		r.Prefetches, r.LLCAccesses, r.LLCMisses)
 	fmt.Printf("  scheme metadata      %.2f KB/core\n", r.StorageOverheadKB)
+}
+
+// printStats renders the full per-component registry grouped by namespace:
+// every counter each component registered, not just the headline fields.
+func printStats(r boomsim.Result) {
+	names := make([]string, 0, len(r.Stats))
+	for n := range r.Stats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Println("\nper-component stats:")
+	lastNS := ""
+	for _, n := range names {
+		ns, rest, _ := strings.Cut(n, ".")
+		if ns != lastNS {
+			fmt.Printf("  [%s]\n", ns)
+			lastNS = ns
+		}
+		fmt.Printf("    %-40s %g\n", rest, r.Stats[n])
+	}
 }
 
 func printRegistry() {

@@ -242,11 +242,13 @@ func RunMatrixDistributed(ctx context.Context, sims []*Simulation, opts ...Clust
 
 // wireRequest spells out the simulation's full configuration — defaults
 // included — so the worker reconstructs the exact Key-identified cell
-// regardless of its own defaults.
+// regardless of its own defaults. Inline declarative schemes travel as
+// their JSON config, so custom scenarios run on workers that have never
+// seen them registered.
 func wireRequest(s *Simulation) wire.RunRequest {
 	imageSeed, walkSeed := s.imageSeed, s.walkSeed
 	warm, measure := s.warmInstrs, s.measureInstrs
-	return wire.RunRequest{
+	req := wire.RunRequest{
 		Scheme:        s.schemeName,
 		Workload:      s.workloadName,
 		Predictor:     s.predictor,
@@ -259,6 +261,11 @@ func wireRequest(s *Simulation) wire.RunRequest {
 		MeasureInstrs: &measure,
 		MaxCycles:     s.maxCycles,
 	}
+	if s.schemeCfg != nil {
+		req.Scheme = ""
+		req.SchemeConfig = s.schemeCfgJSON()
+	}
+	return req
 }
 
 // wrapClusterError maps coordinator failures onto the public sentinels.

@@ -253,3 +253,49 @@ func mustSim(t *testing.T, opts ...boomsim.Option) *boomsim.Simulation {
 	}
 	return s
 }
+
+// TestDistributedCustomSchemeConfig is the config plane's end-to-end
+// acceptance: a custom declarative scheme loaded from a JSON file — one no
+// worker has registered — runs through the cluster fabric, its config
+// traveling inline on the wire, and comes back byte-identical to a local
+// run, per-component registry stats included.
+func TestDistributedCustomSchemeConfig(t *testing.T) {
+	workers := startWorkers(t, 2)
+	cfg, err := boomsim.LoadSchemeConfig("testdata/schemes/boomerang-ftq64.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sims []*boomsim.Simulation
+	for _, wl := range []string{"Apache", "DB2"} {
+		sims = append(sims,
+			mustSim(t, boomsim.WithSchemeConfig(cfg), boomsim.WithWorkload(wl)),
+			mustSim(t, boomsim.WithScheme("Boomerang"), boomsim.WithWorkload(wl)))
+	}
+	ctx := context.Background()
+
+	local, err := boomsim.RunMatrix(ctx, sims)
+	if err != nil {
+		t.Fatalf("local RunMatrix: %v", err)
+	}
+	dist, err := boomsim.RunMatrixDistributed(ctx, sims,
+		boomsim.WithEndpoints(endpoints(workers)...),
+		boomsim.WithRetryBackoff(time.Millisecond, 50*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatalf("distributed RunMatrix: %v", err)
+	}
+	if lraw, draw := mustJSON(t, local), mustJSON(t, dist); !bytes.Equal(lraw, draw) {
+		t.Fatalf("custom-scheme distributed results differ from local:\nlocal: %.400s\ndist:  %.400s", lraw, draw)
+	}
+	if dist[0].Scheme != "Boomerang-FTQ64" {
+		t.Errorf("distributed result reports scheme %q, want the config's name", dist[0].Scheme)
+	}
+	if len(dist[0].Stats) == 0 || dist[0].Stats["boomerang.probes"] == 0 {
+		t.Errorf("custom scheme's per-component stats did not survive the wire: %v", dist[0].Stats)
+	}
+	// The custom cell and the stock Boomerang cell must not alias in the
+	// workers' content-addressed caches.
+	if sims[0].Fingerprint() == sims[1].Fingerprint() {
+		t.Error("custom and stock Boomerang cells share a fingerprint")
+	}
+}

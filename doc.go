@@ -25,14 +25,39 @@
 // WithProgress installs a callback invoked every N retired instructions.
 // The returned Result is plain data and marshals to JSON.
 //
+// # Declarative schemes
+//
+// Every scheme is a SchemeConfig: plain serializable data (FTQ depth,
+// prefetcher kind and parameters, BTB organisation, miss policy, predictor,
+// storage-overhead accounting) interpreted by one generic builder. Compose
+// novel scenarios in Go or load them from JSON scheme files, no internals
+// required:
+//
+//	cfg, err := boomsim.LoadSchemeConfig("boomerang-ftq64.json")
+//	s, err := boomsim.New(boomsim.WithSchemeConfig(cfg), boomsim.WithWorkload("DB2"))
+//
+// Inline configs travel with wire requests, so boomsimd workers execute
+// schemes they have never seen registered, and the configuration Key covers
+// the full config.
+//
 // # Scheme and workload registries
 //
 // Schemes and workloads are string-keyed. Schemes() and Workloads()
-// enumerate what is registered; unknown names surface as ErrUnknownScheme /
+// enumerate what is registered — each SchemeInfo carries the scheme's full
+// SchemeConfig — and unknown names surface as ErrUnknownScheme /
 // ErrUnknownWorkload from New. RegisterScheme and RegisterWorkload extend
-// the registries — new configurations built from the internal packages
-// (variants, ablations, freshly calibrated profiles) become addressable by
-// every consumer of this package without touching its call sites.
+// the registries: new declarative configs (variants, ablations, freshly
+// calibrated profiles) become addressable by every consumer of this package
+// without touching its call sites.
+//
+// # Per-component statistics
+//
+// Result.Stats is a hierarchical registry flattened to dotted names: every
+// simulated component reports its counters under its own namespace
+// ("frontend.fetch_stall_cycles", "bpu.tage.useful_resets",
+// "cache.llc_misses", "boomerang.probes", ...). The registry flows
+// unchanged through boomsimd responses, Prometheus metrics and cluster
+// reassembly; the typed fields on Result are a projection of it.
 //
 // # Batch runs
 //

@@ -100,7 +100,13 @@ func TestGoldenStats(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, err := json.MarshalIndent(r, "", "  ")
+				// The headline corpus predates the per-component registry and
+				// stays byte-frozen across the config-plane refactor — the
+				// proof that schemes-as-data is behavior-preserving. The
+				// registry itself is pinned by TestGoldenRegistryStats.
+				headline := r
+				headline.Stats = nil
+				got, err := json.MarshalIndent(headline, "", "  ")
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -134,6 +140,75 @@ func TestGoldenStats(t *testing.T) {
 		for _, e := range entries {
 			if !visited[e.Name()] {
 				t.Errorf("stale golden file %s: no registered scheme/workload produces it", e.Name())
+			}
+		}
+	}
+}
+
+// goldenRegistryDir pins the per-component statistics registry for the
+// paper's headline schemes on the headline workload: one file per scheme,
+// every namespace (frontend, bpu, cache, btb, prefetch, boomerang, ...)
+// with every counter. The subset keeps CI cost bounded — the headline
+// corpus above already pins the projection for all 18 schemes x 3
+// workloads — while any change to what components publish, or to the
+// numbers they publish, surfaces here as a named-field diff.
+const goldenRegistryDir = "testdata/golden-registry"
+
+func TestGoldenRegistryStats(t *testing.T) {
+	if *updateGolden {
+		if err := os.MkdirAll(goldenRegistryDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	visited := map[string]bool{}
+	for _, sc := range boomsim.DefaultSchemes() {
+		sc := sc
+		path := goldenFile(sc, "Apache")
+		path = filepath.Join(goldenRegistryDir, filepath.Base(path))
+		visited[filepath.Base(path)] = true
+		t.Run(sc, func(t *testing.T) {
+			t.Parallel()
+			s, err := goldenCell(sc, "Apache")
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := s.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Stats) == 0 {
+				t.Fatal("run produced no per-component registry stats")
+			}
+			got, err := json.MarshalIndent(r.Stats, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no registry golden for this scheme (run with -update to create it): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("per-component stats drifted from the golden corpus:\n%s\nregenerate with -update if the change is intentional",
+					goldenDiff(t, want, got))
+			}
+		})
+	}
+	if !*updateGolden {
+		entries, err := os.ReadDir(goldenRegistryDir)
+		if err != nil {
+			t.Fatalf("reading %s (bootstrap with -update): %v", goldenRegistryDir, err)
+		}
+		for _, e := range entries {
+			if !visited[e.Name()] {
+				t.Errorf("stale registry golden %s: no headline scheme produces it", e.Name())
 			}
 		}
 	}

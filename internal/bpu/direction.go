@@ -10,7 +10,10 @@
 // Update, using the metadata captured at prediction time.
 package bpu
 
-import "boomsim/internal/isa"
+import (
+	"boomsim/internal/isa"
+	"boomsim/internal/stats"
+)
 
 // NumTageTables is the number of tagged TAGE components.
 const NumTageTables = 4
@@ -144,3 +147,10 @@ func (b *Bimodal) Name() string { return "bimodal" }
 
 // StorageBits implements Direction.
 func (b *Bimodal) StorageBits() int { return 2 * len(b.ctr) }
+
+// PublishStats registers the predictor's parameters under its namespace of
+// the per-component statistics registry.
+func (b *Bimodal) PublishStats(r *stats.Registry) {
+	r.SetUint("entries", uint64(len(b.ctr)))
+	r.SetUint("storage_bits", uint64(b.StorageBits()))
+}

@@ -1,6 +1,9 @@
 package bpu
 
-import "boomsim/internal/isa"
+import (
+	"boomsim/internal/isa"
+	"boomsim/internal/stats"
+)
 
 // TAGE implements the tagged-geometric-history-length predictor of Seznec &
 // Michaud within the paper's 8 KB budget: a 4K-entry 2-bit bimodal base plus
@@ -309,6 +312,15 @@ func (t *TAGE) StorageBits() int {
 		bits += perEntry * len(t.tables[i].entries)
 	}
 	return bits
+}
+
+// PublishStats registers the predictor's counters under its namespace of
+// the per-component statistics registry.
+func (t *TAGE) PublishStats(r *stats.Registry) {
+	r.SetUint("tables", uint64(len(t.tables)))
+	r.SetUint("base_entries", uint64(len(t.base)))
+	r.SetUint("useful_resets", uint64(t.resets))
+	r.SetUint("storage_bits", uint64(t.StorageBits()))
 }
 
 func bump2(c *uint8, taken bool) {

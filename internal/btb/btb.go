@@ -12,6 +12,7 @@ package btb
 import (
 	"boomsim/internal/isa"
 	"boomsim/internal/program"
+	"boomsim/internal/stats"
 )
 
 // Entry is one basic-block BTB entry.
@@ -150,6 +151,14 @@ func (b *BTB) UpdateTarget(start, target isa.Addr, now int64) {
 // Stats returns lifetime Lookup hit/miss counts.
 func (b *BTB) Stats() (hits, misses uint64) { return b.hits, b.misses }
 
+// PublishStats registers the BTB's counters under its namespace of the
+// per-component statistics registry.
+func (b *BTB) PublishStats(r *stats.Registry) {
+	r.SetUint("hits", b.hits)
+	r.SetUint("misses", b.misses)
+	r.SetUint("entries", uint64(b.Entries()))
+}
+
 // PrefetchBuffer is Boomerang's small FIFO buffer holding predecoded BTB
 // entries. It is probed in parallel with the BTB; a hit moves the entry into
 // the BTB (the caller does the move); entries are replaced first-in
@@ -220,6 +229,12 @@ type Predecoder struct {
 	brScratch []program.PredecodedBranch
 	// LinesDecoded counts predecoded cache lines (energy/traffic proxy).
 	LinesDecoded uint64
+}
+
+// PublishStats registers the predecoder's counters under its namespace of
+// the per-component statistics registry.
+func (d *Predecoder) PublishStats(r *stats.Registry) {
+	r.SetUint("lines_decoded", d.LinesDecoded)
 }
 
 // NewPredecoder wraps an image.

@@ -1,6 +1,9 @@
 package btb
 
-import "boomsim/internal/isa"
+import (
+	"boomsim/internal/isa"
+	"boomsim/internal/stats"
+)
 
 // TwoLevelConfig sizes a hierarchical BTB (Section II-C's alternatives to
 // Boomerang: the IBM z-series "Bulk Preload" design and PhantomBTB).
@@ -97,6 +100,16 @@ func NewTwoLevel(cfg TwoLevelConfig, l1 *BTB) *TwoLevel {
 
 // Stats returns activity counters.
 func (t *TwoLevel) Stats() TwoLevelStats { return t.stats }
+
+// PublishStats registers the hierarchical BTB's counters under its
+// namespace of the per-component statistics registry.
+func (t *TwoLevel) PublishStats(r *stats.Registry) {
+	r.SetUint("l2_hits", t.stats.L2Hits)
+	r.SetUint("l2_misses", t.stats.L2Misses)
+	r.SetUint("preloaded", t.stats.Preloaded)
+	r.SetUint("fills_seen", t.stats.FillsSeen)
+	r.SetUint("group_wraps", t.stats.GroupWraps)
+}
 
 // L2 exposes the second level (tests).
 func (t *TwoLevel) L2() *BTB { return t.l2 }

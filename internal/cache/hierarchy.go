@@ -3,6 +3,7 @@ package cache
 import (
 	"boomsim/internal/config"
 	"boomsim/internal/flatmap"
+	"boomsim/internal/stats"
 )
 
 // Level identifies where an instruction access was satisfied.
@@ -130,6 +131,24 @@ func NewHierarchy(cfg config.Core, llcReservedKB int) *Hierarchy {
 
 // Stats returns accumulated traffic counters.
 func (h *Hierarchy) Stats() HierarchyStats { return h.stats }
+
+// PublishStats registers the hierarchy's counters under its namespace of
+// the per-component statistics registry.
+func (h *Hierarchy) PublishStats(r *stats.Registry) {
+	s := h.stats
+	r.SetUint("demand_accesses", s.DemandAccesses)
+	r.SetUint("demand_l1_hits", s.DemandL1Hits)
+	r.SetUint("demand_pfb_hits", s.DemandPFBHits)
+	r.SetUint("demand_inflight_hits", s.DemandInFlight)
+	r.SetUint("demand_llc_fills", s.DemandLLCFills)
+	r.SetUint("demand_mem_fills", s.DemandMemFills)
+	r.SetUint("prefetches", s.Prefetches)
+	r.SetUint("prefetch_dropped", s.PrefetchDropped)
+	r.SetUint("llc_accesses", s.LLCAccesses)
+	r.SetUint("llc_misses", s.LLCMisses)
+	r.SetUint("pfb_evictions", s.PFBEvictions)
+	r.SetUint("useless_prefetches", s.UselessPrefetch)
+}
 
 // Tick completes any fills that are ready at cycle now. Call once per cycle
 // (cheap when nothing is pending).

@@ -27,27 +27,30 @@ import (
 	"boomsim/internal/btb"
 	"boomsim/internal/cache"
 	"boomsim/internal/isa"
+	"boomsim/internal/stats"
 )
 
-// Config tunes the Boomerang miss handler.
+// Config tunes the Boomerang miss handler. It is declarative data — the
+// scheme configuration plane serializes it into JSON scheme files and wire
+// requests, so the field tags are part of the scheme vocabulary.
 type Config struct {
 	// ThrottleN is how many sequential blocks to prefetch on a BTB miss
 	// that was not filled from the L1-I (Section IV-C1; next-2 is the
 	// evaluated design, Figure 10 sweeps 0/1/2/4/8).
-	ThrottleN int
+	ThrottleN int `json:"throttle_n"`
 	// PredecodeLatency is the per-line predecode cost in cycles.
-	PredecodeLatency int64
+	PredecodeLatency int64 `json:"predecode_latency"`
 	// MaxScanLines bounds the sequential scan for the terminating branch.
-	MaxScanLines int
+	MaxScanLines int `json:"max_scan_lines"`
 	// PrefetchBufferEntries sizes the FIFO BTB prefetch buffer (32).
-	PrefetchBufferEntries int
+	PrefetchBufferEntries int `json:"prefetch_buffer_entries"`
 	// Unthrottled selects Section IV-C1's alternative design point: instead
 	// of stalling the BPU while a miss resolves, speculatively assume
 	// not-taken and keep feeding the FTQ sequentially; the predecoded entry
 	// still fills the BTB for future lookups. (The evaluated Boomerang
 	// stalls; unthrottled over-prefetches on the wrong path when the hidden
 	// branch is taken.)
-	Unthrottled bool
+	Unthrottled bool `json:"unthrottled,omitempty"`
 }
 
 // DefaultConfig returns the evaluated design point.
@@ -114,6 +117,17 @@ func (b *Boomerang) SetBTB(l1 *btb.BTB) { b.l1btb = l1 }
 
 // Stats returns a snapshot of Boomerang activity counters.
 func (b *Boomerang) Stats() Stats { return b.stats }
+
+// PublishStats registers the unit's counters under its namespace of the
+// per-component statistics registry.
+func (b *Boomerang) PublishStats(r *stats.Registry) {
+	r.SetUint("probes", b.stats.Probes)
+	r.SetUint("probe_l1_hits", b.stats.ProbeL1Hits)
+	r.SetUint("lines_scanned", b.stats.LinesScanned)
+	r.SetUint("prefetch_buffer_hits", b.stats.PrefetchBufferHits)
+	r.SetUint("throttle_prefetches", b.stats.ThrottlePrefetches)
+	r.SetUint("unresolvable", b.stats.Unresolvable)
+}
 
 // PrefetchBuffer exposes the BTB prefetch buffer (tests, storage accounting).
 func (b *Boomerang) PrefetchBuffer() *btb.PrefetchBuffer { return b.pbuf }

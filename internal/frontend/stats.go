@@ -1,6 +1,10 @@
 package frontend
 
-import "fmt"
+import (
+	"fmt"
+
+	"boomsim/internal/stats"
+)
 
 // SquashClass categorises pipeline squashes the way Figure 7 does: branch
 // direction/target mispredictions versus BTB misses.
@@ -129,4 +133,64 @@ func (s *Stats) StallFraction() float64 {
 		return 0
 	}
 	return float64(s.FetchStallCycles) / float64(s.Cycles)
+}
+
+// Publish registers every engine counter under r — the "frontend" namespace
+// of the per-component statistics registry.
+func (s *Stats) Publish(r *stats.Registry) {
+	r.SetInt("cycles", s.Cycles)
+	r.SetUint("retired_instrs", s.RetiredInstrs)
+	r.SetUint("retired_blocks", s.RetiredBlocks)
+	r.Set("ipc", s.IPC())
+
+	r.SetUint("squashes.direction", s.Squashes[SquashDirection])
+	r.SetUint("squashes.target", s.Squashes[SquashTarget])
+	r.SetUint("squashes.btb_miss", s.Squashes[SquashBTBMiss])
+
+	r.SetUint("fetch_stall_cycles", s.FetchStallCycles)
+	r.SetUint("stall_class.sequential", s.StallByClass[0])
+	r.SetUint("stall_class.conditional", s.StallByClass[1])
+	r.SetUint("stall_class.unconditional", s.StallByClass[2])
+	r.SetUint("stall_level.l1", s.StallByLevel[0])
+	r.SetUint("stall_level.pfb", s.StallByLevel[1])
+	r.SetUint("stall_level.inflight", s.StallByLevel[2])
+	r.SetUint("stall_level.llc", s.StallByLevel[3])
+	r.SetUint("stall_level.mem", s.StallByLevel[4])
+
+	r.SetUint("ftq_empty_cycles", s.FTQEmptyCycles)
+	r.SetUint("rob_stall_cycles", s.ROBStallCycles)
+
+	r.SetUint("demand_line_accesses", s.DemandLineAccesses)
+	r.SetUint("demand_line_misses", s.DemandLineMisses)
+	r.SetUint("demand_miss_class.sequential", s.DemandMissByClass[0])
+	r.SetUint("demand_miss_class.conditional", s.DemandMissByClass[1])
+	r.SetUint("demand_miss_class.unconditional", s.DemandMissByClass[2])
+	r.SetUint("wrong_path_entries", s.WrongPathEntries)
+}
+
+// PublishStats registers the engine's counters under reg's "frontend"
+// namespace and the branch-prediction-unit view — lookup traffic, miss
+// stalls, the direction predictor's own counters — under "bpu". Every
+// component the engine owns reports into its own namespace, so consumers of
+// the registry (the public Result, boomsimd responses, Prometheus, the
+// CLIs) see the full anatomy of a run instead of a hand-picked subset.
+func (e *Engine) PublishStats(reg *stats.Registry) {
+	st := e.Stats()
+	st.Publish(reg.Namespace("frontend"))
+
+	bpuNS := reg.Namespace("bpu")
+	bpuNS.SetUint("btb_lookups", st.BTBLookups)
+	bpuNS.SetUint("btb_misses", st.BTBMisses)
+	bpuNS.Set("btb_miss_rate", st.BTBMissRate())
+	bpuNS.SetUint("miss_stall_cycles", st.BPUMissStallCycles)
+	bpuNS.SetUint("btb_miss_probes", st.BTBMissProbes)
+	if e.dir != nil {
+		bpuNS.SetUint("dir_storage_bits", uint64(e.dir.StorageBits()))
+		if p, ok := e.dir.(stats.Publisher); ok {
+			p.PublishStats(bpuNS.Namespace(e.dir.Name()))
+		}
+	}
+	if e.ras != nil {
+		bpuNS.SetUint("ras_depth", uint64(e.ras.Depth()))
+	}
 }

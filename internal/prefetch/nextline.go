@@ -8,6 +8,7 @@ package prefetch
 import (
 	"boomsim/internal/cache"
 	"boomsim/internal/isa"
+	"boomsim/internal/stats"
 )
 
 // NextLine prefetches the N lines following every demand access — the
@@ -16,6 +17,9 @@ import (
 type NextLine struct {
 	hier *cache.Hierarchy
 	n    int
+
+	// Issued counts prefetches accepted by the hierarchy.
+	Issued uint64
 }
 
 // NewNextLine builds a next-N-line prefetcher. The paper's configurations
@@ -33,7 +37,9 @@ func (p *NextLine) Name() string { return "next-line" }
 // OnDemand implements frontend.Prefetcher.
 func (p *NextLine) OnDemand(line uint64, miss bool, class isa.DiscontinuityClass, now int64) {
 	for i := 1; i <= p.n; i++ {
-		p.hier.Prefetch(line+uint64(i), now)
+		if p.hier.Prefetch(line+uint64(i), now) {
+			p.Issued++
+		}
 	}
 }
 
@@ -42,6 +48,13 @@ func (p *NextLine) OnRetire(uint64, int64) {}
 
 // Tick implements frontend.Prefetcher.
 func (p *NextLine) Tick(int64) {}
+
+// PublishStats registers the prefetcher's counters under its namespace of
+// the per-component statistics registry.
+func (p *NextLine) PublishStats(r *stats.Registry) {
+	r.SetUint("degree", uint64(p.n))
+	r.SetUint("issued", p.Issued)
+}
 
 // DIP is the discontinuity prefetcher: a table keyed by the line preceding a
 // control-flow discontinuity, storing the discontinuity's target line. On a
@@ -118,3 +131,12 @@ func (p *DIP) Tick(int64) {}
 
 // TableEntries returns the table capacity (storage accounting).
 func (p *DIP) TableEntries() int { return len(p.table) }
+
+// PublishStats registers the prefetcher's counters under its namespace of
+// the per-component statistics registry.
+func (p *DIP) PublishStats(r *stats.Registry) {
+	r.SetUint("trained", p.Trained)
+	r.SetUint("triggered", p.Triggered)
+	r.SetUint("table_entries", uint64(len(p.table)))
+	r.SetUint("seq_issued", p.seq.Issued)
+}

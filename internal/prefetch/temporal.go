@@ -3,34 +3,39 @@ package prefetch
 import (
 	"boomsim/internal/cache"
 	"boomsim/internal/isa"
+	"boomsim/internal/stats"
 )
 
-// TemporalConfig sizes a temporal-streaming instruction prefetcher.
+// TemporalConfig sizes a temporal-streaming instruction prefetcher. It is
+// declarative data — the scheme configuration plane serializes it into JSON
+// scheme files and wire requests, so the field tags are part of the scheme
+// vocabulary.
 type TemporalConfig struct {
 	// HistoryEntries is the circular instruction-history buffer length in
 	// records (32K for PIF/SHIFT per the paper).
-	HistoryEntries int
+	HistoryEntries int `json:"history_entries"`
 	// IndexEntries bounds the region -> history-position index (8K).
-	IndexEntries int
+	IndexEntries int `json:"index_entries"`
 	// RegionLines is the spatial-compaction factor: each history record
 	// names a region of this many cache lines. PIF records temporal streams
 	// of spatial footprints, which is how 32K records cover a multi-MB
 	// instruction working set; 1 degenerates to line-granular streaming.
-	RegionLines int
+	RegionLines int `json:"region_lines"`
 	// Lookahead is how many history records ahead of the stream pointer the
 	// prefetcher keeps in flight; it must cover the LLC round trip.
-	Lookahead int
+	Lookahead int `json:"lookahead"`
 	// MetadataLatency is charged before replay prefetches can issue after a
 	// stream (re)start: zero for PIF's core-private metadata, one LLC round
-	// trip for SHIFT's LLC-virtualised history.
-	MetadataLatency int64
+	// trip for SHIFT's LLC-virtualised history (schemes express the latter
+	// declaratively via the prefetcher config's metadata_in_llc flag).
+	MetadataLatency int64 `json:"metadata_latency,omitempty"`
 	// MaxDeviations ends a stream after this many non-matching retire
 	// observations that the index cannot re-synchronise.
-	MaxDeviations int
+	MaxDeviations int `json:"max_deviations"`
 	// IssueRate caps prefetch lines issued per cycle (stream buffers drain
 	// at link bandwidth; bursts spread instead of monopolising the LLC
 	// port). 0 means unlimited.
-	IssueRate int
+	IssueRate int `json:"issue_rate"`
 }
 
 // DefaultPIFConfig matches the paper's PIF sizing (~200KB of private
@@ -116,6 +121,18 @@ func NewTemporal(hier *cache.Hierarchy, cfg TemporalConfig) *Temporal {
 		history: make([]uint64, cfg.HistoryEntries),
 		index:   make(map[uint64]int, cfg.IndexEntries),
 	}
+}
+
+// PublishStats registers the streamer's counters under its namespace of the
+// per-component statistics registry.
+func (t *Temporal) PublishStats(r *stats.Registry) {
+	r.SetUint("triggers", t.Triggers)
+	r.SetUint("replayed", t.Replayed)
+	r.SetUint("resyncs", t.Resyncs)
+	r.SetUint("stale_index", t.StaleIndex)
+	r.SetUint("stream_deaths", t.StreamDeaths)
+	r.SetInt("metadata_latency", t.cfg.MetadataLatency)
+	r.SetUint("history_entries", uint64(t.cfg.HistoryEntries))
 }
 
 // Name implements frontend.Prefetcher.

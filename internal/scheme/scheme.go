@@ -1,67 +1,28 @@
 // Package scheme assembles the control-flow-delivery configurations the
 // paper evaluates (Section V-A): the no-prefetch baseline, Next-Line, DIP,
 // FDIP, PIF, SHIFT, Confluence and Boomerang, plus the perfect-L1-I and
-// perfect-BTB limit studies of Figure 1. Each scheme is a recipe that wires
-// a front-end engine with the right FTQ depth, prefetcher, BTB organisation
-// and miss policy, and carries the paper's per-core storage-overhead
-// accounting (Section VI-D).
+// perfect-BTB limit studies of Figure 1. Each scheme is a declarative
+// Config — FTQ depth, prefetcher kind and parameters, BTB organisation,
+// miss policy, predictor, and the paper's per-core storage-overhead
+// accounting (Section VI-D) — interpreted by one generic builder
+// (Config.Build). Because schemes are data, they serialize to JSON, travel
+// over the wire, and users compose novel scenarios without touching this
+// package; the constructors below are merely the built-in Config values.
 package scheme
 
 import (
 	"fmt"
 
-	"boomsim/internal/bpu"
 	"boomsim/internal/btb"
-	"boomsim/internal/cache"
-	"boomsim/internal/config"
 	"boomsim/internal/core"
-	"boomsim/internal/frontend"
 	"boomsim/internal/isa"
 	"boomsim/internal/prefetch"
 	"boomsim/internal/program"
-	"boomsim/internal/workload"
 )
 
-// Env is everything a scheme needs to instantiate.
-type Env struct {
-	// Cfg is the core configuration (Table I).
-	Cfg config.Core
-	// Img is the workload's code image.
-	Img *program.Image
-	// WalkSeed seeds the oracle execution.
-	WalkSeed uint64
-	// Predictor selects the FDIP direction predictor: "tage" (default),
-	// "bimodal", or "never-taken" (the Figure 2 study).
-	Predictor string
-}
-
-// Instance is a built scheme: the engine plus handles to scheme-specific
-// components for statistics.
-type Instance struct {
-	Engine *frontend.Engine
-	Hier   *cache.Hierarchy
-	BTB    *btb.BTB
-	// Boom is non-nil for Boomerang configurations.
-	Boom *core.Boomerang
-	// Predec is non-nil for schemes with a standalone predecoder
-	// (Confluence's fill-path predecode).
-	Predec *btb.Predecoder
-	// PF is the history-based prefetcher, if any.
-	PF frontend.Prefetcher
-}
-
-// Scheme is a named, buildable configuration.
-type Scheme struct {
-	// Name matches the paper's figures.
-	Name string
-	// Description summarises the mechanism.
-	Description string
-	// StorageOverheadKB is the per-core metadata cost beyond the baseline
-	// front end (Section VI-D).
-	StorageOverheadKB float64
-	// Build instantiates the scheme.
-	Build func(Env) *Instance
-}
+// Scheme is the historical name for a buildable configuration; schemes are
+// now pure data, so it is the Config itself.
+type Scheme = Config
 
 // baselineFTQDepth is the shallow FTQ of non-decoupled schemes: enough to
 // buffer fetch addresses, too shallow to prefetch from.
@@ -75,160 +36,86 @@ const shiftLLCReservedKB = 160
 // augmented with a 16K-entry BTB filled by predecoding incoming blocks.
 const confluenceBTBEntries = 16384
 
-func newDirection(name string, kb int) bpu.Direction {
-	switch name {
-	case "", "tage":
-		return bpu.NewTAGE(kb)
-	case "bimodal":
-		return bpu.NewBimodal(8192)
-	case "never-taken":
-		return bpu.NewNeverTaken()
-	}
-	panic(fmt.Sprintf("scheme: unknown predictor %q", name))
-}
-
-func baseParts(env Env, llcReservedKB, btbEntries int) (*cache.Hierarchy, *btb.BTB, bpu.Direction, *workload.Walker) {
-	hier := cache.NewHierarchy(env.Cfg, llcReservedKB)
-	if btbEntries == 0 {
-		btbEntries = env.Cfg.BTBEntries
-	}
-	b := btb.New(btbEntries, env.Cfg.BTBAssoc)
-	dir := newDirection(env.Predictor, env.Cfg.TAGEStorageKB)
-	orc := workload.NewWalker(env.Img, env.WalkSeed)
-	return hier, b, dir, orc
-}
-
 // Base is the no-prefetch baseline every speedup normalises to: TAGE + 2K
 // basic-block BTB, non-decoupled fetch.
-func Base() Scheme {
-	return Scheme{
+func Base() Config {
+	return Config{
 		Name:        "Base",
 		Description: "No instruction or BTB prefetching",
-		Build: func(env Env) *Instance {
-			hier, b, dir, orc := baseParts(env, 0, 0)
-			e := frontend.New(frontend.Options{
-				Config: env.Cfg, Image: env.Img, Oracle: orc,
-				Hierarchy: hier, Direction: dir, BTB: b,
-				DecoupledDepth: baselineFTQDepth,
-			})
-			return &Instance{Engine: e, Hier: hier, BTB: b}
-		},
+		FTQDepth:    baselineFTQDepth,
 	}
 }
 
 // NextLine adds a next-2-line sequential prefetcher to the baseline.
-func NextLine() Scheme {
-	return Scheme{
+func NextLine() Config {
+	return Config{
 		Name:        "Next Line",
 		Description: "Next-2-line sequential prefetcher",
-		Build: func(env Env) *Instance {
-			hier, b, dir, orc := baseParts(env, 0, 0)
-			pf := prefetch.NewNextLine(hier, 2)
-			e := frontend.New(frontend.Options{
-				Config: env.Cfg, Image: env.Img, Oracle: orc,
-				Hierarchy: hier, Direction: dir, BTB: b,
-				Prefetcher: pf, DecoupledDepth: baselineFTQDepth,
-			})
-			return &Instance{Engine: e, Hier: hier, BTB: b, PF: pf}
-		},
+		FTQDepth:    baselineFTQDepth,
+		Prefetcher:  &PrefetcherConfig{Kind: PrefetchNextLine, Degree: 2},
 	}
 }
 
 // DIP is the discontinuity prefetcher (8K-entry table + next-2-line).
-func DIP() Scheme {
-	return Scheme{
+func DIP() Config {
+	return Config{
 		Name:              "DIP",
 		Description:       "Discontinuity prefetcher, 8K-entry table + next-2-line",
 		StorageOverheadKB: 64, // 8K entries x ~64 bits of tag+target
-		Build: func(env Env) *Instance {
-			hier, b, dir, orc := baseParts(env, 0, 0)
-			pf := prefetch.NewDIP(hier, 8192)
-			e := frontend.New(frontend.Options{
-				Config: env.Cfg, Image: env.Img, Oracle: orc,
-				Hierarchy: hier, Direction: dir, BTB: b,
-				Prefetcher: pf, DecoupledDepth: baselineFTQDepth,
-			})
-			return &Instance{Engine: e, Hier: hier, BTB: b, PF: pf}
-		},
+		FTQDepth:          baselineFTQDepth,
+		Prefetcher:        &PrefetcherConfig{Kind: PrefetchDIP, TableEntries: 8192},
 	}
 }
 
 // FDIP is fetch-directed instruction prefetch: the decoupled front end with
 // a 32-entry FTQ driving prefetch probes.
-func FDIP() Scheme {
-	return Scheme{
+func FDIP() Config {
+	return Config{
 		Name:              "FDIP",
 		Description:       "Fetch-directed instruction prefetch (32-entry FTQ)",
 		StorageOverheadKB: 0.2, // the deeper FTQ itself (204 bytes)
-		Build: func(env Env) *Instance {
-			hier, b, dir, orc := baseParts(env, 0, 0)
-			e := frontend.New(frontend.Options{
-				Config: env.Cfg, Image: env.Img, Oracle: orc,
-				Hierarchy: hier, Direction: dir, BTB: b,
-				FDIPProbes: true,
-			})
-			return &Instance{Engine: e, Hier: hier, BTB: b}
-		},
+		FDIPProbes:        true,
 	}
 }
 
 // PIF is Proactive Instruction Fetch: temporal streaming with per-core
 // private metadata (the paper cites >200KB per core).
-func PIF() Scheme {
-	return Scheme{
+func PIF() Config {
+	tcfg := prefetch.DefaultPIFConfig()
+	return Config{
 		Name:              "PIF",
 		Description:       "Temporal-streaming prefetcher, private metadata",
 		StorageOverheadKB: 224,
-		Build: func(env Env) *Instance {
-			hier, b, dir, orc := baseParts(env, 0, 0)
-			pf := prefetch.NewTemporal(hier, prefetch.DefaultPIFConfig())
-			e := frontend.New(frontend.Options{
-				Config: env.Cfg, Image: env.Img, Oracle: orc,
-				Hierarchy: hier, Direction: dir, BTB: b,
-				Prefetcher: pf, DecoupledDepth: baselineFTQDepth,
-			})
-			return &Instance{Engine: e, Hier: hier, BTB: b, PF: pf}
-		},
+		FTQDepth:          baselineFTQDepth,
+		Prefetcher:        &PrefetcherConfig{Kind: PrefetchTemporal, Temporal: &tcfg},
 	}
 }
 
 // PIFWith builds a PIF variant with a custom temporal configuration
 // (ablation studies).
-func PIFWith(name string, tcfg prefetch.TemporalConfig) Scheme {
-	return Scheme{
+func PIFWith(name string, tcfg prefetch.TemporalConfig) Config {
+	return Config{
 		Name:              name,
 		Description:       "Temporal-streaming prefetcher (custom configuration)",
 		StorageOverheadKB: 224,
-		Build: func(env Env) *Instance {
-			hier, b, dir, orc := baseParts(env, 0, 0)
-			pf := prefetch.NewTemporal(hier, tcfg)
-			e := frontend.New(frontend.Options{
-				Config: env.Cfg, Image: env.Img, Oracle: orc,
-				Hierarchy: hier, Direction: dir, BTB: b,
-				Prefetcher: pf, DecoupledDepth: baselineFTQDepth,
-			})
-			return &Instance{Engine: e, Hier: hier, BTB: b, PF: pf}
-		},
+		FTQDepth:          baselineFTQDepth,
+		Prefetcher:        &PrefetcherConfig{Kind: PrefetchTemporal, Temporal: &tcfg},
 	}
 }
 
 // SHIFT virtualises the temporal-streaming metadata into the LLC: replay
 // pays the LLC round trip, the history carves LLC capacity, and the index
 // extends the LLC tag array (240KB of dedicated storage).
-func SHIFT() Scheme {
-	return Scheme{
+func SHIFT() Config {
+	tcfg := prefetch.DefaultPIFConfig()
+	return Config{
 		Name:              "SHIFT",
 		Description:       "Shared history instruction fetch, LLC-virtualised metadata",
 		StorageOverheadKB: 240.0 / 16, // 240KB LLC tag extension amortised over 16 cores
-		Build: func(env Env) *Instance {
-			hier, b, dir, orc := baseParts(env, shiftLLCReservedKB, 0)
-			pf := prefetch.NewTemporal(hier, prefetch.DefaultSHIFTConfig(hier.LLCRoundTrip()))
-			e := frontend.New(frontend.Options{
-				Config: env.Cfg, Image: env.Img, Oracle: orc,
-				Hierarchy: hier, Direction: dir, BTB: b,
-				Prefetcher: pf, DecoupledDepth: baselineFTQDepth,
-			})
-			return &Instance{Engine: e, Hier: hier, BTB: b, PF: pf}
+		FTQDepth:          baselineFTQDepth,
+		LLCReservedKB:     shiftLLCReservedKB,
+		Prefetcher: &PrefetcherConfig{
+			Kind: PrefetchTemporal, Temporal: &tcfg, MetadataInLLC: true,
 		},
 	}
 }
@@ -237,43 +124,31 @@ func SHIFT() Scheme {
 // cache line into the BTB (modelled, per the paper, as SHIFT + a 16K-entry
 // BTB for a generous upper bound). It does not detect BTB misses: when a
 // prefetch is late or wrong, the front end runs sequentially.
-func Confluence() Scheme {
-	return Scheme{
+func Confluence() Config {
+	tcfg := prefetch.DefaultPIFConfig()
+	return Config{
 		Name:              "Confluence",
 		Description:       "SHIFT + BTB prefill via predecode of incoming blocks",
 		StorageOverheadKB: 240.0/16 + 0, // SHIFT machinery; BTB prefill reuses blocks
-		Build: func(env Env) *Instance {
-			hier, b, dir, orc := baseParts(env, shiftLLCReservedKB, confluenceBTBEntries)
-			pf := prefetch.NewTemporal(hier, prefetch.DefaultSHIFTConfig(hier.LLCRoundTrip()))
-			dec := btb.NewPredecoder(env.Img)
-			// The hook runs inside the per-cycle hierarchy tick; decode into
-			// a reused scratch buffer to honour the zero-alloc contract.
-			var scratch []btb.Entry
-			hier.SetFillHook(func(line cache.Line, now int64) {
-				scratch = dec.AppendLine(scratch[:0], isa.Addr(line)*isa.BlockBytes)
-				for _, entry := range scratch {
-					b.Insert(entry, now)
-				}
-			})
-			e := frontend.New(frontend.Options{
-				Config: env.Cfg, Image: env.Img, Oracle: orc,
-				Hierarchy: hier, Direction: dir, BTB: b,
-				Prefetcher: pf, DecoupledDepth: baselineFTQDepth,
-			})
-			return &Instance{Engine: e, Hier: hier, BTB: b, PF: pf, Predec: dec}
+		FTQDepth:          baselineFTQDepth,
+		BTBEntries:        confluenceBTBEntries,
+		PredecodeBTBFills: true,
+		LLCReservedKB:     shiftLLCReservedKB,
+		Prefetcher: &PrefetcherConfig{
+			Kind: PrefetchTemporal, Temporal: &tcfg, MetadataInLLC: true,
 		},
 	}
 }
 
 // Boomerang is the paper's architecture: FDIP plus BTB miss detection and
 // predecode-driven prefill, at 540 bytes of added storage.
-func Boomerang() Scheme {
+func Boomerang() Config {
 	return BoomerangThrottled(core.DefaultConfig().ThrottleN)
 }
 
 // BoomerangThrottled parameterises the next-N-block policy under BTB misses
 // (Figure 10 sweeps N in {0,1,2,4,8}).
-func BoomerangThrottled(n int) Scheme {
+func BoomerangThrottled(n int) Config {
 	cfg := core.DefaultConfig()
 	cfg.ThrottleN = n
 	name := "Boomerang"
@@ -286,28 +161,19 @@ func BoomerangThrottled(n int) Scheme {
 // BoomerangCustom builds a Boomerang variant with an explicit unit
 // configuration (ablation studies: BTB prefetch buffer size, predecode scan
 // bound, throttle policy, unthrottled operation).
-func BoomerangCustom(name string, bcfg core.Config) Scheme {
-	return Scheme{
+func BoomerangCustom(name string, bcfg core.Config) Config {
+	return Config{
 		Name:              name,
 		Description:       "FDIP + BTB miss detection and predecode prefill (metadata-free)",
 		StorageOverheadKB: float64(core.StorageBytes(32, bcfg.PrefetchBufferEntries)) / 1024,
-		Build: func(env Env) *Instance {
-			hier, b, dir, orc := baseParts(env, 0, 0)
-			boom := core.New(bcfg, hier, btb.NewPredecoder(env.Img))
-			boom.SetBTB(b)
-			e := frontend.New(frontend.Options{
-				Config: env.Cfg, Image: env.Img, Oracle: orc,
-				Hierarchy: hier, Direction: dir, BTB: b,
-				MissHandler: boom, FDIPProbes: true,
-			})
-			return &Instance{Engine: e, Hier: hier, BTB: b, Boom: boom}
-		},
+		FDIPProbes:        true,
+		MissPolicy:        &MissPolicyConfig{Kind: MissPolicyBoomerang, Boomerang: &bcfg},
 	}
 }
 
 // BoomerangUnthrottled is Section IV-C1's alternative miss policy: keep
 // feeding the FTQ sequentially while the miss resolves instead of stalling.
-func BoomerangUnthrottled() Scheme {
+func BoomerangUnthrottled() Config {
 	cfg := core.DefaultConfig()
 	cfg.Unthrottled = true
 	return BoomerangCustom("Boomerang-Unthrottled", cfg)
@@ -315,40 +181,30 @@ func BoomerangUnthrottled() Scheme {
 
 // FDIPDepth builds FDIP with a custom FTQ depth (ablation: how deep must
 // the decoupling queue be for prefetch to run ahead of fetch?).
-func FDIPDepth(depth int) Scheme {
-	return Scheme{
+func FDIPDepth(depth int) Config {
+	return Config{
 		Name:              fmt.Sprintf("FDIP-FTQ%d", depth),
 		Description:       "Fetch-directed instruction prefetch, custom FTQ depth",
 		StorageOverheadKB: float64(depth*51) / 8 / 1024,
-		Build: func(env Env) *Instance {
-			hier, b, dir, orc := baseParts(env, 0, 0)
-			e := frontend.New(frontend.Options{
-				Config: env.Cfg, Image: env.Img, Oracle: orc,
-				Hierarchy: hier, Direction: dir, BTB: b,
-				FDIPProbes: true, DecoupledDepth: depth,
-			})
-			return &Instance{Engine: e, Hier: hier, BTB: b}
-		},
+		FTQDepth:          depth,
+		FDIPProbes:        true,
 	}
 }
 
 // TwoLevelBTB is the Section II-C alternative Boomerang is positioned
 // against: FDIP plus a large second-level BTB with bulk spatial preload
 // (IBM z-series style). Every L1-BTB miss pays the L2 access latency.
-func TwoLevelBTB() Scheme {
-	return Scheme{
+func TwoLevelBTB() Config {
+	return Config{
 		Name:              "2-Level BTB",
 		Description:       "FDIP + 16K-entry L2 BTB with bulk spatial preload",
 		StorageOverheadKB: 16384 * 84 / 8 / 1024,
-		Build: func(env Env) *Instance {
-			hier, b, dir, orc := baseParts(env, 0, 0)
-			handler := btb.NewTwoLevel(btb.BulkPreloadConfig(), b)
-			e := frontend.New(frontend.Options{
-				Config: env.Cfg, Image: env.Img, Oracle: orc,
-				Hierarchy: hier, Direction: dir, BTB: b,
-				MissHandler: handler, FDIPProbes: true,
-			})
-			return &Instance{Engine: e, Hier: hier, BTB: b}
+		FDIPProbes:        true,
+		MissPolicy: &MissPolicyConfig{
+			Kind: MissPolicyTwoLevel,
+			TwoLevel: &TwoLevelConfig{
+				L2Entries: 16384, L2Assoc: 4, L2Latency: 4, PreloadLines: 1,
+			},
 		},
 	}
 }
@@ -356,58 +212,41 @@ func TwoLevelBTB() Scheme {
 // PhantomBTBScheme is the other Section II-C alternative: temporal groups of
 // BTB entries virtualised into the LLC, so every L1-BTB miss that hits the
 // virtual second level pays an LLC round trip.
-func PhantomBTBScheme() Scheme {
-	return Scheme{
+func PhantomBTBScheme() Config {
+	return Config{
 		Name:              "PhantomBTB",
 		Description:       "FDIP + LLC-virtualised temporal-group BTB",
 		StorageOverheadKB: 2, // per-core control state; groups live in the LLC
-		Build: func(env Env) *Instance {
-			hier, b, dir, orc := baseParts(env, 0, 0)
-			handler := btb.NewTwoLevel(btb.PhantomBTBConfig(hier.LLCRoundTrip()), b)
-			e := frontend.New(frontend.Options{
-				Config: env.Cfg, Image: env.Img, Oracle: orc,
-				Hierarchy: hier, Direction: dir, BTB: b,
-				MissHandler: handler, FDIPProbes: true,
-			})
-			return &Instance{Engine: e, Hier: hier, BTB: b}
+		FDIPProbes:        true,
+		MissPolicy: &MissPolicyConfig{
+			Kind: MissPolicyTwoLevel,
+			TwoLevel: &TwoLevelConfig{
+				L2Entries: 16384, L2Assoc: 4, Temporal: true, TemporalGroup: 6,
+			},
+			L2InLLC: true,
 		},
 	}
 }
 
 // PerfectL1I is the Figure 1 limit study: every fetch hits the L1-I.
-func PerfectL1I() Scheme {
-	return Scheme{
+func PerfectL1I() Config {
+	return Config{
 		Name:        "Perfect L1-I",
 		Description: "All instruction fetches hit the L1-I",
-		Build: func(env Env) *Instance {
-			hier, b, dir, orc := baseParts(env, 0, 0)
-			e := frontend.New(frontend.Options{
-				Config: env.Cfg, Image: env.Img, Oracle: orc,
-				Hierarchy: hier, Direction: dir, BTB: b,
-				PerfectL1: true, DecoupledDepth: baselineFTQDepth,
-			})
-			return &Instance{Engine: e, Hier: hier, BTB: b}
-		},
+		FTQDepth:    baselineFTQDepth,
+		PerfectL1:   true,
 	}
 }
 
 // PerfectCF adds a perfect BTB on top of the perfect L1-I (Figure 1's
 // second bar): no BTB misses ever occur.
-func PerfectCF() Scheme {
-	return Scheme{
+func PerfectCF() Config {
+	return Config{
 		Name:        "Perfect L1-I + BTB",
 		Description: "Perfect L1-I and no BTB misses",
-		Build: func(env Env) *Instance {
-			hier, b, dir, orc := baseParts(env, 0, 0)
-			e := frontend.New(frontend.Options{
-				Config: env.Cfg, Image: env.Img, Oracle: orc,
-				Hierarchy: hier, Direction: dir, BTB: b,
-				PerfectL1:      true,
-				MissHandler:    &PerfectBTB{Img: env.Img},
-				DecoupledDepth: baselineFTQDepth,
-			})
-			return &Instance{Engine: e, Hier: hier, BTB: b}
-		},
+		FTQDepth:    baselineFTQDepth,
+		PerfectL1:   true,
+		MissPolicy:  &MissPolicyConfig{Kind: MissPolicyPerfect},
 	}
 }
 
@@ -435,18 +274,18 @@ func (p *PerfectBTB) Handle(pc isa.Addr, now int64) (btb.Entry, int64, bool) {
 }
 
 // All returns the six schemes of Figures 7-9 in presentation order.
-func All() []Scheme {
-	return []Scheme{Base(), NextLine(), DIP(), FDIP(), SHIFT(), Confluence(), Boomerang()}
+func All() []Config {
+	return []Config{Base(), NextLine(), DIP(), FDIP(), SHIFT(), Confluence(), Boomerang()}
 }
 
 // Compared returns the prefetching schemes (everything but Base).
-func Compared() []Scheme {
-	return []Scheme{NextLine(), DIP(), FDIP(), SHIFT(), Confluence(), Boomerang()}
+func Compared() []Config {
+	return []Config{NextLine(), DIP(), FDIP(), SHIFT(), Confluence(), Boomerang()}
 }
 
 // ByName finds a scheme in All plus the limit studies, PIF, and the
 // hierarchical-BTB alternatives.
-func ByName(name string) (Scheme, bool) {
+func ByName(name string) (Config, bool) {
 	candidates := append(All(), PIF(), PerfectL1I(), PerfectCF(),
 		TwoLevelBTB(), PhantomBTBScheme())
 	for _, s := range candidates {
@@ -454,5 +293,5 @@ func ByName(name string) (Scheme, bool) {
 			return s, true
 		}
 	}
-	return Scheme{}, false
+	return Config{}, false
 }

@@ -3,7 +3,11 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
+	"sync"
 	"sync/atomic"
+
+	"boomsim"
 )
 
 // metrics is the service's instrumentation: plain atomics, rendered in
@@ -20,6 +24,44 @@ type metrics struct {
 	queued       atomic.Int64  // flights admitted (queued + running)
 	simNanos     atomic.Uint64 // wall time spent simulating
 	simInstrs    atomic.Uint64 // instructions retired across all runs
+
+	// compMu guards compTotals: per-component registry statistics summed
+	// across every executed simulation (cache hits excluded — they did not
+	// simulate). Exposed on /metrics as
+	// boomsimd_sim_component_total{stat="..."}, giving operators the full
+	// per-component measurement plane, not just the headline counters.
+	compMu     sync.Mutex
+	compTotals map[string]float64
+}
+
+// observeComponents folds one executed run's per-component registry into
+// the service-lifetime totals.
+func (m *metrics) observeComponents(r boomsim.Result) {
+	if len(r.Stats) == 0 {
+		return
+	}
+	m.compMu.Lock()
+	if m.compTotals == nil {
+		m.compTotals = make(map[string]float64, len(r.Stats))
+	}
+	for k, v := range r.Stats {
+		m.compTotals[k] += v
+	}
+	m.compMu.Unlock()
+}
+
+// componentTotals snapshots the per-component sums in sorted order.
+func (m *metrics) componentTotals() ([]string, map[string]float64) {
+	m.compMu.Lock()
+	defer m.compMu.Unlock()
+	names := make([]string, 0, len(m.compTotals))
+	out := make(map[string]float64, len(m.compTotals))
+	for k, v := range m.compTotals {
+		names = append(names, k)
+		out[k] = v
+	}
+	sort.Strings(names)
+	return names, out
 }
 
 // Stats is a point-in-time snapshot of the service counters.
@@ -76,4 +118,15 @@ func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	write("boomsimd_queue_depth", "gauge", "Flights admitted (queued plus running).", s.Queued)
 	write("boomsimd_sim_instructions_total", "counter", "Instructions retired across all simulations.", s.SimInstrs)
 	write("boomsimd_sim_ns_per_instr", "gauge", "Lifetime average simulation cost in ns per instruction.", s.NsPerInstr())
+
+	// Per-component registry totals: one labeled series per dotted stat
+	// name, summed over executed runs.
+	names, totals := m.componentTotals()
+	if len(names) > 0 {
+		fmt.Fprintf(w, "# HELP boomsimd_sim_component_total Per-component simulator statistics summed across executed runs.\n")
+		fmt.Fprintf(w, "# TYPE boomsimd_sim_component_total counter\n")
+		for _, n := range names {
+			fmt.Fprintf(w, "boomsimd_sim_component_total{stat=%q} %v\n", n, totals[n])
+		}
+	}
 }

@@ -183,10 +183,19 @@ type MatrixResponse struct {
 	Results []boomsim.Result `json:"results"`
 }
 
-func runOptions(req RunRequest) []boomsim.Option {
+func runOptions(req RunRequest) ([]boomsim.Option, error) {
 	var opts []boomsim.Option
 	if req.Scheme != "" {
 		opts = append(opts, boomsim.WithScheme(req.Scheme))
+	}
+	if len(req.SchemeConfig) > 0 {
+		// Inline declarative scheme: validate here so malformed configs are
+		// a 400 at the door, not a panic in a worker goroutine.
+		cfg, err := boomsim.ParseSchemeConfig(req.SchemeConfig)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, boomsim.WithSchemeConfig(cfg))
 	}
 	if req.Workload != "" {
 		opts = append(opts, boomsim.WithWorkload(req.Workload))
@@ -226,7 +235,16 @@ func runOptions(req RunRequest) []boomsim.Option {
 	if req.MaxCycles != 0 {
 		opts = append(opts, boomsim.WithMaxCycles(req.MaxCycles))
 	}
-	return opts
+	return opts, nil
+}
+
+// newSim builds a Simulation from one wire request.
+func newSim(req RunRequest) (*boomsim.Simulation, error) {
+	opts, err := runOptions(req)
+	if err != nil {
+		return nil, err
+	}
+	return boomsim.New(opts...)
 }
 
 func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
@@ -245,7 +263,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	sim, err := boomsim.New(runOptions(req)...)
+	sim, err := newSim(req)
 	if err != nil {
 		writeError(w, s.statusFor(err), err)
 		return
@@ -305,7 +323,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	sims := make([]*boomsim.Simulation, len(req.Runs))
 	keys := make([]string, len(req.Runs))
 	for i, rr := range req.Runs {
-		sim, err := boomsim.New(runOptions(rr)...)
+		sim, err := newSim(rr)
 		if err != nil {
 			writeError(w, s.statusFor(err), fmt.Errorf("runs[%d]: %w", i, err))
 			return
@@ -374,6 +392,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 				results[i] = subResults[j]
 				s.cache.Add(keys[i], subResults[j])
 				instrs += subResults[j].Instructions
+				s.m.observeComponents(subResults[j])
 			}
 			s.m.simsStarted.Add(uint64(len(subResults)))
 			s.m.simNanos.Add(uint64(time.Since(start)))
@@ -414,7 +433,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	out := make([]wire.JobResult, len(req.Jobs))
 	var wg sync.WaitGroup
 	for i, jr := range req.Jobs {
-		sim, err := boomsim.New(runOptions(jr)...)
+		sim, err := newSim(jr)
 		if err != nil {
 			out[i] = s.jobError(fmt.Errorf("jobs[%d]: %w", i, err))
 			continue
@@ -565,6 +584,7 @@ func (s *Server) simulate(ctx context.Context, sim *boomsim.Simulation) (boomsim
 	}
 	s.m.simNanos.Add(uint64(time.Since(start)))
 	s.m.simInstrs.Add(r.Instructions)
+	s.m.observeComponents(r)
 	return r, nil
 }
 

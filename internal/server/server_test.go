@@ -740,3 +740,113 @@ func TestHealthzReportsBuildAndLoad(t *testing.T) {
 		t.Errorf("healthz load = %d inflight / %d queued, want >= 1 each", h.InFlightSims, h.QueuedFlights)
 	}
 }
+
+// TestSchemesEndpointCarriesFullConfig pins what /v1/schemes now sources
+// from the declarative config plane: every entry's description, its Section
+// VI-D storage-overhead accounting, and the full SchemeConfig a client can
+// fetch, modify and resubmit inline.
+func TestSchemesEndpointCarriesFullConfig(t *testing.T) {
+	s := newTestService(t, Config{})
+	code, raw := s.get(t, "/v1/schemes")
+	if code != http.StatusOK {
+		t.Fatalf("schemes: status %d", code)
+	}
+	var schemes []boomsim.SchemeInfo
+	if err := json.Unmarshal(raw, &schemes); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]boomsim.SchemeInfo{}
+	for _, sc := range schemes {
+		byName[sc.Name] = sc
+		if sc.Config.Name != sc.Name {
+			t.Errorf("%s: listing config names %q", sc.Name, sc.Config.Name)
+		}
+		if sc.Description == "" {
+			t.Errorf("%s: listing drops the description", sc.Name)
+		}
+	}
+	// Section VI-D accounting must survive into the listing: DIP's 64 KB
+	// table, SHIFT's amortised LLC tag extension, Boomerang's 540 bytes.
+	for name, wantKB := range map[string]float64{"DIP": 64, "SHIFT": 15, "Boomerang": 0.52734375} {
+		if got := byName[name].StorageOverheadKB; got != wantKB {
+			t.Errorf("%s storage overhead = %v KB in listing, want %v", name, got, wantKB)
+		}
+	}
+	// The config itself must be a usable recipe: Boomerang's must carry its
+	// miss policy.
+	if mp := byName["Boomerang"].Config.MissPolicy; mp == nil || mp.Kind != "boomerang" {
+		t.Errorf("Boomerang listing config lacks its miss policy: %+v", byName["Boomerang"].Config)
+	}
+}
+
+// TestRunEndpointAcceptsSchemeConfig pins the wire half of the config
+// plane: an inline scheme_config runs end to end, its per-component
+// registry stats come back in the response, and its cache identity is
+// distinct from the registered scheme of the same shape.
+func TestRunEndpointAcceptsSchemeConfig(t *testing.T) {
+	s := newTestService(t, Config{})
+	seed, warm, measure := uint64(3), uint64(2_000), uint64(20_000)
+	cfgJSON := json.RawMessage(`{
+		"name": "Boomerang-FTQ64",
+		"ftq_depth": 64,
+		"fdip_probes": true,
+		"miss_policy": {"kind": "boomerang"}
+	}`)
+	req := RunRequest{
+		SchemeConfig: cfgJSON, Workload: "Apache", FootprintKB: 64,
+		ImageSeed: &seed, WalkSeed: &seed,
+		WarmInstrs: &warm, MeasureInstrs: &measure,
+	}
+	code, raw := s.post(t, "/v1/run", req)
+	if code != http.StatusOK {
+		t.Fatalf("run with scheme_config: status %d body %s", code, raw)
+	}
+	rr := decodeRun(t, raw)
+	if rr.Result.Scheme != "Boomerang-FTQ64" {
+		t.Errorf("result scheme = %q, want the config's name", rr.Result.Scheme)
+	}
+	if len(rr.Result.Stats) == 0 || rr.Result.Stats["boomerang.probes"] == 0 {
+		t.Errorf("response carries no per-component registry stats: %v", rr.Result.Stats)
+	}
+
+	stock := fastRun("Boomerang", "Apache", seed)
+	code, raw = s.post(t, "/v1/run", stock)
+	if code != http.StatusOK {
+		t.Fatalf("stock run: status %d", code)
+	}
+	if stockRR := decodeRun(t, raw); stockRR.Key == rr.Key {
+		t.Error("inline config and registered scheme share a cache key")
+	}
+
+	// Malformed configs are client errors at the door.
+	bad := req
+	bad.SchemeConfig = json.RawMessage(`{"name":"x","prefetcher":{"kind":"psychic"}}`)
+	if code, _ := s.post(t, "/v1/run", bad); code != http.StatusBadRequest {
+		t.Errorf("garbage scheme_config: status %d, want 400", code)
+	}
+}
+
+// TestMetricsExposeComponentStats pins the observability half: after an
+// executed run, /metrics carries the per-component registry totals as
+// labeled boomsimd_sim_component_total series.
+func TestMetricsExposeComponentStats(t *testing.T) {
+	s := newTestService(t, Config{})
+	if code, _ := s.post(t, "/v1/run", fastRun("Boomerang", "Apache", 83)); code != http.StatusOK {
+		t.Fatal("priming run failed")
+	}
+	code, raw := s.get(t, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	body := string(raw)
+	for _, series := range []string{
+		`boomsimd_sim_component_total{stat="frontend.retired_instrs"}`,
+		`boomsimd_sim_component_total{stat="cache.llc_accesses"}`,
+		`boomsimd_sim_component_total{stat="bpu.btb_lookups"}`,
+		`boomsimd_sim_component_total{stat="boomerang.probes"}`,
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("metrics output missing %s", series)
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package sim
 
 import (
-	"sync"
+	"context"
+	"runtime"
 
 	"boomsim/internal/frontend"
+	"boomsim/internal/par"
 	"boomsim/internal/stats"
 )
 
@@ -21,26 +23,22 @@ type SampledResult struct {
 	BTBMissSquashPerKI stats.Sample
 }
 
-// RunSampled executes spec `samples` times with distinct walk seeds
-// (concurrently — each run is self-contained) and aggregates the headline
-// metrics.
+// RunSampled executes spec `samples` times with distinct walk seeds and
+// aggregates the headline metrics. Samples are dispatched through the
+// bounded par.ForEach worker pool (GOMAXPROCS wide) rather than one
+// goroutine per sample, so a large sample count cannot fan out an unbounded
+// number of concurrent simulations.
 func RunSampled(spec Spec, samples int) (SampledResult, error) {
 	if samples < 1 {
 		samples = 1
 	}
 	results := make([]Result, samples)
 	errs := make([]error, samples)
-	var wg sync.WaitGroup
-	for i := 0; i < samples; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			s := spec
-			s.WalkSeed = spec.WalkSeed + uint64(i)*104729
-			results[i], errs[i] = Run(s)
-		}(i)
-	}
-	wg.Wait()
+	par.ForEach(context.Background(), runtime.GOMAXPROCS(0), samples, func(i int) {
+		s := spec
+		s.WalkSeed = spec.WalkSeed + uint64(i)*104729
+		results[i], errs[i] = Run(s)
+	})
 	var out SampledResult
 	for i := 0; i < samples; i++ {
 		if errs[i] != nil {

@@ -18,6 +18,7 @@ import (
 	"boomsim/internal/prefetch"
 	"boomsim/internal/program"
 	"boomsim/internal/scheme"
+	"boomsim/internal/stats"
 	"boomsim/internal/workload"
 )
 
@@ -67,6 +68,11 @@ type Result struct {
 	// PrefetchMetaBytes estimates prefetcher metadata moved (temporal
 	// streamers: history records written plus replayed, ~5B each).
 	PrefetchMetaBytes uint64
+	// Registry holds every component's counters under its own namespace
+	// (frontend, bpu, cache, btb, prefetch, boomerang, ...): the
+	// full-fidelity measurement plane the headline fields above are a
+	// projection of.
+	Registry *stats.Registry
 }
 
 // The image cache memoises generated images: experiments run many schemes
@@ -157,6 +163,12 @@ func RunContext(ctx context.Context, spec Spec, h Hooks) (Result, error) {
 	if err := spec.Cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	// Schemes are declarative data that may arrive from JSON files or wire
+	// requests; validate before the generic builder interprets (and would
+	// panic on) a malformed config.
+	if err := spec.Scheme.Validate(); err != nil {
+		return Result{}, err
+	}
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
@@ -207,6 +219,11 @@ func RunContext(ctx context.Context, spec Spec, h Hooks) (Result, error) {
 		// replayed record.
 		r.PrefetchMetaBytes = 5 * (tp.Replayed + tp.Triggers)
 	}
+	// Collect the per-component registry once, after the measurement window:
+	// the hot loop never touches it.
+	reg := stats.NewRegistry()
+	inst.PublishStats(reg)
+	r.Registry = reg
 	return r, nil
 }
 

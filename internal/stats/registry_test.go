@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestRegistryNamespacesAndLookup(t *testing.T) {
+	r := NewRegistry()
+	fe := r.Namespace("frontend")
+	fe.SetInt("cycles", 100)
+	fe.SetUint("retired", 250)
+	bpu := r.Namespace("bpu")
+	bpu.Set("miss_rate", 0.25)
+	bpu.Namespace("tage").SetUint("tables", 4)
+
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	for name, want := range map[string]float64{
+		"frontend.cycles":  100,
+		"frontend.retired": 250,
+		"bpu.miss_rate":    0.25,
+		"bpu.tage.tables":  4,
+	} {
+		if got, ok := r.Get(name); !ok || got != want {
+			t.Errorf("Get(%q) = %v, %v; want %v, true", name, got, ok, want)
+		}
+	}
+	if _, ok := r.Get("frontend.nonsense"); ok {
+		t.Error("Get returned a value for an unregistered name")
+	}
+	if got := r.Namespaces(); !reflect.DeepEqual(got, []string{"bpu", "frontend"}) {
+		t.Errorf("Namespaces() = %v", got)
+	}
+}
+
+func TestRegistryOrderAndOverwrite(t *testing.T) {
+	r := NewRegistry()
+	r.Set("b", 1)
+	r.Set("a", 2)
+	r.Set("b", 3) // overwrite keeps the original slot
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"b", "a"}) {
+		t.Errorf("Names() = %v, want registration order [b a]", got)
+	}
+	if v, _ := r.Get("b"); v != 3 {
+		t.Errorf("overwritten b = %v, want 3", v)
+	}
+	var visited []string
+	r.Each(func(name string, v float64) { visited = append(visited, name) })
+	if !reflect.DeepEqual(visited, []string{"b", "a"}) {
+		t.Errorf("Each order = %v", visited)
+	}
+}
+
+func TestRegistryJSONIsSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.Namespace("z").Set("late", 1)
+	r.Namespace("a").Set("early", 2)
+	first, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != `{"a.early":2,"z.late":1}` {
+		t.Errorf("JSON = %s, want name-sorted flat object", first)
+	}
+	// Round trip through the map form stays byte-identical — the property
+	// cluster reassembly relies on.
+	var m map[string]float64
+	if err := json.Unmarshal(first, &m); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("JSON did not round-trip: %s vs %s", first, second)
+	}
+}

@@ -19,17 +19,23 @@ import "encoding/json"
 // Table I core, seeds 1/1, 200K warm + 1M measured instructions); pointer
 // fields distinguish "absent" from an explicit zero.
 type RunRequest struct {
-	Scheme        string  `json:"scheme,omitempty"`
-	Workload      string  `json:"workload,omitempty"`
-	Predictor     string  `json:"predictor,omitempty"`
-	BTBEntries    int     `json:"btb_entries,omitempty"`
-	LLCLatency    int     `json:"llc_latency,omitempty"`
-	FootprintKB   int     `json:"footprint_kb,omitempty"`
-	ImageSeed     *uint64 `json:"image_seed,omitempty"`
-	WalkSeed      *uint64 `json:"walk_seed,omitempty"`
-	WarmInstrs    *uint64 `json:"warm_instrs,omitempty"`
-	MeasureInstrs *uint64 `json:"measure_instrs,omitempty"`
-	MaxCycles     int64   `json:"max_cycles,omitempty"`
+	Scheme   string `json:"scheme,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	// SchemeConfig, when present, is an inline declarative scheme definition
+	// (the JSON form of boomsim.SchemeConfig) that overrides Scheme: custom
+	// scenarios travel with the request instead of requiring registration on
+	// every worker. Carried raw — this package stays a dumb vocabulary; the
+	// server decodes and validates it.
+	SchemeConfig  json.RawMessage `json:"scheme_config,omitempty"`
+	Predictor     string          `json:"predictor,omitempty"`
+	BTBEntries    int             `json:"btb_entries,omitempty"`
+	LLCLatency    int             `json:"llc_latency,omitempty"`
+	FootprintKB   int             `json:"footprint_kb,omitempty"`
+	ImageSeed     *uint64         `json:"image_seed,omitempty"`
+	WalkSeed      *uint64         `json:"walk_seed,omitempty"`
+	WarmInstrs    *uint64         `json:"warm_instrs,omitempty"`
+	MeasureInstrs *uint64         `json:"measure_instrs,omitempty"`
+	MaxCycles     int64           `json:"max_cycles,omitempty"`
 	// TimeoutMS tightens this request's deadline below the server cap.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }

@@ -3,6 +3,7 @@ package boomsim
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 )
 
@@ -17,12 +18,35 @@ import (
 // The format is stable within a process and human-readable; persist the
 // Fingerprint instead if you need a fixed-width identifier.
 func (s *Simulation) Key() string {
-	return fmt.Sprintf(
+	key := fmt.Sprintf(
 		"scheme=%q|workload=%q|predictor=%q|btb=%d|llc=%d|footprint=%d|imageseed=%d|walkseed=%d|warm=%d|measure=%d|maxcycles=%d",
 		s.schemeName, s.workloadName, s.predictor,
 		s.btbEntries, s.llcLatency, s.footprintKB,
 		s.imageSeed, s.walkSeed,
 		s.warmInstrs, s.measureInstrs, s.maxCycles)
+	if s.schemeCfg != nil {
+		// An inline scheme's identity is its full declarative config, not
+		// just its name: two custom schemes may share a name but differ in
+		// recipe. JSON marshaling is deterministic over the config structs,
+		// so equal configs yield equal keys. Registry-resolved runs keep the
+		// historical key format, preserving cache identity across versions.
+		key += "|schemecfg=" + string(s.schemeCfgJSON())
+	}
+	return key
+}
+
+// schemeCfgJSON is the inline scheme config's canonical JSON — the one
+// encoding shared by Key (cache identity) and the wire request (what the
+// worker executes), so routing and execution can never diverge. Call only
+// with schemeCfg set.
+func (s *Simulation) schemeCfgJSON() []byte {
+	cfg, err := json.Marshal(s.schemeCfg)
+	if err != nil {
+		// Unreachable: SchemeConfig is plain data. Fail loudly rather than
+		// silently aliasing distinct configs in caches.
+		panic(fmt.Sprintf("boomsim: marshaling scheme config: %v", err))
+	}
+	return cfg
 }
 
 // Fingerprint returns the SHA-256 of Key as lowercase hex: a fixed-width,

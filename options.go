@@ -20,6 +20,23 @@ func WithScheme(name string) Option {
 	}
 }
 
+// WithSchemeConfig runs an inline declarative scheme instead of a
+// registry-resolved one: the full recipe — FTQ depth, prefetcher, BTB
+// organisation, miss policy, predictor, storage accounting — travels with
+// the Simulation, so novel scenarios need neither registration nor code.
+// The config is validated by New; it overrides any WithScheme selection,
+// and Result.Scheme reports cfg.Name. Configs parsed from JSON files
+// (LoadSchemeConfig) plug in here directly.
+func WithSchemeConfig(cfg SchemeConfig) Option {
+	return func(s *Simulation) error {
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidOption, err)
+		}
+		s.schemeCfg = &cfg
+		return nil
+	}
+}
+
 // WithWorkload selects the workload profile by registry name (default
 // "Apache"). Unknown names surface ErrUnknownWorkload from New.
 func WithWorkload(name string) Option {

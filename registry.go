@@ -11,7 +11,10 @@ import (
 	"boomsim/internal/workload"
 )
 
-// SchemeInfo describes one registered control-flow-delivery scheme.
+// SchemeInfo describes one registered control-flow-delivery scheme. Every
+// field is sourced from the scheme's declarative SchemeConfig — the listing
+// carries the paper's Section VI-D storage accounting and, via Config, the
+// full recipe a client can fetch, modify and resubmit as a custom scheme.
 type SchemeInfo struct {
 	// Name is the registry key, matching the paper's figures for the
 	// built-in schemes.
@@ -21,6 +24,8 @@ type SchemeInfo struct {
 	// StorageOverheadKB is the per-core metadata cost beyond the baseline
 	// front end (the paper's Section VI-D accounting).
 	StorageOverheadKB float64 `json:"storage_overhead_kb"`
+	// Config is the scheme's complete declarative definition.
+	Config SchemeConfig `json:"config"`
 }
 
 // WorkloadInfo describes one registered workload profile.
@@ -33,11 +38,12 @@ type WorkloadInfo struct {
 	FootprintKB int `json:"footprint_kb"`
 }
 
-func toSchemeInfo(s scheme.Scheme) SchemeInfo {
+func toSchemeInfo(s scheme.Config) SchemeInfo {
 	return SchemeInfo{
 		Name:              s.Name,
 		Description:       s.Description,
 		StorageOverheadKB: s.StorageOverheadKB,
+		Config:            s,
 	}
 }
 
@@ -59,17 +65,15 @@ var (
 	workloadOrder []string
 )
 
-// RegisterScheme adds a scheme to the registry under s.Name. Packages inside
-// this module register new configurations (ablation variants, future
-// mechanisms) built from internal/scheme; after registration the scheme is
-// addressable by name from WithScheme, Schemes() and every consumer binary.
-// Registering an empty or already-taken name is an error.
-func RegisterScheme(s scheme.Scheme) error {
-	if s.Name == "" {
-		return fmt.Errorf("%w: scheme with empty name", ErrInvalidOption)
-	}
-	if s.Build == nil {
-		return fmt.Errorf("%w: scheme %q has no Build function", ErrInvalidOption, s.Name)
+// RegisterScheme adds a scheme config to the registry under its Name.
+// Schemes are declarative data (SchemeConfig), so callers — in-module
+// ablation variants and external users alike — register plain configs;
+// after registration the scheme is addressable by name from WithScheme,
+// Schemes() and every consumer binary. Registering an invalid config or an
+// already-taken name is an error.
+func RegisterScheme(s SchemeConfig) error {
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidOption, err)
 	}
 	regMu.Lock()
 	defer regMu.Unlock()

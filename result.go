@@ -53,6 +53,16 @@ type Result struct {
 	// StorageOverheadKB is the scheme's per-core metadata bill (Section
 	// VI-D) — the axis of the paper's headline comparison.
 	StorageOverheadKB float64 `json:"storage_overhead_kb"`
+
+	// Stats is the full per-component statistics registry: every counter
+	// each simulated component (frontend, bpu, cache, btb, prefetch,
+	// boomerang, ...) registered under its own dotted namespace, e.g.
+	// "cache.llc_misses" or "bpu.tage.useful_resets". The headline fields
+	// above are a projection of it; this is the complete measurement plane,
+	// and it flows unchanged through boomsimd responses, Prometheus
+	// metrics, and cluster reassembly. JSON renders it sorted by name, so
+	// Result round-trips bytes exactly.
+	Stats map[string]float64 `json:"stats,omitempty"`
 }
 
 // ClassCounts attributes per-class quantities to how the fetch stream
@@ -107,6 +117,9 @@ func newResult(r sim.Result, storageKB float64) Result {
 	}
 	if st.RetiredInstrs > 0 {
 		out.L1IMissesPerKI = float64(st.DemandLineMisses) * 1000 / float64(st.RetiredInstrs)
+	}
+	if r.Registry != nil {
+		out.Stats = r.Registry.Map()
 	}
 	return out
 }
