@@ -93,11 +93,16 @@ func TestSchemeConfigIsPureData(t *testing.T) {
 
 // TestServerSpeaksPublicAPIAndWireOnly pins boomsimd's side of the
 // cluster↔server contract: internal/server may depend, module-internally,
-// on nothing but the public boomsim package and the shared wire vocabulary
-// — in particular never on internal/cluster, so the service and the
-// coordinator only ever meet over HTTP with wire-typed bodies.
+// on nothing but the public boomsim package, the shared wire vocabulary and
+// the durable result store under its cache — in particular never on
+// internal/cluster, so the service and the coordinator only ever meet over
+// HTTP with wire-typed bodies.
 func TestServerSpeaksPublicAPIAndWireOnly(t *testing.T) {
-	allowed := map[string]bool{"boomsim": true, "boomsim/internal/wire": true}
+	allowed := map[string]bool{
+		"boomsim":                true,
+		"boomsim/internal/wire":  true,
+		"boomsim/internal/store": true,
+	}
 	err := filepath.WalkDir("internal/server", func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -160,5 +165,44 @@ func TestClusterSpeaksOnlyWireTypes(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("walking internal/cluster: %v", err)
+	}
+}
+
+// TestChaosStaysOutOfProduction pins the fault-injection harness to test
+// code: internal/chaos exists to tear writes and kill requests, so the only
+// files allowed to import it are _test.go files. A production import — a
+// binary, the server, the coordinator — would ship deliberate data
+// corruption.
+func TestChaosStaysOutOfProduction(t *testing.T) {
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		if strings.HasPrefix(path, filepath.Join("internal", "chaos")+string(filepath.Separator)) {
+			return nil // the harness may of course be itself
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			if ip, uerr := strconv.Unquote(imp.Path.Value); uerr == nil && ip == "boomsim/internal/chaos" {
+				t.Errorf("%s imports boomsim/internal/chaos; the fault-injection harness is test-only", path)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking module: %v", err)
 	}
 }

@@ -12,6 +12,16 @@
 //	boomctl -workers ... -schemes all -workloads all -image-seeds 1,2,3 -json
 //	boomctl -workers ... -scheme-file deep-ftq.json,wide-boom.json -workloads Apache
 //	boomctl -workers ... -hedge 30s -metrics-addr :9090
+//	boomctl -workers ... -journal sweep.journal        # crash-safe sweep
+//	boomctl -resume sweep.journal -workers ...         # pick it back up
+//	boomctl -membership members.json -journal sweep.journal
+//
+// Crash safety: with -journal every completed cell is durably logged, and
+// re-running the identical sweep against the same journal (-resume is the
+// self-documenting alias) computes only the cells that never finished.
+// With -membership the worker pool is re-read from a JSON file during the
+// sweep, so workers can be added or drained mid-run. -cell-timeout caps how
+// long any single cell may keep failing before the sweep gives up.
 //
 // The run summary (dispatch, retry, hedge and cache-hit counters plus
 // per-worker load) goes to stderr; results go to stdout as a table, or as
@@ -36,7 +46,7 @@ import (
 
 func main() {
 	var (
-		workers     = flag.String("workers", "", "comma-separated boomsimd endpoints (required), e.g. http://sim-1:8080,http://sim-2:8080")
+		workers     = flag.String("workers", "", "comma-separated boomsimd endpoints, e.g. http://sim-1:8080,http://sim-2:8080 (this or -membership is required)")
 		schemesCSV  = flag.String("schemes", "all", `schemes to sweep ("all" = every registered scheme)`)
 		schemeFiles = flag.String("scheme-file", "", "comma-separated JSON scheme files swept alongside -schemes (custom declarative scenarios; see EXPERIMENTS.md)")
 		workloadCSV = flag.String("workloads", "Apache,DB2,SPEC-like", `workloads to sweep ("all" = every registered workload)`)
@@ -54,12 +64,26 @@ func main() {
 		retries     = flag.Int("retries", 4, "dispatch attempts per cell before the sweep fails")
 		hedge       = flag.Duration("hedge", 0, "duplicate straggling cells after this in-flight time (0 = off)")
 		timeout     = flag.Duration("timeout", 5*time.Minute, "per-batch transport budget, retries included")
-		metricsAddr = flag.String("metrics-addr", "", "serve coordinator Prometheus metrics on this address during the run")
+		journal     = flag.String("journal", "", "write-ahead log of completed cells; rerunning against it resumes the sweep")
+		resume      = flag.String("resume", "", "resume a crashed sweep from this journal (same as -journal, but the file must exist)")
+		membership  = flag.String("membership", "", `membership file ({"workers":[...]}) re-read during the sweep; overrides -workers as the authoritative pool`)
+		cellTimeout = flag.Duration("cell-timeout", 0, "max wall-clock a single cell may spend being retried (0 = unbounded)")
+		metricsAddr = flag.String("metrics-addr", "", "serve coordinator Prometheus metrics and /healthz (membership view) on this address during the run")
 		jsonOut     = flag.Bool("json", false, "emit results as a JSON array instead of a table")
 	)
 	flag.Parse()
-	if *workers == "" {
-		fatalf("-workers is required (comma-separated boomsimd endpoints)")
+	if *workers == "" && *membership == "" {
+		fatalf("-workers or -membership is required")
+	}
+	journalPath := *journal
+	if *resume != "" {
+		if journalPath != "" && journalPath != *resume {
+			fatalf("-journal and -resume disagree (%s vs %s); pass one", journalPath, *resume)
+		}
+		if _, err := os.Stat(*resume); err != nil {
+			fatalf("-resume: %v (nothing to resume; use -journal to start a fresh crash-safe sweep)", err)
+		}
+		journalPath = *resume
 	}
 
 	// "none" is a scheme-only escape hatch (sweep just the -scheme-file
@@ -138,11 +162,22 @@ func main() {
 	}
 
 	clOpts := []boomsim.ClusterOption{
-		boomsim.WithEndpoints(strings.Split(*workers, ",")...),
 		boomsim.WithWorkerInFlight(*inflight),
 		boomsim.WithBatchSize(*batch),
 		boomsim.WithJobAttempts(*retries),
 		boomsim.WithClusterTimeout(*timeout),
+	}
+	if *workers != "" {
+		clOpts = append(clOpts, boomsim.WithEndpoints(strings.Split(*workers, ",")...))
+	}
+	if *membership != "" {
+		clOpts = append(clOpts, boomsim.WithMembershipFile(*membership))
+	}
+	if journalPath != "" {
+		clOpts = append(clOpts, boomsim.WithJournal(journalPath))
+	}
+	if *cellTimeout > 0 {
+		clOpts = append(clOpts, boomsim.WithCellTimeout(*cellTimeout))
 	}
 	if *hedge > 0 {
 		clOpts = append(clOpts, boomsim.WithHedgeAfter(*hedge))
@@ -155,6 +190,13 @@ func main() {
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("GET /metrics", cl.MetricsHandler())
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{
+				"status":     "ok",
+				"membership": cl.MembershipView(),
+			})
+		})
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "boomctl: metrics listener: %v\n", err)
@@ -165,8 +207,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Fprintf(os.Stderr, "boomctl: %d cells (%d schemes x %d workloads x %d seed pairs) across %d workers\n",
-		len(sims), len(cells), len(workloads), len(iseeds)*len(wseeds), len(strings.Split(*workers, ",")))
+	pool := "membership file " + *membership
+	if *workers != "" {
+		pool = fmt.Sprintf("%d workers", len(strings.Split(*workers, ",")))
+	}
+	fmt.Fprintf(os.Stderr, "boomctl: %d cells (%d schemes x %d workloads x %d seed pairs) across %s\n",
+		len(sims), len(cells), len(workloads), len(iseeds)*len(wseeds), pool)
 	start := time.Now()
 	results, err := cl.RunMatrix(ctx, sims)
 	if err != nil {
@@ -226,20 +272,16 @@ func printTable(results []boomsim.Result, perBlock int) {
 
 func printSummary(st boomsim.ClusterStats, cells int, elapsed time.Duration) {
 	fmt.Fprintf(os.Stderr,
-		"boomctl: %d cells in %v — dispatched %d, retried %d, hedged %d, cache hits %d (%.0f%%), worker deaths %d\n",
-		cells, elapsed.Round(time.Millisecond), st.JobsDispatched, st.JobsRetried, st.JobsHedged,
+		"boomctl: %d cells in %v — dispatched %d, resumed %d, retried %d, hedged %d, cache hits %d (%.0f%%), worker deaths %d\n",
+		cells, elapsed.Round(time.Millisecond), st.JobsDispatched, st.JobsResumed, st.JobsRetried, st.JobsHedged,
 		st.CacheHits, 100*st.CacheHitRatio(), st.WorkerDeaths)
 	for _, w := range st.Workers {
 		avg := time.Duration(0)
 		if w.Requests > 0 {
 			avg = time.Duration(w.LatencyNanos / w.Requests)
 		}
-		state := "alive"
-		if !w.Alive {
-			state = "dead"
-		}
-		fmt.Fprintf(os.Stderr, "boomctl:   %-30s %5s  jobs %4d  requests %4d  failures %2d  avg batch %v\n",
-			w.Endpoint, state, w.Jobs, w.Requests, w.Failures, avg.Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "boomctl:   %-30s %7s  jobs %4d  requests %4d  failures %2d  avg batch %v\n",
+			w.Endpoint, w.State, w.Jobs, w.Requests, w.Failures, avg.Round(time.Millisecond))
 	}
 }
 

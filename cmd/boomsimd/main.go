@@ -20,7 +20,13 @@
 // Example:
 //
 //	boomsimd -addr :8080 -workers 8 -queue 64
+//	boomsimd -addr :8080 -store /var/lib/boomsim/results
 //	curl -s localhost:8080/v1/run -d '{"scheme":"Boomerang","workload":"DB2"}'
+//
+// With -store, results are also written to a disk-backed content-addressed
+// store under the in-memory cache: a restarted worker starts warm, and
+// entries that fail their integrity check are quarantined and recomputed,
+// never served.
 //
 // SIGINT/SIGTERM drains gracefully: queued and running simulations are
 // canceled through boomsim's cooperative-cancellation path, in-flight HTTP
@@ -40,25 +46,38 @@ import (
 	"time"
 
 	"boomsim/internal/server"
+	"boomsim/internal/store"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "max queued+running flights before 429 (0 = 4x workers)")
-		cache   = flag.Int("cache", 0, "result cache entries (0 = 4096)")
-		timeout = flag.Duration("timeout", 0, "per-request deadline cap (0 = 5m)")
-		grace   = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight HTTP responses")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "max queued+running flights before 429 (0 = 4x workers)")
+		cache    = flag.Int("cache", 0, "result cache entries (0 = 4096)")
+		storeDir = flag.String("store", "", "durable result store directory (empty = memory-only cache)")
+		storeMax = flag.Int64("store-max-bytes", 0, "byte cap for the durable store, oldest entries evicted (0 = unbounded)")
+		timeout  = flag.Duration("timeout", 0, "per-request deadline cap (0 = 5m)")
+		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight HTTP responses")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
 		RequestTimeout: *timeout,
-	})
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{MaxBytes: *storeMax})
+		if err != nil {
+			fatalf("opening result store: %v", err)
+		}
+		cfg.Store = st
+		ss := st.Stats()
+		log.Printf("result store %s: %d entries, %d bytes recovered", *storeDir, ss.Entries, ss.Bytes)
+	}
+	srv := server.New(cfg)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

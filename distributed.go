@@ -30,10 +30,67 @@ type Cluster struct {
 type ClusterOption func(*cluster.Config) error
 
 // WithEndpoints names the boomsimd workers (base URLs, e.g.
-// "http://sim-3:8080"). At least one endpoint is required.
+// "http://sim-3:8080"). Endpoints or a membership file is required.
 func WithEndpoints(endpoints ...string) ClusterOption {
 	return func(c *cluster.Config) error {
 		c.Endpoints = append(c.Endpoints, endpoints...)
+		return nil
+	}
+}
+
+// WithMembershipFile makes the worker pool dynamic: path names a JSON
+// document ({"workers": ["http://...", ...]}) that is the authoritative
+// worker list, re-read during the sweep so workers added to the file join
+// mid-flight (after a health probe) and workers removed from it retire.
+// Rendezvous hashing means only the keys owned by the changed workers move.
+// WithEndpoints then only seeds the pool for when the file is unreadable.
+func WithMembershipFile(path string) ClusterOption {
+	return func(c *cluster.Config) error {
+		if path == "" {
+			return fmt.Errorf("%w: empty membership file path", ErrInvalidOption)
+		}
+		c.MembershipFile = path
+		return nil
+	}
+}
+
+// WithJournal makes the sweep resumable: every completed cell is durably
+// appended to the write-ahead log at path, and re-running the same matrix
+// against the same journal dispatches only the cells that never completed.
+// A journal recorded for a different matrix fails with ErrJournalMismatch.
+func WithJournal(path string) ClusterOption {
+	return func(c *cluster.Config) error {
+		if path == "" {
+			return fmt.Errorf("%w: empty journal path", ErrInvalidOption)
+		}
+		c.JournalPath = path
+		return nil
+	}
+}
+
+// WithCellTimeout caps the wall-clock a single cell may spend being retried,
+// measured from its first dispatch; exceeding it fails the sweep with
+// ErrCellTimeout. WithJobAttempts bounds how many times a cell is tried;
+// this bounds how long.
+func WithCellTimeout(d time.Duration) ClusterOption {
+	return func(c *cluster.Config) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: cell timeout must be positive, got %v", ErrInvalidOption, d)
+		}
+		c.CellTimeout = d
+		return nil
+	}
+}
+
+// WithBreakerCooldown tunes the per-worker circuit breaker: a worker whose
+// breaker opens rests for d before half-opening for a probe batch, doubling
+// up to max on repeated failures (defaults 1s and 30s).
+func WithBreakerCooldown(d, max time.Duration) ClusterOption {
+	return func(c *cluster.Config) error {
+		if d <= 0 || max < d {
+			return fmt.Errorf("%w: breaker cooldown needs 0 < base <= max, got %v, %v", ErrInvalidOption, d, max)
+		}
+		c.BreakerCooldown, c.BreakerMaxCooldown = d, max
 		return nil
 	}
 }
@@ -133,7 +190,8 @@ func ensureClient(c *cluster.Config) {
 	}
 }
 
-// NewCluster builds a Cluster from options; WithEndpoints is mandatory.
+// NewCluster builds a Cluster from options; WithEndpoints or
+// WithMembershipFile is mandatory.
 func NewCluster(opts ...ClusterOption) (*Cluster, error) {
 	var cfg cluster.Config
 	for _, opt := range opts {
@@ -180,16 +238,46 @@ func (c *Cluster) Stats() ClusterStats {
 	out := ClusterStats{
 		JobsDispatched: s.JobsDispatched,
 		JobsCompleted:  s.JobsCompleted,
+		JobsResumed:    s.JobsResumed,
 		JobsRetried:    s.JobsRetried,
 		JobsHedged:     s.JobsHedged,
 		CacheHits:      s.CacheHits,
 		WorkerDeaths:   s.WorkerDeaths,
+		WorkersJoined:  s.WorkersJoined,
+		WorkersRemoved: s.WorkersRemoved,
 		Workers:        make([]ClusterWorkerStats, len(s.Workers)),
 	}
 	for i, w := range s.Workers {
 		out.Workers[i] = ClusterWorkerStats(w)
 	}
 	return out
+}
+
+// MembershipView reports the coordinator's live opinion of its worker pool:
+// one row per tracked endpoint with its circuit-breaker state ("live",
+// "suspect" while a half-open breaker probes, "dead" while open or
+// retired), plus the aggregate counts. Safe during a running sweep.
+func (c *Cluster) MembershipView() ClusterMembershipView {
+	v := c.coord.MembershipView()
+	out := ClusterMembershipView{Live: v.Live, Suspect: v.Suspect, Dead: v.Dead}
+	for _, w := range v.Workers {
+		out.Workers = append(out.Workers, ClusterMemberState{Endpoint: w.Endpoint, State: w.State})
+	}
+	return out
+}
+
+// ClusterMembershipView is a Cluster's pool as the coordinator sees it.
+type ClusterMembershipView struct {
+	Live    int                  `json:"live"`
+	Suspect int                  `json:"suspect"`
+	Dead    int                  `json:"dead"`
+	Workers []ClusterMemberState `json:"workers"`
+}
+
+// ClusterMemberState is one worker endpoint's circuit state.
+type ClusterMemberState struct {
+	Endpoint string `json:"endpoint"`
+	State    string `json:"state"`
 }
 
 // MetricsHandler serves the coordinator's counters in Prometheus text
@@ -201,10 +289,16 @@ func (c *Cluster) MetricsHandler() http.Handler { return c.coord.MetricsHandler(
 type ClusterStats struct {
 	JobsDispatched uint64 `json:"jobs_dispatched"`
 	JobsCompleted  uint64 `json:"jobs_completed"`
+	// JobsResumed counts cells answered from the sweep journal without any
+	// dispatch; on a resumed sweep JobsCompleted is exactly the
+	// non-journaled remainder.
+	JobsResumed    uint64 `json:"jobs_resumed"`
 	JobsRetried    uint64 `json:"jobs_retried"`
 	JobsHedged     uint64 `json:"jobs_hedged"`
 	CacheHits      uint64 `json:"cache_hits"`
 	WorkerDeaths   uint64 `json:"worker_deaths"`
+	WorkersJoined  uint64 `json:"workers_joined"`
+	WorkersRemoved uint64 `json:"workers_removed"`
 
 	Workers []ClusterWorkerStats `json:"workers"`
 }
@@ -212,8 +306,11 @@ type ClusterStats struct {
 // ClusterWorkerStats is one worker endpoint's share of a Cluster's
 // counters.
 type ClusterWorkerStats struct {
-	Endpoint     string `json:"endpoint"`
-	Alive        bool   `json:"alive"`
+	Endpoint string `json:"endpoint"`
+	Alive    bool   `json:"alive"`
+	// State is the worker's circuit-breaker state: "live", "suspect",
+	// "dead" or "removed"; Alive means routable (live or suspect).
+	State        string `json:"state"`
 	Requests     uint64 `json:"requests"`
 	Failures     uint64 `json:"failures"`
 	Jobs         uint64 `json:"jobs"`
@@ -275,6 +372,10 @@ func wrapClusterError(err error) error {
 		return fmt.Errorf("%w: %w", ErrNoWorkers, err)
 	case errors.Is(err, cluster.ErrWorkerFailed):
 		return fmt.Errorf("%w: %w", ErrWorkerFailed, err)
+	case errors.Is(err, cluster.ErrCellTimeout):
+		return fmt.Errorf("%w: %w", ErrCellTimeout, err)
+	case errors.Is(err, cluster.ErrJournalMismatch):
+		return fmt.Errorf("%w: %w", ErrJournalMismatch, err)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return fmt.Errorf("%w: %w", ErrCanceled, err)
 	default:

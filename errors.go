@@ -33,4 +33,14 @@ var (
 	// ErrWorkerFailed is returned by distributed runs when a matrix cell
 	// exhausted its dispatch attempts across the pool.
 	ErrWorkerFailed = errors.New("boomsim: cluster worker failed")
+
+	// ErrCellTimeout is returned by distributed runs when a matrix cell
+	// exhausted its retry wall-clock budget (WithCellTimeout): attempts
+	// were still available, but the cell had been failing for too long.
+	ErrCellTimeout = errors.New("boomsim: cluster cell timed out")
+
+	// ErrJournalMismatch is returned by distributed runs when WithJournal
+	// names a journal recorded for a different sweep; resuming it would
+	// stitch two matrices together.
+	ErrJournalMismatch = errors.New("boomsim: sweep journal belongs to a different matrix")
 )

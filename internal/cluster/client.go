@@ -26,6 +26,10 @@ type RetryClient struct {
 	// caps it and any Retry-After hint (default 5s).
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
+
+	// sleep substitutes the inter-attempt wait in tests (a fake clock that
+	// records durations instead of burning wall time). nil = real sleep.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // StatusError is a non-2xx response that survived (or bypassed) retries.
@@ -84,7 +88,11 @@ func (c *RetryClient) PostJSON(ctx context.Context, url string, body []byte) ([]
 	var lastErr error
 	for attempt := 0; attempt < c.attempts(); attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, c.backoff(attempt, lastErr)); err != nil {
+			sleep := c.sleep
+			if sleep == nil {
+				sleep = sleepCtx
+			}
+			if err := sleep(ctx, c.backoff(attempt, lastErr)); err != nil {
 				return nil, err
 			}
 		}

@@ -121,6 +121,163 @@ func TestRetryClientRespectsContextDuringBackoff(t *testing.T) {
 	}
 }
 
+// TestRetryClientBackoffUnderStorms drives 429/503 storms through a fake
+// clock: the injected sleep hook records every inter-attempt wait instead
+// of burning wall time, so the table can assert exactly how Retry-After (in
+// both RFC 9110 forms) and the MaxDelay cap shape the backoff schedule.
+func TestRetryClientBackoffUnderStorms(t *testing.T) {
+	const attempts = 4
+	// BaseDelay 1ns keeps the jitter term at most a few nanoseconds, so
+	// whenever a Retry-After hint is in play it dominates exactly and the
+	// recorded sleeps equal the hint (or its MaxDelay cap).
+	tiny := time.Duration(1)
+	cases := []struct {
+		name     string
+		status   int
+		header   func(i int32) string // Retry-After for the i-th response
+		maxDelay time.Duration
+		// check inspects the recorded sleeps (one per retry).
+		check func(t *testing.T, sleeps []time.Duration)
+	}{
+		{
+			name:     "429 storm with delay-seconds",
+			status:   http.StatusTooManyRequests,
+			header:   func(int32) string { return "2" },
+			maxDelay: 10 * time.Second,
+			check: func(t *testing.T, sleeps []time.Duration) {
+				for i, d := range sleeps {
+					if d != 2*time.Second {
+						t.Errorf("sleep[%d] = %v, want exactly the 2s Retry-After hint", i, d)
+					}
+				}
+			},
+		},
+		{
+			name:     "503 storm with delay-seconds capped by MaxDelay",
+			status:   http.StatusServiceUnavailable,
+			header:   func(int32) string { return "30" },
+			maxDelay: 250 * time.Millisecond,
+			check: func(t *testing.T, sleeps []time.Duration) {
+				for i, d := range sleeps {
+					if d != 250*time.Millisecond {
+						t.Errorf("sleep[%d] = %v, want the 250ms MaxDelay cap, not the 30s hint", i, d)
+					}
+				}
+			},
+		},
+		{
+			name:   "429 storm with HTTP-date",
+			status: http.StatusTooManyRequests,
+			header: func(int32) string {
+				return time.Now().Add(3 * time.Second).UTC().Format(http.TimeFormat)
+			},
+			maxDelay: 10 * time.Second,
+			check: func(t *testing.T, sleeps []time.Duration) {
+				for i, d := range sleeps {
+					// An HTTP-date hint converts through time.Until, so allow
+					// scheduling slop below; it must never round up past the
+					// hinted instant.
+					if d < 2*time.Second || d > 3*time.Second {
+						t.Errorf("sleep[%d] = %v, want ~3s from the HTTP-date hint", i, d)
+					}
+				}
+			},
+		},
+		{
+			name:     "503 storm without hints backs off exponentially",
+			status:   http.StatusServiceUnavailable,
+			header:   func(int32) string { return "" },
+			maxDelay: 10 * time.Second,
+			check: func(t *testing.T, sleeps []time.Duration) {
+				for i, d := range sleeps {
+					// Full jitter from BaseDelay=1ns: tiny but non-negative,
+					// and certainly no accidental seconds-long stall.
+					if d < 0 || d > time.Millisecond {
+						t.Errorf("sleep[%d] = %v, want jitter on the order of BaseDelay", i, d)
+					}
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var calls atomic.Int32
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				i := calls.Add(1) - 1
+				if h := tc.header(i); h != "" {
+					w.Header().Set("Retry-After", h)
+				}
+				w.WriteHeader(tc.status)
+			}))
+			defer srv.Close()
+
+			var sleeps []time.Duration
+			c := &RetryClient{
+				MaxAttempts: attempts,
+				BaseDelay:   tiny,
+				MaxDelay:    tc.maxDelay,
+				sleep: func(ctx context.Context, d time.Duration) error {
+					sleeps = append(sleeps, d)
+					return nil
+				},
+			}
+			start := time.Now()
+			_, err := c.PostJSON(context.Background(), srv.URL, []byte(`{}`))
+			if err == nil {
+				t.Fatal("want an error: the storm never relents")
+			}
+			if got := calls.Load(); got != attempts {
+				t.Fatalf("server saw %d calls, want %d", got, attempts)
+			}
+			if len(sleeps) != attempts-1 {
+				t.Fatalf("recorded %d sleeps, want %d", len(sleeps), attempts-1)
+			}
+			tc.check(t, sleeps)
+			// The whole storm must run on the fake clock: no real sleeping.
+			if elapsed := time.Since(start); elapsed > 2*time.Second {
+				t.Errorf("test burned %v of wall clock; sleeps were supposed to be fake", elapsed)
+			}
+		})
+	}
+}
+
+// TestRetryClientRecoversMidStorm pins the happy ending: a 429 storm that
+// relents mid-way yields the response, having slept the hinted amount
+// before each retry and charged no extra attempts afterwards.
+func TestRetryClientRecoversMidStorm(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+
+	var sleeps []time.Duration
+	c := &RetryClient{
+		MaxAttempts: 5,
+		BaseDelay:   time.Duration(1),
+		MaxDelay:    10 * time.Second,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			sleeps = append(sleeps, d)
+			return nil
+		},
+	}
+	raw, err := c.PostJSON(context.Background(), srv.URL, []byte(`{}`))
+	if err != nil || string(raw) != `{"ok":true}` {
+		t.Fatalf("PostJSON = %q, %v; want the post-storm body", raw, err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two rejections, one success)", got)
+	}
+	if len(sleeps) != 2 || sleeps[0] != time.Second || sleeps[1] != time.Second {
+		t.Fatalf("sleeps = %v, want two exact 1s waits from the hints", sleeps)
+	}
+}
+
 func TestParseRetryAfter(t *testing.T) {
 	if d, ok := parseRetryAfter("2"); !ok || d != 2*time.Second {
 		t.Errorf("parseRetryAfter(2) = %v, %v", d, ok)

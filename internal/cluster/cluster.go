@@ -8,11 +8,25 @@
 // Dispatch is an event loop with explicit backpressure: at most InFlight
 // batches per worker, per-job 429/503 responses (and their Retry-After
 // hints) cool the worker down, transport failures re-dispatch the affected
-// jobs with a capped attempt budget, a worker that keeps failing is
-// declared dead and only its keys move (the rendezvous property), and
-// stragglers can be hedged to the key's next-preferred worker. Results
-// reassemble in matrix order regardless of completion order, so a
-// distributed sweep is byte-identical to a local RunMatrix.
+// jobs with a capped attempt budget, stragglers can be hedged to the key's
+// next-preferred worker, and results reassemble in matrix order regardless
+// of completion order, so a distributed sweep is byte-identical to a local
+// RunMatrix.
+//
+// Failure handling is built for pools that change under the sweep:
+//
+//   - Each worker has a circuit breaker. Repeated failures open it (the
+//     worker is "dead", its keys move — the rendezvous property), an
+//     elapsed cooldown half-opens it ("suspect", one probe batch), and a
+//     clean batch closes it again. A worker restarting on the same address
+//     rejoins the sweep without operator action.
+//   - The pool itself is dynamic: with a membership file configured, the
+//     coordinator re-reads it during the sweep, probing and admitting new
+//     workers and retiring removed ones mid-flight.
+//   - With a journal configured, every completed cell is durably logged;
+//     re-running the same sweep against the same journal re-dispatches
+//     only the cells that never completed, so a crashed coordinator
+//     resumes instead of restarting.
 //
 // The package deliberately speaks only internal/wire and the standard
 // library: the public boomsim package builds on it, so it cannot import
@@ -26,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -40,14 +55,35 @@ var (
 	ErrNoWorkers = errors.New("cluster: no live workers")
 	// ErrWorkerFailed reports a job that exhausted its dispatch attempts.
 	ErrWorkerFailed = errors.New("cluster: worker failed")
+	// ErrCellTimeout reports a job that exhausted its retry wall-clock
+	// budget: attempts were still available, but CellTimeout elapsed since
+	// the cell's first dispatch.
+	ErrCellTimeout = errors.New("cluster: cell exceeded its retry wall-clock budget")
 )
 
-// Config sizes a Coordinator. Endpoints is required; everything else
-// defaults sensibly.
+// Config sizes a Coordinator. Endpoints or MembershipFile is required;
+// everything else defaults sensibly.
 type Config struct {
 	// Endpoints lists worker base URLs (http://host:port). Duplicates and
 	// trailing slashes are normalised away.
 	Endpoints []string
+	// MembershipFile, when set, names a JSON file (wire.Membership) that is
+	// the authoritative worker list: it is read at sweep start and
+	// re-read every MembershipInterval during the sweep, so the pool can
+	// grow and shrink mid-flight. New workers are health-probed before they
+	// receive jobs; removed workers are retired and only their keys move.
+	// While the file is unreadable the last good view stays in effect, and
+	// Endpoints serves as the bootstrap pool.
+	MembershipFile string
+	// MembershipInterval is the re-read cadence for MembershipFile
+	// (default 1s).
+	MembershipInterval time.Duration
+	// JournalPath, when set, names this sweep's write-ahead log: every
+	// completed cell is appended durably, and a rerun of the same matrix
+	// against the same journal dispatches only the unfinished cells.
+	// A journal recorded for a different matrix is refused
+	// (ErrJournalMismatch).
+	JournalPath string
 	// InFlight bounds concurrently outstanding batches per worker
 	// (default 2) — the coordinator-side half of backpressure.
 	InFlight int
@@ -56,9 +92,22 @@ type Config struct {
 	// MaxAttempts bounds dispatch attempts per job before the sweep fails
 	// with ErrWorkerFailed (default 4).
 	MaxAttempts int
-	// DeadAfter is the consecutive-failure threshold after which a worker
-	// is declared dead and its keys redistribute (default 2).
+	// DeadAfter is the consecutive-failure threshold that opens a worker's
+	// circuit breaker: its keys redistribute and it is left alone until
+	// BreakerCooldown elapses (default 2).
 	DeadAfter int
+	// BreakerCooldown is how long an opened breaker rests before
+	// half-opening for a single probe batch (default 1s). Each re-open
+	// doubles the rest, capped at BreakerMaxCooldown.
+	BreakerCooldown time.Duration
+	// BreakerMaxCooldown caps the exponential breaker cooldown
+	// (default 30s).
+	BreakerMaxCooldown time.Duration
+	// CellTimeout caps the wall-clock a single cell may spend being
+	// retried, measured from its first dispatch; exceeding it fails the
+	// sweep with ErrCellTimeout (0 = no cap). MaxAttempts bounds how many
+	// times a cell is tried; CellTimeout bounds how long.
+	CellTimeout time.Duration
 	// HedgeAfter duplicates a batch's unfinished jobs onto each key's
 	// next-preferred worker once the batch has been in flight this long
 	// (0 = hedging disabled).
@@ -70,8 +119,8 @@ type Config struct {
 	// included (default 5m). A worker that accepts connections but never
 	// answers burns this budget, strikes out, and its keys move on.
 	RequestTimeout time.Duration
-	// ProbeTimeout bounds the per-worker /healthz probe at sweep start
-	// (default 2s; negative disables probing).
+	// ProbeTimeout bounds the per-worker /healthz probe at sweep start and
+	// on membership joins (default 2s; negative disables probing).
 	ProbeTimeout time.Duration
 	// Client is the transport (default a zero RetryClient: 3 attempts,
 	// 100ms base backoff, Retry-After honored).
@@ -90,6 +139,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DeadAfter <= 0 {
 		c.DeadAfter = 2
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.BreakerMaxCooldown <= 0 {
+		c.BreakerMaxCooldown = 30 * time.Second
+	}
+	if c.MembershipInterval <= 0 {
+		c.MembershipInterval = time.Second
 	}
 	if c.ProbeTimeout == 0 {
 		c.ProbeTimeout = 2 * time.Second
@@ -111,7 +169,8 @@ type Job struct {
 }
 
 // JobResult is one completed cell: the raw result JSON and whether the
-// worker answered it from cache.
+// worker answered it from cache (journal-resumed cells count as cached —
+// they were not recomputed).
 type JobResult struct {
 	Cached bool
 	Result json.RawMessage
@@ -128,12 +187,11 @@ type Coordinator struct {
 	runMu sync.Mutex
 }
 
-// New validates cfg and builds a Coordinator.
-func New(cfg Config) (*Coordinator, error) {
-	cfg = cfg.withDefaults()
+// normalizeEndpoints trims, deduplicates and strips trailing slashes.
+func normalizeEndpoints(raw []string) []string {
 	var endpoints []string
 	seen := make(map[string]bool)
-	for _, ep := range cfg.Endpoints {
+	for _, ep := range raw {
 		ep = strings.TrimRight(strings.TrimSpace(ep), "/")
 		if ep == "" || seen[ep] {
 			continue
@@ -141,10 +199,39 @@ func New(cfg Config) (*Coordinator, error) {
 		seen[ep] = true
 		endpoints = append(endpoints, ep)
 	}
-	if len(endpoints) == 0 {
+	return endpoints
+}
+
+// readMembershipFile parses a wire.Membership document.
+func readMembershipFile(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m wire.Membership
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("cluster: parsing membership file %s: %w", path, err)
+	}
+	return normalizeEndpoints(m.Workers), nil
+}
+
+// New validates cfg and builds a Coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	cfg.Endpoints = normalizeEndpoints(cfg.Endpoints)
+	if len(cfg.Endpoints) == 0 && cfg.MembershipFile == "" {
 		return nil, ErrNoWorkers
 	}
-	cfg.Endpoints = endpoints
+	endpoints := cfg.Endpoints
+	if cfg.MembershipFile != "" {
+		if fromFile, err := readMembershipFile(cfg.MembershipFile); err == nil && len(fromFile) > 0 {
+			endpoints = fromFile
+		}
+	}
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("%w: no endpoints configured and membership file %s lists none",
+			ErrNoWorkers, cfg.MembershipFile)
+	}
 	return &Coordinator{cfg: cfg, m: newMetrics(endpoints)}, nil
 }
 
@@ -154,17 +241,59 @@ func (c *Coordinator) Stats() Stats { return c.m.snapshot() }
 // MetricsHandler serves the counters in Prometheus text format.
 func (c *Coordinator) MetricsHandler() http.Handler { return http.HandlerFunc(c.m.serveHTTP) }
 
+// MembershipView reports the coordinator's live opinion of its pool: one
+// row per worker it has ever tracked with its current circuit state. Safe
+// during a running sweep.
+func (c *Coordinator) MembershipView() wire.MembershipView {
+	return c.m.membershipView()
+}
+
+// Worker circuit-breaker states. live: breaker closed, full dispatch.
+// suspect: breaker half-open, one probe batch at a time. dead: breaker
+// open, no dispatch until reopenAt. removed: retired for the run (failed
+// the start-of-sweep probe, or dropped from the membership file) — only a
+// membership re-add revives it.
+const (
+	wsLive int32 = iota
+	wsSuspect
+	wsDead
+	wsRemoved
+)
+
+func stateName(s int32) string {
+	switch s {
+	case wsLive:
+		return "live"
+	case wsSuspect:
+		return "suspect"
+	case wsDead:
+		return "dead"
+	default:
+		return "removed"
+	}
+}
+
 // workerState is one endpoint's per-run dispatch state, owned by the event
 // loop goroutine.
 type workerState struct {
 	endpoint      string
 	metrics       *workerMetrics
-	alive         bool
-	probeFailed   bool
-	inflight      int   // outstanding batches
-	queue         []int // job indices awaiting dispatch
+	state         int32
+	reopenAt      time.Time // when an open breaker half-opens
+	trips         int       // breaker opens this run; drives exponential cooldown
+	inflight      int       // outstanding batches
+	queue         []int     // job indices awaiting dispatch
 	consecFails   int
 	cooldownUntil time.Time
+}
+
+// routable reports whether the worker may be offered work (and therefore
+// participates in rendezvous hashing).
+func (w *workerState) routable() bool { return w.state == wsLive || w.state == wsSuspect }
+
+func (w *workerState) setState(s int32) {
+	w.state = s
+	w.metrics.state.Store(s)
 }
 
 type batch struct {
@@ -181,8 +310,15 @@ type batchEvent struct {
 	err   error
 }
 
+// joinEvent is an async membership-probe verdict for a candidate endpoint.
+type joinEvent struct {
+	endpoint string
+	ok       bool
+}
+
 // runState is one sweep's bookkeeping; every field is owned by the Run
-// goroutine, with launched batches communicating back over events.
+// goroutine, with launched batches and membership probes communicating back
+// over channels.
 type runState struct {
 	cfg     Config
 	m       *metrics
@@ -191,14 +327,24 @@ type runState struct {
 	results []JobResult
 	done    []bool
 	fails   []int // failed dispatch attempts per job
-	hedgedJ []bool
-	workers []*workerState
-	byEP    map[string]*workerState
+	// firstTry is each job's first dispatch instant: the epoch its
+	// CellTimeout budget is measured from.
+	firstTry []time.Time
+	hedgedJ  []bool
+	workers  []*workerState
+	byEP     map[string]*workerState
+	// parked holds jobs with no routable owner right now but a reason to
+	// hope: an open breaker that will half-open, or a membership file that
+	// may add workers. They re-place as soon as the pool has anyone.
+	parked  []int
+	probing map[string]bool // membership candidates with a probe in flight
+	journal *Journal
 
 	remaining int
 	inflight  map[int]*batch
 	nextID    int
 	events    chan batchEvent
+	joins     chan joinEvent
 }
 
 // Run dispatches jobs across the pool and returns their results in input
@@ -212,6 +358,16 @@ func (c *Coordinator) Run(ctx context.Context, jobs []Job) ([]JobResult, error) 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	endpoints := c.cfg.Endpoints
+	if c.cfg.MembershipFile != "" {
+		if fromFile, err := readMembershipFile(c.cfg.MembershipFile); err == nil && len(fromFile) > 0 {
+			endpoints = fromFile
+		}
+	}
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("%w: membership file %s lists no workers", ErrNoWorkers, c.cfg.MembershipFile)
+	}
+
 	st := &runState{
 		cfg:       c.cfg,
 		m:         c.m,
@@ -220,35 +376,77 @@ func (c *Coordinator) Run(ctx context.Context, jobs []Job) ([]JobResult, error) 
 		results:   make([]JobResult, len(jobs)),
 		done:      make([]bool, len(jobs)),
 		fails:     make([]int, len(jobs)),
+		firstTry:  make([]time.Time, len(jobs)),
 		hedgedJ:   make([]bool, len(jobs)),
-		byEP:      make(map[string]*workerState, len(c.cfg.Endpoints)),
+		byEP:      make(map[string]*workerState, len(endpoints)),
+		probing:   make(map[string]bool),
 		remaining: len(jobs),
 		inflight:  make(map[int]*batch),
-		events:    make(chan batchEvent, len(c.cfg.Endpoints)*c.cfg.InFlight+8),
+		events:    make(chan batchEvent, len(endpoints)*c.cfg.InFlight+8),
+		joins:     make(chan joinEvent, 8),
 	}
-	for _, ep := range c.cfg.Endpoints {
-		w := &workerState{endpoint: ep, metrics: c.m.worker(ep), alive: true}
-		w.metrics.alive.Store(true)
+	for _, ep := range endpoints {
+		w := &workerState{endpoint: ep, metrics: c.m.worker(ep)}
+		w.setState(wsLive)
 		st.workers = append(st.workers, w)
 		st.byEP[ep] = w
+	}
+
+	// Restore journaled progress before touching the network: a fully
+	// journaled sweep completes even against a dead pool.
+	if c.cfg.JournalPath != "" {
+		keys := make([]string, len(jobs))
+		for i := range jobs {
+			keys[i] = jobs[i].Key
+		}
+		j, err := OpenJournal(c.cfg.JournalPath, SweepID(keys), len(jobs))
+		if err != nil {
+			return nil, err
+		}
+		st.journal = j
+		defer j.Close()
+		for i := range jobs {
+			if st.done[i] {
+				continue
+			}
+			if raw, ok := j.Lookup(jobs[i].Key); ok {
+				st.done[i] = true
+				st.remaining--
+				st.results[i] = JobResult{Cached: true, Result: raw}
+				st.m.jobsResumed.Add(1)
+			}
+		}
+		if st.remaining == 0 {
+			return st.results, nil
+		}
 	}
 
 	if err := st.probe(runCtx); err != nil {
 		return nil, err
 	}
 	for i := range jobs {
-		w := st.ownerOf(jobs[i].Key)
-		if w == nil {
-			return nil, ErrNoWorkers
+		if st.done[i] {
+			continue
 		}
-		w.queue = append(w.queue, i)
+		if err := st.placeJob(i); err != nil {
+			return nil, err
+		}
 	}
 
 	timer := time.NewTimer(time.Hour)
 	timer.Stop()
 	defer timer.Stop()
+	var memberC <-chan time.Time
+	if c.cfg.MembershipFile != "" {
+		ticker := time.NewTicker(c.cfg.MembershipInterval)
+		defer ticker.Stop()
+		memberC = ticker.C
+	}
 	for st.remaining > 0 {
 		st.schedule()
+		if err := st.checkParked(); err != nil {
+			return nil, err
+		}
 		var timerC <-chan time.Time
 		if wake, ok := st.nextWake(); ok {
 			d := time.Until(wake)
@@ -265,52 +463,68 @@ func (c *Coordinator) Run(ctx context.Context, jobs []Job) ([]JobResult, error) 
 			if err := st.handle(ev); err != nil {
 				return nil, err
 			}
+		case jev := <-st.joins:
+			if err := st.handleJoin(jev); err != nil {
+				return nil, err
+			}
+		case <-memberC:
+			st.reconcileMembership()
 		case <-timerC:
 			st.hedgeScan()
 		case <-runCtx.Done():
 			return nil, fmt.Errorf("cluster: sweep canceled: %w", runCtx.Err())
 		}
 	}
+	if st.journal != nil {
+		if err := st.journal.Err(); err != nil {
+			// The sweep's results are complete and correct; a journal that
+			// stopped persisting costs only resumability. Surface it without
+			// failing the sweep.
+			st.m.journalErrors.Add(1)
+		}
+	}
 	return st.results, nil
 }
 
+// healthProbe checks one endpoint's /healthz within timeout.
+func healthProbe(ctx context.Context, httpc *http.Client, endpoint string, timeout time.Duration) bool {
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, endpoint+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
 // probe checks every worker's /healthz concurrently; unreachable workers
-// start the sweep dead so their keys route elsewhere from the first batch.
+// start the sweep retired so their keys route elsewhere from the first
+// batch. (A membership re-add can still revive them mid-sweep.)
 func (st *runState) probe(ctx context.Context) error {
 	if st.cfg.ProbeTimeout < 0 {
 		return nil
 	}
 	httpc := st.cfg.Client.httpClient()
+	failed := make([]bool, len(st.workers))
 	var wg sync.WaitGroup
-	for _, w := range st.workers {
+	for i, w := range st.workers {
 		wg.Add(1)
-		go func(w *workerState) {
+		go func(i int, w *workerState) {
 			defer wg.Done()
-			pctx, cancel := context.WithTimeout(ctx, st.cfg.ProbeTimeout)
-			defer cancel()
-			req, err := http.NewRequestWithContext(pctx, http.MethodGet, w.endpoint+"/healthz", nil)
-			if err != nil {
-				w.probeFailed = true
-				return
-			}
-			resp, err := httpc.Do(req)
-			if err != nil {
-				w.probeFailed = true
-				return
-			}
-			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				w.probeFailed = true
-			}
-		}(w)
+			failed[i] = !healthProbe(ctx, httpc, w.endpoint, st.cfg.ProbeTimeout)
+		}(i, w)
 	}
 	wg.Wait()
 	alive := 0
-	for _, w := range st.workers {
-		if w.probeFailed {
-			w.alive = false
-			w.metrics.alive.Store(false)
+	for i, w := range st.workers {
+		if failed[i] {
+			w.setState(wsRemoved)
 			st.m.probeFailures.Add(1)
 		} else {
 			alive++
@@ -322,38 +536,95 @@ func (st *runState) probe(ctx context.Context) error {
 	return nil
 }
 
-// aliveEndpoints materialises the current live set for the hash functions.
-func (st *runState) aliveEndpoints() []string {
+// routableEndpoints materialises the current routable set for the hash
+// functions.
+func (st *runState) routableEndpoints() []string {
 	eps := make([]string, 0, len(st.workers))
 	for _, w := range st.workers {
-		if w.alive {
+		if w.routable() {
 			eps = append(eps, w.endpoint)
 		}
 	}
 	return eps
 }
 
-// ownerOf returns the live rendezvous owner of key, or nil when the pool is
-// dead.
+// ownerOf returns the routable rendezvous owner of key, or nil when no
+// worker can take work right now.
 func (st *runState) ownerOf(key string) *workerState {
-	ep := rendezvousOwner(key, st.aliveEndpoints())
+	ep := rendezvousOwner(key, st.routableEndpoints())
 	if ep == "" {
 		return nil
 	}
 	return st.byEP[ep]
 }
 
-// schedule launches as many batches as capacity allows: per alive,
-// non-cooling worker, pop up to BatchSize pending jobs per free in-flight
-// slot. Jobs completed elsewhere in the meantime (hedge duplicates) are
+// placeJob routes job j to its rendezvous owner, or parks it when no worker
+// is routable but the pool can still recover (a breaker due to half-open,
+// or dynamic membership). Only a pool with no path back to life fails the
+// sweep.
+func (st *runState) placeJob(j int) error {
+	if w := st.ownerOf(st.jobs[j].Key); w != nil {
+		w.queue = append(w.queue, j)
+		return nil
+	}
+	if st.canRecover() {
+		st.parked = append(st.parked, j)
+		return nil
+	}
+	return fmt.Errorf("%w: while placing job %q", ErrNoWorkers, st.jobs[j].Key)
+}
+
+// canRecover reports whether an empty routable set might still repopulate:
+// an open breaker will half-open, and a membership file can add workers.
+func (st *runState) canRecover() bool {
+	if st.cfg.MembershipFile != "" {
+		return true
+	}
+	for _, w := range st.workers {
+		if w.state == wsDead {
+			return true
+		}
+	}
+	return false
+}
+
+// schedule advances breaker state and launches as many batches as capacity
+// allows: per routable, non-cooling worker, pop up to BatchSize pending
+// jobs per free in-flight slot (a half-open worker gets a single probe
+// batch). Jobs completed elsewhere in the meantime (hedge duplicates) are
 // discarded at pop time.
 func (st *runState) schedule() {
 	now := time.Now()
 	for _, w := range st.workers {
-		if !w.alive || now.Before(w.cooldownUntil) {
+		if w.state == wsDead && !now.Before(w.reopenAt) {
+			w.setState(wsSuspect)
+		}
+	}
+	if len(st.parked) > 0 {
+		parked := st.parked
+		st.parked = nil
+		for _, j := range parked {
+			if st.done[j] {
+				continue
+			}
+			// placeJob re-parks when the pool is still empty; the error arm
+			// is unreachable while parked jobs exist (parking implies
+			// recoverability), so jobs are never dropped here.
+			if st.placeJob(j) != nil {
+				st.parked = append(st.parked, j)
+			}
+		}
+	}
+	for _, w := range st.workers {
+		if !w.routable() || now.Before(w.cooldownUntil) {
 			continue
 		}
-		for w.inflight < st.cfg.InFlight && len(w.queue) > 0 {
+		limit := st.cfg.InFlight
+		if w.state == wsSuspect {
+			// Half-open: risk one batch, not the full in-flight budget.
+			limit = 1
+		}
+		for w.inflight < limit && len(w.queue) > 0 {
 			var idxs []int
 			for len(idxs) < st.cfg.BatchSize && len(w.queue) > 0 {
 				j := w.queue[0]
@@ -371,6 +642,25 @@ func (st *runState) schedule() {
 	}
 }
 
+// checkParked fails the sweep when a parked job's CellTimeout budget burns
+// out while it waits for the pool to recover.
+func (st *runState) checkParked() error {
+	if st.cfg.CellTimeout <= 0 {
+		return nil
+	}
+	now := time.Now()
+	for _, j := range st.parked {
+		if st.done[j] || st.firstTry[j].IsZero() {
+			continue
+		}
+		if now.Sub(st.firstTry[j]) >= st.cfg.CellTimeout {
+			return fmt.Errorf("%w: job %q waited out its %v budget with no routable worker",
+				ErrCellTimeout, st.jobs[j].Key, st.cfg.CellTimeout)
+		}
+	}
+	return nil
+}
+
 func (st *runState) launch(w *workerState, idxs []int) {
 	b := &batch{id: st.nextID, worker: w, jobs: idxs, started: time.Now()}
 	st.nextID++
@@ -383,6 +673,9 @@ func (st *runState) launch(w *workerState, idxs []int) {
 	reqs := make([]wire.RunRequest, len(idxs))
 	for k, j := range idxs {
 		reqs[k] = st.jobs[j].Req
+		if st.firstTry[j].IsZero() {
+			st.firstTry[j] = b.started
+		}
 	}
 	body, err := json.Marshal(wire.JobsRequest{Jobs: reqs, TimeoutMS: st.cfg.JobTimeoutMS})
 	if err != nil {
@@ -416,9 +709,15 @@ func (st *runState) send(ev batchEvent) {
 	}
 }
 
-// handle settles one batch: record results, and requeue, cool down, or
-// declare workers dead on the failure paths. A non-nil return aborts the
-// sweep.
+func (st *runState) sendJoin(ev joinEvent) {
+	select {
+	case st.joins <- ev:
+	case <-st.ctx.Done():
+	}
+}
+
+// handle settles one batch: record results, and requeue, cool down, trip or
+// close breakers on the way. A non-nil return aborts the sweep.
 func (st *runState) handle(ev batchEvent) error {
 	b := ev.batch
 	delete(st.inflight, b.id)
@@ -448,6 +747,9 @@ func (st *runState) handle(ev batchEvent) error {
 				w.metrics.jobs.Add(1)
 				if jr.Cached {
 					st.m.cacheHits.Add(1)
+				}
+				if st.journal != nil {
+					st.journal.Append(st.jobs[j].Key, jr.Result)
 				}
 			}
 			continue
@@ -481,23 +783,30 @@ func (st *runState) handle(ev batchEvent) error {
 		}
 	}
 	// A draining worker will 503 everything it is offered; treat it like a
-	// transport failure so it is retired after DeadAfter strikes. Only a
+	// transport failure so its breaker opens after DeadAfter strikes. Only a
 	// batch free of draining signals clears the strike count — resetting
 	// unconditionally would let a 200-wrapped stream of per-job 503s keep
 	// the worker alive forever.
 	if sawDraining {
 		w.consecFails++
-		if w.alive && w.consecFails >= st.cfg.DeadAfter {
-			return st.killWorker(w, errors.New("worker draining"))
+		if w.state == wsSuspect || w.consecFails >= st.cfg.DeadAfter {
+			return st.trip(w, errors.New("worker draining"))
 		}
 	} else {
 		w.consecFails = 0
+		if w.state == wsSuspect {
+			// The probe batch came back clean: close the breaker.
+			w.setState(wsLive)
+			w.trips = 0
+			st.m.breakerCloses.Add(1)
+		}
 	}
 	return nil
 }
 
 // handleBatchFailure requeues a failed batch's jobs, escalating the worker
-// toward death on repeated strikes. Non-retryable whole-request rejections
+// toward an open breaker on repeated strikes (and immediately when a
+// half-open probe batch fails). Non-retryable whole-request rejections
 // (a 4xx other than 429) are the coordinator's own bug and abort the sweep.
 func (st *runState) handleBatchFailure(b *batch, cause error) error {
 	w := b.worker
@@ -506,11 +815,11 @@ func (st *runState) handleBatchFailure(b *batch, cause error) error {
 		return fmt.Errorf("cluster: worker %s rejected batch: %w", w.endpoint, cause)
 	}
 	w.consecFails++
-	if w.alive && w.consecFails >= st.cfg.DeadAfter {
-		if err := st.killWorker(w, cause); err != nil {
+	if w.routable() && (w.state == wsSuspect || w.consecFails >= st.cfg.DeadAfter) {
+		if err := st.trip(w, cause); err != nil {
 			return err
 		}
-	} else {
+	} else if w.state == wsLive {
 		w.cooldownUntil = time.Now().Add(time.Duration(w.consecFails) * 200 * time.Millisecond)
 	}
 	for _, j := range b.jobs {
@@ -524,9 +833,11 @@ func (st *runState) handleBatchFailure(b *batch, cause error) error {
 	return nil
 }
 
-// requeue re-dispatches job j to its current live owner. charge says
-// whether the failure counts against the job's attempt budget — genuine
-// failures do, capacity rejections (429) do not.
+// requeue re-dispatches job j to its current owner (or parks it). charge
+// says whether the failure counts against the job's attempt budget —
+// genuine failures do, capacity rejections (429) do not. Either way the
+// job's CellTimeout budget keeps burning: a cell stuck behind an endless
+// 429 storm still ends the sweep in bounded time.
 func (st *runState) requeue(j int, charge bool, cause error) error {
 	if charge {
 		st.fails[j]++
@@ -535,32 +846,140 @@ func (st *runState) requeue(j int, charge bool, cause error) error {
 		return fmt.Errorf("%w: job %q failed %d dispatch attempts, last: %v",
 			ErrWorkerFailed, st.jobs[j].Key, st.fails[j], cause)
 	}
-	st.m.jobsRetried.Add(1)
-	w := st.ownerOf(st.jobs[j].Key)
-	if w == nil {
-		return fmt.Errorf("%w: while re-dispatching job %q: %v", ErrNoWorkers, st.jobs[j].Key, cause)
+	if st.cfg.CellTimeout > 0 && !st.firstTry[j].IsZero() && time.Since(st.firstTry[j]) >= st.cfg.CellTimeout {
+		return fmt.Errorf("%w: job %q burned its %v budget, last: %v",
+			ErrCellTimeout, st.jobs[j].Key, st.cfg.CellTimeout, cause)
 	}
-	w.queue = append(w.queue, j)
-	return nil
+	st.m.jobsRetried.Add(1)
+	return st.placeJob(j)
 }
 
-// killWorker retires w and re-routes its queued jobs to their new
-// rendezvous owners — by construction only keys w owned move.
-func (st *runState) killWorker(w *workerState, cause error) error {
-	w.alive = false
-	w.metrics.alive.Store(false)
-	st.m.workerDeaths.Add(1)
-	if len(st.aliveEndpoints()) == 0 {
-		return fmt.Errorf("%w: last worker %s failed: %v", ErrNoWorkers, w.endpoint, cause)
+// trip opens w's circuit breaker: its keys move to the surviving pool (by
+// construction only keys w owned move) and w rests until reopenAt, when it
+// half-opens for a probe batch. Repeat trips double the rest.
+func (st *runState) trip(w *workerState, cause error) error {
+	if w.state == wsDead || w.state == wsRemoved {
+		return nil
 	}
+	w.setState(wsDead)
+	w.consecFails = 0
+	w.trips++
+	cool := st.cfg.BreakerCooldown
+	for i := 1; i < w.trips && cool < st.cfg.BreakerMaxCooldown; i++ {
+		cool *= 2
+	}
+	if cool > st.cfg.BreakerMaxCooldown {
+		cool = st.cfg.BreakerMaxCooldown
+	}
+	w.reopenAt = time.Now().Add(cool)
+	st.m.workerDeaths.Add(1)
 	q := w.queue
 	w.queue = nil
 	for _, j := range q {
 		if st.done[j] {
 			continue
 		}
-		next := st.ownerOf(st.jobs[j].Key)
-		next.queue = append(next.queue, j)
+		if err := st.placeJob(j); err != nil {
+			return fmt.Errorf("%v (after worker %s failed: %v)", err, w.endpoint, cause)
+		}
+	}
+	return nil
+}
+
+// reconcileMembership re-reads the membership file and diffs it against the
+// tracked pool: unknown endpoints are probed asynchronously and join on a
+// passing probe; endpoints no longer listed are retired. An unreadable file
+// changes nothing — the last good view stays in effect.
+func (st *runState) reconcileMembership() {
+	eps, err := readMembershipFile(st.cfg.MembershipFile)
+	if err != nil {
+		st.m.membershipErrors.Add(1)
+		return
+	}
+	want := make(map[string]bool, len(eps))
+	for _, ep := range eps {
+		want[ep] = true
+	}
+	for _, w := range st.workers {
+		if !want[w.endpoint] && w.state != wsRemoved {
+			st.retire(w)
+		}
+	}
+	httpc := st.cfg.Client.httpClient()
+	for _, ep := range eps {
+		w := st.byEP[ep]
+		if (w == nil || w.state == wsRemoved) && !st.probing[ep] {
+			st.probing[ep] = true
+			go func(ep string) {
+				ok := healthProbe(st.ctx, httpc, ep, st.cfg.ProbeTimeout)
+				st.sendJoin(joinEvent{endpoint: ep, ok: ok})
+			}(ep)
+		}
+	}
+}
+
+// retire permanently removes w from the run (membership says it is gone);
+// unlike a tripped breaker it will not half-open — only a membership
+// re-add brings it back.
+func (st *runState) retire(w *workerState) {
+	w.setState(wsRemoved)
+	w.consecFails = 0
+	st.m.workersRemoved.Add(1)
+	q := w.queue
+	w.queue = nil
+	for _, j := range q {
+		if st.done[j] {
+			continue
+		}
+		// Parking is always legal here: a membership file is configured, so
+		// the pool can recover by definition.
+		if st.placeJob(j) != nil {
+			st.parked = append(st.parked, j)
+		}
+	}
+}
+
+// handleJoin settles a membership probe: a passing endpoint joins the pool
+// (or revives, if it was retired) and queued work rebalances so the new
+// worker immediately owns its rendezvous share.
+func (st *runState) handleJoin(ev joinEvent) error {
+	delete(st.probing, ev.endpoint)
+	if !ev.ok {
+		return nil // next reconcile tick re-probes
+	}
+	w := st.byEP[ev.endpoint]
+	if w == nil {
+		w = &workerState{endpoint: ev.endpoint, metrics: st.m.worker(ev.endpoint)}
+		st.workers = append(st.workers, w)
+		st.byEP[ev.endpoint] = w
+	} else if w.state != wsRemoved {
+		return nil // raced back to life some other way
+	}
+	w.setState(wsLive)
+	w.consecFails = 0
+	w.trips = 0
+	st.m.workersJoined.Add(1)
+	return st.rebalance()
+}
+
+// rebalance re-places every queued (not in-flight) and parked job so
+// ownership reflects the current pool. Cheap — queues hold ints — and only
+// keys whose rendezvous owner changed actually move.
+func (st *runState) rebalance() error {
+	var all []int
+	for _, w := range st.workers {
+		all = append(all, w.queue...)
+		w.queue = nil
+	}
+	all = append(all, st.parked...)
+	st.parked = nil
+	for _, j := range all {
+		if st.done[j] {
+			continue
+		}
+		if err := st.placeJob(j); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -595,10 +1014,10 @@ func (st *runState) hedgeScan() {
 	}
 }
 
-// hedgeTarget picks the highest-ranked live worker other than the one
+// hedgeTarget picks the highest-ranked routable worker other than the one
 // already holding the job.
 func (st *runState) hedgeTarget(key string, holder *workerState) *workerState {
-	for _, ep := range rendezvousRank(key, st.aliveEndpoints()) {
+	for _, ep := range rendezvousRank(key, st.routableEndpoints()) {
 		if w := st.byEP[ep]; w != holder {
 			return w
 		}
@@ -607,7 +1026,8 @@ func (st *runState) hedgeTarget(key string, holder *workerState) *workerState {
 }
 
 // nextWake returns the earliest future instant the loop must act without an
-// event: a cooled-down worker with runnable work, or a hedge deadline.
+// event: a cooled-down worker with runnable work, an open breaker due to
+// half-open, a parked job burning its CellTimeout, or a hedge deadline.
 func (st *runState) nextWake() (time.Time, bool) {
 	var wake time.Time
 	consider := func(t time.Time) {
@@ -617,8 +1037,18 @@ func (st *runState) nextWake() (time.Time, bool) {
 	}
 	now := time.Now()
 	for _, w := range st.workers {
-		if w.alive && len(w.queue) > 0 && w.inflight < st.cfg.InFlight && w.cooldownUntil.After(now) {
+		if w.routable() && len(w.queue) > 0 && w.inflight < st.cfg.InFlight && w.cooldownUntil.After(now) {
 			consider(w.cooldownUntil)
+		}
+		if w.state == wsDead {
+			consider(w.reopenAt)
+		}
+	}
+	if st.cfg.CellTimeout > 0 {
+		for _, j := range st.parked {
+			if !st.done[j] && !st.firstTry[j].IsZero() {
+				consider(st.firstTry[j].Add(st.cfg.CellTimeout))
+			}
 		}
 	}
 	if st.cfg.HedgeAfter > 0 {

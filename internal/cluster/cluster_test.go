@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -350,6 +352,254 @@ func TestCoordinatorCancellation(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("Run held for %v past cancellation", elapsed)
+	}
+}
+
+// TestCoordinatorBreakerRecoversWorker pins the circuit-breaker cycle on a
+// single-worker pool: the worker drains long enough to open its breaker
+// (with nowhere to fail over, its jobs park), the cooldown elapses, the
+// half-open probe batch comes back clean, and the sweep finishes on the
+// recovered worker. Under the old retire-forever behavior this sweep could
+// only fail.
+func TestCoordinatorBreakerRecoversWorker(t *testing.T) {
+	w := newFakeWorker(t)
+	// Every key 503s on first sight and succeeds afterwards: the first two
+	// batches open the breaker, and everything after the half-open probe is
+	// healthy.
+	w.perJob = func(key string, seen int) *wire.JobResult {
+		if seen == 1 {
+			return &wire.JobResult{Error: "draining", Status: http.StatusServiceUnavailable, RetryAfterMS: 1}
+		}
+		return nil
+	}
+	cfg := testConfig(w)
+	cfg.MaxAttempts = 6
+	cfg.BreakerCooldown = 50 * time.Millisecond
+	cfg.BreakerMaxCooldown = 200 * time.Millisecond
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := makeJobs(8)
+	results, err := co.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("sweep failed despite the worker recovering: %v", err)
+	}
+	checkResults(t, jobs, results)
+	st := co.Stats()
+	if st.WorkerDeaths == 0 {
+		t.Error("WorkerDeaths = 0, want >0 — the breaker never opened")
+	}
+	if st.BreakerCloses == 0 {
+		t.Error("BreakerCloses = 0, want >0 — the breaker never closed after its probe")
+	}
+}
+
+// TestCoordinatorMembershipAddsWorkerMidSweep grows the pool under a
+// running sweep: the membership file starts with one slow worker, a second
+// is added mid-flight, and by sweep end the newcomer must have been probed,
+// admitted and handed its rendezvous share of the keys.
+func TestCoordinatorMembershipAddsWorkerMidSweep(t *testing.T) {
+	w1, w2 := newFakeWorker(t), newFakeWorker(t)
+	w1.delay = 25 * time.Millisecond
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "members.json")
+	writeMembers := func(eps ...string) {
+		raw, _ := json.Marshal(wire.Membership{Workers: eps})
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeMembers(w1.srv.URL)
+
+	cfg := Config{
+		MembershipFile:     path,
+		MembershipInterval: 10 * time.Millisecond,
+		BatchSize:          2,
+		InFlight:           1,
+		Client:             &RetryClient{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond},
+	}
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		writeMembers(w1.srv.URL, w2.srv.URL)
+	}()
+	jobs := makeJobs(40)
+	results, err := co.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, jobs, results)
+	if st := co.Stats(); st.WorkersJoined == 0 {
+		t.Error("WorkersJoined = 0, want >0 after adding w2 to the membership file")
+	}
+	if len(w2.servedKeys()) == 0 {
+		t.Error("joined worker served nothing — rebalance never handed it keys")
+	}
+}
+
+// TestCoordinatorMembershipRemovesWorkerMidSweep shrinks the pool under a
+// running sweep: a worker dropped from the membership file is retired, its
+// queued keys move, and the sweep completes on the survivor.
+func TestCoordinatorMembershipRemovesWorkerMidSweep(t *testing.T) {
+	w1, w2 := newFakeWorker(t), newFakeWorker(t)
+	w1.delay = 20 * time.Millisecond
+	w2.delay = 20 * time.Millisecond
+
+	path := filepath.Join(t.TempDir(), "members.json")
+	writeMembers := func(eps ...string) {
+		raw, _ := json.Marshal(wire.Membership{Workers: eps})
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeMembers(w1.srv.URL, w2.srv.URL)
+
+	cfg := Config{
+		MembershipFile:     path,
+		MembershipInterval: 10 * time.Millisecond,
+		BatchSize:          2,
+		InFlight:           1,
+		Client:             &RetryClient{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond},
+	}
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		writeMembers(w2.srv.URL)
+	}()
+	jobs := makeJobs(30)
+	results, err := co.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, jobs, results)
+	if st := co.Stats(); st.WorkersRemoved == 0 {
+		t.Error("WorkersRemoved = 0, want >0 after dropping w1 from the membership file")
+	}
+	view := co.MembershipView()
+	var w1State string
+	for _, row := range view.Workers {
+		if row.Endpoint == w1.srv.URL {
+			w1State = row.State
+		}
+	}
+	if w1State != "dead" {
+		t.Errorf("removed worker reports state %q in the membership view, want dead", w1State)
+	}
+}
+
+// TestCoordinatorCellTimeoutCapsRetryWallClock pins the CellTimeout
+// semantics: a cell stuck behind an endless 429 storm never exhausts its
+// attempt budget (429s are free), but its wall-clock budget still burns and
+// the sweep fails with ErrCellTimeout instead of spinning forever.
+func TestCoordinatorCellTimeoutCapsRetryWallClock(t *testing.T) {
+	w := newFakeWorker(t)
+	w.perJob = func(key string, seen int) *wire.JobResult {
+		return &wire.JobResult{Error: "queue full", Status: http.StatusTooManyRequests, RetryAfterMS: 5}
+	}
+	cfg := testConfig(w)
+	cfg.MaxAttempts = 1000
+	cfg.CellTimeout = 150 * time.Millisecond
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = co.Run(context.Background(), makeJobs(3))
+	if !errors.Is(err, ErrCellTimeout) {
+		t.Fatalf("err = %v, want ErrCellTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("sweep spun for %v before timing out; the cap is 150ms", elapsed)
+	}
+}
+
+// TestCoordinatorResumesFromJournal pins the resume contract: cells already
+// in the journal are answered from it byte-for-byte with zero dispatches —
+// even against a dead pool for a fully journaled sweep — and only the
+// remainder is computed (JobsResumed + JobsCompleted covers the matrix
+// exactly).
+func TestCoordinatorResumesFromJournal(t *testing.T) {
+	w := newFakeWorker(t)
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	jobs := makeJobs(12)
+	keys := make([]string, len(jobs))
+	for i := range jobs {
+		keys[i] = jobs[i].Key
+	}
+
+	// A prior coordinator journaled the first half before crashing.
+	j, err := OpenJournal(path, SweepID(keys), len(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		j.Append(keys[i], okResult(keys[i]))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig(w)
+	cfg.JournalPath = path
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := co.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, jobs, results)
+	st := co.Stats()
+	if st.JobsResumed != 6 {
+		t.Errorf("JobsResumed = %d, want 6", st.JobsResumed)
+	}
+	if st.JobsCompleted != 6 {
+		t.Errorf("JobsCompleted = %d, want exactly the 6 non-journaled cells", st.JobsCompleted)
+	}
+	served := w.servedKeys()
+	for i := 0; i < 6; i++ {
+		if served[keys[i]] != 0 {
+			t.Errorf("journaled cell %q was re-dispatched", keys[i])
+		}
+	}
+
+	// The finished journal now covers the whole sweep: a rerun against a
+	// dead pool must still produce every result without touching the
+	// network.
+	w.srv.Close()
+	co2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results2, err := co2.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("fully journaled sweep failed against a dead pool: %v", err)
+	}
+	checkResults(t, jobs, results2)
+	for i := range results {
+		if string(results[i].Result) != string(results2[i].Result) {
+			t.Fatalf("cell %d not byte-identical across resume", i)
+		}
+	}
+	if st2 := co2.Stats(); st2.JobsResumed != 12 {
+		t.Errorf("second run JobsResumed = %d, want 12", st2.JobsResumed)
 	}
 }
 

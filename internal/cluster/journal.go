@@ -1,0 +1,240 @@
+// Sweep journal: the coordinator's write-ahead log of completed matrix
+// cells. Each completed cell is appended — key, result digest, result bytes
+// — and fsynced before the sweep moves on, so a coordinator that crashes or
+// is redeployed mid-sweep resumes from the journal instead of restarting:
+// journaled cells are never re-dispatched, and the workers' durable stores
+// cover whatever completed but missed the journal.
+//
+// The format is JSONL with a header line naming the sweep (a digest of the
+// cell keys in matrix order), so a journal can never silently resume the
+// wrong sweep. Records are individually verified on load: a torn final
+// record (crash mid-append) or a corrupted line fails to parse or fails its
+// digest and is dropped — that cell simply recomputes. Dropped records are
+// counted and reported, never trusted.
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// ErrJournalMismatch reports a journal whose header names a different sweep
+// than the one being run; resuming it would stitch two sweeps together.
+var ErrJournalMismatch = errors.New("cluster: journal belongs to a different sweep")
+
+// SweepID content-addresses a sweep: the digest of its cell keys in matrix
+// order. Identical matrices — and only identical matrices — share an ID.
+func SweepID(keys []string) string {
+	h := sha256.New()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{'\n'})
+	}
+	return "sweep-" + hex.EncodeToString(h.Sum(nil))
+}
+
+// journalLine is one JSONL line. A header line has T=="header" and names
+// the sweep; a record line carries a completed cell with the digest of its
+// result bytes.
+type journalLine struct {
+	T     string `json:"t,omitempty"`
+	Sweep string `json:"sweep,omitempty"`
+	Cells int    `json:"cells,omitempty"`
+
+	Key    string          `json:"key,omitempty"`
+	Digest string          `json:"digest,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Journal is a sweep's durable progress log. Safe for use from the one
+// event-loop goroutine that owns a Run; Append serialises internally so a
+// future concurrent writer stays correct.
+type Journal struct {
+	path  string
+	sweep string
+
+	mu        sync.Mutex
+	f         *os.File
+	completed map[string]json.RawMessage
+	dropped   int
+	appendErr error
+}
+
+// OpenJournal opens (or creates) the journal at path for the sweep
+// identified by sweepID over cells cells. An existing journal for the same
+// sweep yields its verified completed cells through Completed; an existing
+// journal for a different sweep returns ErrJournalMismatch rather than
+// guessing. A journal whose header itself is unreadable (torn at creation)
+// is restarted from scratch — its records cannot be attributed to a sweep.
+func OpenJournal(path, sweepID string, cells int) (*Journal, error) {
+	j := &Journal{path: path, sweep: sweepID, completed: make(map[string]json.RawMessage)}
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil && len(raw) > 0:
+		ok, err := j.load(raw)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// Unattributable header: start fresh.
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return nil, fmt.Errorf("cluster: resetting journal %s: %w", path, err)
+			}
+		}
+	case err != nil && !os.IsNotExist(err):
+		return nil, fmt.Errorf("cluster: reading journal %s: %w", path, err)
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening journal %s: %w", path, err)
+	}
+	j.f = f
+	if info, err := f.Stat(); err == nil && info.Size() == 0 {
+		if err := j.writeLine(journalLine{T: "header", Sweep: sweepID, Cells: cells}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// load parses an existing journal body. It returns ok=false when the header
+// is unreadable (the journal restarts), ErrJournalMismatch when the header
+// names another sweep, and otherwise fills completed with every record that
+// parses and passes its digest check — torn or corrupt records are dropped
+// and counted.
+func (j *Journal) load(raw []byte) (bool, error) {
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	first := true
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if first {
+				return false, nil
+			}
+			j.dropped++
+			continue
+		}
+		if first {
+			first = false
+			if rec.T != "header" {
+				return false, nil
+			}
+			if rec.Sweep != j.sweep {
+				return true, fmt.Errorf("%w: journal %s holds %.24s…, want %.24s…",
+					ErrJournalMismatch, j.path, rec.Sweep, j.sweep)
+			}
+			continue
+		}
+		sum := sha256.Sum256(rec.Result)
+		if rec.Key == "" || rec.Digest != hex.EncodeToString(sum[:]) {
+			j.dropped++
+			continue
+		}
+		j.completed[rec.Key] = rec.Result
+	}
+	if first {
+		return false, nil // nothing but blank lines
+	}
+	return true, nil
+}
+
+func (j *Journal) writeLine(rec journalLine) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding journal record: %w", err)
+	}
+	raw = append(raw, '\n')
+	if _, err := j.f.Write(raw); err != nil {
+		return fmt.Errorf("cluster: appending to journal %s: %w", j.path, err)
+	}
+	// The fsync is the durability boundary: a record is only "journaled"
+	// once it survives power loss. Sweeps are seconds-per-cell, so one
+	// fsync per completed cell is noise.
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("cluster: syncing journal %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// Append durably records one completed cell. Append failures do not fail
+// the sweep — they cost resumability, not correctness — but the first one
+// is retained for Err so callers can surface it.
+func (j *Journal) Append(key string, result json.RawMessage) {
+	// Digest the bytes as they will live in the file, not as they arrived:
+	// embedding a RawMessage in the record line re-encodes it (compaction,
+	// HTML escaping), and the load-time check hashes the file's bytes. One
+	// explicit Marshal applies the identical (idempotent) normalisation.
+	norm, err := json.Marshal(result)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		if j.appendErr == nil {
+			j.appendErr = fmt.Errorf("cluster: journaling %s: %w", key, err)
+		}
+		return
+	}
+	sum := sha256.Sum256(norm)
+	err = j.writeLine(journalLine{Key: key, Digest: hex.EncodeToString(sum[:]), Result: norm})
+	if err != nil && j.appendErr == nil {
+		j.appendErr = err
+	}
+	if err == nil {
+		j.completed[key] = norm
+	}
+}
+
+// Lookup returns the journaled result for key, if any.
+func (j *Journal) Lookup(key string) (json.RawMessage, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	raw, ok := j.completed[key]
+	return raw, ok
+}
+
+// Len reports how many verified completed cells the journal holds.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.completed)
+}
+
+// Dropped reports how many torn or corrupt records were discarded on load.
+func (j *Journal) Dropped() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// Err returns the first append failure, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendErr
+}
+
+// Close releases the journal's file handle. The file stays on disk — it is
+// the resume artifact.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -3,7 +3,10 @@ package cluster
 import (
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
+
+	"boomsim/internal/wire"
 )
 
 // Metrics instruments a Coordinator: plain atomics so Stats() can be read
@@ -13,20 +16,29 @@ type metrics struct {
 	batchesDispatched atomic.Uint64
 	jobsDispatched    atomic.Uint64
 	jobsCompleted     atomic.Uint64
+	jobsResumed       atomic.Uint64
 	jobsRetried       atomic.Uint64
 	jobsHedged        atomic.Uint64
 	cacheHits         atomic.Uint64
 	workerDeaths      atomic.Uint64
+	breakerCloses     atomic.Uint64
 	probeFailures     atomic.Uint64
+	workersJoined     atomic.Uint64
+	workersRemoved    atomic.Uint64
+	membershipErrors  atomic.Uint64
+	journalErrors     atomic.Uint64
 
+	// mu guards the worker list, which grows when membership admits
+	// endpoints the coordinator was not born with; the per-worker counters
+	// themselves stay lock-free.
+	mu      sync.Mutex
 	workers []*workerMetrics
 }
 
-// workerMetrics is one endpoint's share; the slice is fixed at New so no
-// locking is needed.
+// workerMetrics is one endpoint's share.
 type workerMetrics struct {
 	endpoint     string
-	alive        atomic.Bool
+	state        atomic.Int32 // wsLive/wsSuspect/wsDead/wsRemoved
 	requests     atomic.Uint64
 	failures     atomic.Uint64
 	jobs         atomic.Uint64
@@ -38,19 +50,35 @@ type Stats struct {
 	BatchesDispatched uint64 `json:"batches_dispatched"`
 	JobsDispatched    uint64 `json:"jobs_dispatched"`
 	JobsCompleted     uint64 `json:"jobs_completed"`
-	JobsRetried       uint64 `json:"jobs_retried"`
-	JobsHedged        uint64 `json:"jobs_hedged"`
-	CacheHits         uint64 `json:"cache_hits"`
-	WorkerDeaths      uint64 `json:"worker_deaths"`
-	ProbeFailures     uint64 `json:"probe_failures"`
+	// JobsResumed counts cells answered from the sweep journal without any
+	// dispatch: JobsCompleted + JobsResumed covers the whole matrix, and on
+	// a resumed sweep JobsCompleted is exactly the non-journaled remainder.
+	JobsResumed    uint64 `json:"jobs_resumed"`
+	JobsRetried    uint64 `json:"jobs_retried"`
+	JobsHedged     uint64 `json:"jobs_hedged"`
+	CacheHits      uint64 `json:"cache_hits"`
+	WorkerDeaths   uint64 `json:"worker_deaths"`
+	BreakerCloses  uint64 `json:"breaker_closes"`
+	ProbeFailures  uint64 `json:"probe_failures"`
+	WorkersJoined  uint64 `json:"workers_joined"`
+	WorkersRemoved uint64 `json:"workers_removed"`
+	// MembershipErrors counts unreadable membership-file reads (the last
+	// good view stayed in effect); JournalErrors counts sweeps whose
+	// journal stopped persisting (results unaffected, resumability lost).
+	MembershipErrors uint64 `json:"membership_errors"`
+	JournalErrors    uint64 `json:"journal_errors"`
 
 	Workers []WorkerStats `json:"workers"`
 }
 
 // WorkerStats is one endpoint's snapshot.
 type WorkerStats struct {
-	Endpoint     string `json:"endpoint"`
-	Alive        bool   `json:"alive"`
+	Endpoint string `json:"endpoint"`
+	Alive    bool   `json:"alive"`
+	// State is the circuit-breaker state: "live", "suspect" (half-open,
+	// probing), "dead" (open, cooling down) or "removed" (retired from the
+	// run). Alive means routable: live or suspect.
+	State        string `json:"state"`
 	Requests     uint64 `json:"requests"`
 	Failures     uint64 `json:"failures"`
 	Jobs         uint64 `json:"jobs"`
@@ -68,46 +96,89 @@ func (s Stats) CacheHitRatio() float64 {
 }
 
 func newMetrics(endpoints []string) *metrics {
-	m := &metrics{workers: make([]*workerMetrics, len(endpoints))}
-	for i, ep := range endpoints {
-		m.workers[i] = &workerMetrics{endpoint: ep}
-		m.workers[i].alive.Store(true)
+	m := &metrics{}
+	for _, ep := range endpoints {
+		m.worker(ep)
 	}
 	return m
 }
 
+// worker returns ep's metrics, creating them on first sight — endpoints
+// can join the pool mid-sweep.
 func (m *metrics) worker(endpoint string) *workerMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for _, w := range m.workers {
 		if w.endpoint == endpoint {
 			return w
 		}
 	}
-	return nil
+	w := &workerMetrics{endpoint: endpoint}
+	w.state.Store(wsLive)
+	m.workers = append(m.workers, w)
+	return w
 }
 
-func (m *metrics) snapshot() Stats {
-	s := Stats{
-		BatchesDispatched: m.batchesDispatched.Load(),
-		JobsDispatched:    m.jobsDispatched.Load(),
-		JobsCompleted:     m.jobsCompleted.Load(),
-		JobsRetried:       m.jobsRetried.Load(),
-		JobsHedged:        m.jobsHedged.Load(),
-		CacheHits:         m.cacheHits.Load(),
-		WorkerDeaths:      m.workerDeaths.Load(),
-		ProbeFailures:     m.probeFailures.Load(),
-		Workers:           make([]WorkerStats, len(m.workers)),
-	}
-	for i, w := range m.workers {
-		s.Workers[i] = WorkerStats{
+func (m *metrics) workerSnapshot() []WorkerStats {
+	m.mu.Lock()
+	workers := make([]*workerMetrics, len(m.workers))
+	copy(workers, m.workers)
+	m.mu.Unlock()
+	out := make([]WorkerStats, len(workers))
+	for i, w := range workers {
+		st := w.state.Load()
+		out[i] = WorkerStats{
 			Endpoint:     w.endpoint,
-			Alive:        w.alive.Load(),
+			Alive:        st == wsLive || st == wsSuspect,
+			State:        stateName(st),
 			Requests:     w.requests.Load(),
 			Failures:     w.failures.Load(),
 			Jobs:         w.jobs.Load(),
 			LatencyNanos: w.latencyNanos.Load(),
 		}
 	}
-	return s
+	return out
+}
+
+func (m *metrics) snapshot() Stats {
+	return Stats{
+		BatchesDispatched: m.batchesDispatched.Load(),
+		JobsDispatched:    m.jobsDispatched.Load(),
+		JobsCompleted:     m.jobsCompleted.Load(),
+		JobsResumed:       m.jobsResumed.Load(),
+		JobsRetried:       m.jobsRetried.Load(),
+		JobsHedged:        m.jobsHedged.Load(),
+		CacheHits:         m.cacheHits.Load(),
+		WorkerDeaths:      m.workerDeaths.Load(),
+		BreakerCloses:     m.breakerCloses.Load(),
+		ProbeFailures:     m.probeFailures.Load(),
+		WorkersJoined:     m.workersJoined.Load(),
+		WorkersRemoved:    m.workersRemoved.Load(),
+		MembershipErrors:  m.membershipErrors.Load(),
+		JournalErrors:     m.journalErrors.Load(),
+		Workers:           m.workerSnapshot(),
+	}
+}
+
+// membershipView condenses the worker snapshot into the operator-facing
+// pool view ("removed" workers report as dead — either way they take no
+// traffic).
+func (m *metrics) membershipView() wire.MembershipView {
+	var v wire.MembershipView
+	for _, ws := range m.workerSnapshot() {
+		state := ws.State
+		switch state {
+		case "live":
+			v.Live++
+		case "suspect":
+			v.Suspect++
+		default:
+			state = "dead"
+			v.Dead++
+		}
+		v.Workers = append(v.Workers, wire.MembershipWorker{Endpoint: ws.Endpoint, State: state})
+	}
+	return v
 }
 
 // serveHTTP renders the counters in Prometheus text exposition format.
@@ -120,19 +191,25 @@ func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	write("boomsim_coordinator_batches_dispatched_total", "counter", "Batches posted to workers.", s.BatchesDispatched)
 	write("boomsim_coordinator_jobs_dispatched_total", "counter", "Job dispatches, including retries and hedges.", s.JobsDispatched)
 	write("boomsim_coordinator_jobs_completed_total", "counter", "Jobs with a recorded result.", s.JobsCompleted)
+	write("boomsim_coordinator_jobs_resumed_total", "counter", "Jobs answered from the sweep journal without dispatch.", s.JobsResumed)
 	write("boomsim_coordinator_jobs_retried_total", "counter", "Job re-dispatches after per-job or transport failures.", s.JobsRetried)
 	write("boomsim_coordinator_jobs_hedged_total", "counter", "Duplicate dispatches of straggling jobs.", s.JobsHedged)
 	write("boomsim_coordinator_cache_hits_total", "counter", "Jobs answered from a worker's result cache.", s.CacheHits)
 	write("boomsim_coordinator_cache_hit_ratio", "gauge", "Coordinator-observed worker cache-hit ratio.", s.CacheHitRatio())
-	write("boomsim_coordinator_worker_deaths_total", "counter", "Workers declared dead and drained.", s.WorkerDeaths)
+	write("boomsim_coordinator_worker_deaths_total", "counter", "Circuit breakers opened (worker declared dead and drained).", s.WorkerDeaths)
+	write("boomsim_coordinator_breaker_closes_total", "counter", "Circuit breakers closed after a clean half-open probe.", s.BreakerCloses)
 	write("boomsim_coordinator_probe_failures_total", "counter", "Health probes that failed at sweep start.", s.ProbeFailures)
+	write("boomsim_coordinator_workers_joined_total", "counter", "Workers admitted by membership changes mid-sweep.", s.WorkersJoined)
+	write("boomsim_coordinator_workers_removed_total", "counter", "Workers retired by membership changes mid-sweep.", s.WorkersRemoved)
+	write("boomsim_coordinator_membership_errors_total", "counter", "Membership file reads that failed.", s.MembershipErrors)
+	write("boomsim_coordinator_journal_errors_total", "counter", "Sweeps whose journal stopped persisting.", s.JournalErrors)
 	perWorker := func(name, kind, help string, value func(WorkerStats) any) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
 		for _, ws := range s.Workers {
 			fmt.Fprintf(w, "%s{worker=%q} %v\n", name, ws.Endpoint, value(ws))
 		}
 	}
-	perWorker("boomsim_coordinator_worker_alive", "gauge", "1 while the worker is considered live.",
+	perWorker("boomsim_coordinator_worker_alive", "gauge", "1 while the worker is routable (breaker closed or half-open).",
 		func(ws WorkerStats) any { return b2i(ws.Alive) })
 	perWorker("boomsim_coordinator_worker_requests_total", "counter", "Batch requests sent to the worker.",
 		func(ws WorkerStats) any { return ws.Requests })

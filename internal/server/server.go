@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"boomsim"
+	"boomsim/internal/store"
 	"boomsim/internal/wire"
 )
 
@@ -56,6 +57,12 @@ type Config struct {
 	// RequestTimeout caps every request's deadline (default 5m). A request
 	// may ask for less via timeout_ms, never more.
 	RequestTimeout time.Duration
+	// Store, when set, is the disk-backed result store behind the LRU:
+	// every computed result is written through to it, LRU misses consult it
+	// before simulating, and its entries survive process restarts. Reads
+	// are fingerprint-verified by the store itself — a corrupt or torn
+	// entry is quarantined and recomputed, never served.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +101,7 @@ type Server struct {
 	stop    context.CancelFunc
 	sem     chan struct{}
 	cache   *resultCache
+	store   *store.Store
 	flights *flightGroup
 	m       metrics
 
@@ -116,6 +124,7 @@ func New(cfg Config) *Server {
 		stop:    cancel,
 		sem:     make(chan struct{}, cfg.Workers),
 		cache:   newResultCache(cfg.CacheEntries),
+		store:   cfg.Store,
 	}
 	s.flights = newFlightGroup(func() { s.m.flightShared.Add(1) })
 	return s
@@ -144,8 +153,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.m.serveHTTP)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// handleMetrics renders the service counters plus, when a durable store is
+// configured, its entry/byte/quarantine gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.m.serveHTTP(w, r)
+	if s.store == nil {
+		return
+	}
+	st := s.store.Stats()
+	write := func(name, kind, help string, value any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, kind, name, value)
+	}
+	write("boomsimd_store_entries", "gauge", "Entries in the durable result store.", st.Entries)
+	write("boomsimd_store_bytes", "gauge", "Bytes held by the durable result store.", st.Bytes)
+	write("boomsimd_store_hits_total", "counter", "Verified reads served from the durable store.", st.Hits)
+	write("boomsimd_store_misses_total", "counter", "Durable-store lookups that missed.", st.Misses)
+	write("boomsimd_store_writes_total", "counter", "Results written through to the durable store.", st.Writes)
+	write("boomsimd_store_write_errors_total", "counter", "Durable-store writes that failed.", st.WriteErrors)
+	write("boomsimd_store_quarantined_total", "counter", "Corrupt entries quarantined instead of served.", st.Quarantined)
 }
 
 // RunRequest is the wire form of one simulation configuration (shared with
@@ -279,13 +308,53 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, RunResponse{Key: sim.Fingerprint(), Cached: cached, Result: result})
 }
 
-// runOne resolves one simulation through cache → singleflight → worker
-// pool.
+// cacheGet resolves key through the in-memory LRU, then the durable store.
+// A store hit is promoted into the LRU so repeat traffic stays off disk.
+// Store reads are digest-verified by the store itself; an entry that cannot
+// be decoded into a Result (version skew) is treated as a miss and will be
+// recomputed and overwritten.
+func (s *Server) cacheGet(key string) (boomsim.Result, bool) {
+	if v, ok := s.cache.Get(key); ok {
+		return v.(boomsim.Result), true
+	}
+	if s.store == nil {
+		return boomsim.Result{}, false
+	}
+	raw, ok := s.store.Get(key)
+	if !ok {
+		return boomsim.Result{}, false
+	}
+	var r boomsim.Result
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return boomsim.Result{}, false
+	}
+	s.cache.Add(key, r)
+	return r, true
+}
+
+// cacheAdd records a computed result in the LRU and writes it through to
+// the durable store. A store write failure only costs durability — the
+// in-memory result is unaffected and the failure is visible in the store's
+// stats.
+func (s *Server) cacheAdd(key string, r boomsim.Result) {
+	s.cache.Add(key, r)
+	if s.store == nil {
+		return
+	}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	_ = s.store.Put(key, raw)
+}
+
+// runOne resolves one simulation through cache → durable store →
+// singleflight → worker pool.
 func (s *Server) runOne(ctx context.Context, sim *boomsim.Simulation) (boomsim.Result, bool, error) {
 	key := sim.Fingerprint()
-	if v, ok := s.cache.Get(key); ok {
+	if r, ok := s.cacheGet(key); ok {
 		s.m.cacheHits.Add(1)
-		return v.(boomsim.Result), true, nil
+		return r, true, nil
 	}
 	s.m.cacheMisses.Add(1)
 	v, _, err := s.flights.do(ctx, s.baseCtx, key, s.admit, s.spawn,
@@ -295,7 +364,7 @@ func (s *Server) runOne(ctx context.Context, sim *boomsim.Simulation) (boomsim.R
 			if err != nil {
 				return nil, err
 			}
-			s.cache.Add(key, r)
+			s.cacheAdd(key, r)
 			return r, nil
 		})
 	if err != nil {
@@ -358,8 +427,8 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 			results := make([]boomsim.Result, len(sims))
 			var missing []int
 			for i, k := range keys {
-				if v, ok := s.cache.Get(k); ok {
-					results[i] = v.(boomsim.Result)
+				if r, ok := s.cacheGet(k); ok {
+					results[i] = r
 				} else {
 					missing = append(missing, i)
 				}
@@ -390,7 +459,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 			var instrs uint64
 			for j, i := range missing {
 				results[i] = subResults[j]
-				s.cache.Add(keys[i], subResults[j])
+				s.cacheAdd(keys[i], subResults[j])
 				instrs += subResults[j].Instructions
 				s.m.observeComponents(subResults[j])
 			}
@@ -479,11 +548,11 @@ func (s *Server) jobError(err error) wire.JobResult {
 func (s *Server) cachedCells(keys []string) ([]boomsim.Result, bool) {
 	results := make([]boomsim.Result, len(keys))
 	for i, k := range keys {
-		v, ok := s.cache.Get(k)
+		r, ok := s.cacheGet(k)
 		if !ok {
 			return nil, false
 		}
-		results[i] = v.(boomsim.Result)
+		results[i] = r
 	}
 	return results, true
 }
@@ -618,7 +687,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
 		return
 	}
-	writeJSON(w, http.StatusOK, wire.Health{
+	h := wire.Health{
 		Status:    "ok",
 		Version:   Version,
 		GoVersion: runtime.Version(),
@@ -632,7 +701,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		InFlightSims:  s.m.simsInflight.Load(),
 		QueuedFlights: s.m.queued.Load(),
 		CacheEntries:  s.cache.Len(),
-	})
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		h.Store = &wire.StoreHealth{
+			Dir:         st.Dir,
+			Entries:     st.Entries,
+			Bytes:       st.Bytes,
+			Hits:        st.Hits,
+			Misses:      st.Misses,
+			Writes:      st.Writes,
+			Quarantined: st.Quarantined,
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // statusFor maps error classes onto HTTP statuses: configuration mistakes

@@ -109,4 +109,46 @@ type Health struct {
 	InFlightSims  int64 `json:"inflight_sims"`
 	QueuedFlights int64 `json:"queued_flights"`
 	CacheEntries  int   `json:"cache_entries"`
+
+	// Store reports the durable result store when the worker has one: the
+	// recovery state an operator checks after a restart or a corruption.
+	Store *StoreHealth `json:"store,omitempty"`
+}
+
+// StoreHealth is the durable result store's slice of /healthz.
+type StoreHealth struct {
+	Dir     string `json:"dir"`
+	Entries int64  `json:"entries"`
+	Bytes   int64  `json:"bytes"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Writes  uint64 `json:"writes"`
+	// Quarantined counts entries that failed fingerprint verification on
+	// read and were moved aside instead of served.
+	Quarantined uint64 `json:"quarantined"`
+}
+
+// Membership is the dynamic worker-pool document a coordinator watches (a
+// file or an endpoint): the authoritative list of worker base URLs. Workers
+// appearing mid-sweep join the pool after a health probe; workers removed
+// mid-sweep are retired and only their rendezvous keys move.
+type Membership struct {
+	Workers []string `json:"workers"`
+}
+
+// MembershipView is the coordinator's live opinion of its pool, served on
+// the coordinator's own /healthz for operators: per-worker circuit state
+// ("live", "suspect" while a reopened breaker probes, "dead" while open)
+// plus the aggregate counts.
+type MembershipView struct {
+	Live    int                `json:"live"`
+	Suspect int                `json:"suspect"`
+	Dead    int                `json:"dead"`
+	Workers []MembershipWorker `json:"workers"`
+}
+
+// MembershipWorker is one endpoint's row in a MembershipView.
+type MembershipWorker struct {
+	Endpoint string `json:"endpoint"`
+	State    string `json:"state"`
 }
