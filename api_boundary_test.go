@@ -206,3 +206,44 @@ func TestChaosStaysOutOfProduction(t *testing.T) {
 		t.Fatalf("walking module: %v", err)
 	}
 }
+
+// TestExperimentEngineStaysPure pins the experiment engine's layering:
+// internal/exp (and its statkit subpackage) is pure spec/statistics/verdict
+// logic. It may use the standard library, its own statkit, and the shared
+// wire/stats vocabularies — never the public boomsim package (that is an
+// import cycle: boomsim.RunExperiment is built on exp) and never the
+// simulation internals (the engine consumes flat metric maps, so it can be
+// driven by hand-built cells in tests and by the public API in production).
+func TestExperimentEngineStaysPure(t *testing.T) {
+	allowed := map[string]bool{
+		"boomsim/internal/exp/statkit": true,
+		"boomsim/internal/wire":        true,
+		"boomsim/internal/stats":       true,
+	}
+	err := filepath.WalkDir("internal/exp", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if (ip == "boomsim" || strings.HasPrefix(ip, "boomsim/")) && !allowed[ip] {
+				t.Errorf("%s imports %s; internal/exp may only use the standard library, statkit, and boomsim/internal/{wire,stats}", path, ip)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking internal/exp: %v", err)
+	}
+}

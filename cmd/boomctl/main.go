@@ -5,7 +5,18 @@
 // worker death) and reassembled in deterministic matrix order — the same
 // bytes a local run would produce.
 //
-// Examples:
+// boomctl is also the hypothesis-driven experiment entry point:
+//
+//	boomctl experiment testdata/experiments/fig8-speedup.json
+//	boomctl experiment -endpoints http://sim-1:8080,http://sim-2:8080 spec.json
+//
+// loads a declarative experiment spec (hypothesis, baseline, candidates,
+// workloads, seeds, parameter matrix, success criteria), runs the matrix
+// locally or across the pool, aggregates metrics over seeds into mean ±
+// 95% confidence intervals, and exits nonzero on a FAIL verdict — see
+// EXPERIMENTS.md for the spec format.
+//
+// Sweep examples:
 //
 //	boomctl -workers http://sim-1:8080,http://sim-2:8080,http://sim-3:8080
 //	boomctl -workers ... -schemes Base,FDIP,Boomerang -workloads Apache,DB2
@@ -45,6 +56,14 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch: `boomctl experiment <spec.json>` is the
+	// hypothesis-driven entry point; bare boomctl remains the raw matrix
+	// sweeper.
+	if len(os.Args) > 1 && os.Args[1] == "experiment" {
+		runExperimentCmd(os.Args[2:])
+		return
+	}
+
 	var (
 		workers     = flag.String("workers", "", "comma-separated boomsimd endpoints, e.g. http://sim-1:8080,http://sim-2:8080 (this or -membership is required)")
 		schemesCSV  = flag.String("schemes", "all", `schemes to sweep ("all" = every registered scheme)`)

@@ -43,4 +43,16 @@ var (
 	// names a journal recorded for a different sweep; resuming it would
 	// stitch two matrices together.
 	ErrJournalMismatch = errors.New("boomsim: sweep journal belongs to a different matrix")
+
+	// ErrInvalidSpec is returned by ParseExperimentSpec, LoadExperimentSpec
+	// and RunExperiment when an experiment spec is structurally unusable:
+	// wrong version, empty seed list, duplicate schemes, malformed
+	// criteria, unknown fields.
+	ErrInvalidSpec = errors.New("boomsim: invalid experiment spec")
+
+	// ErrUnknownMetric is returned when an experiment criterion references
+	// a metric that is neither derived (speedup, coverage, recovery), nor
+	// a headline Result field, nor present in the judged scheme's
+	// per-component statistics registry.
+	ErrUnknownMetric = errors.New("boomsim: unknown experiment metric")
 )

@@ -1,0 +1,481 @@
+// Package exp is the hypothesis-driven experiment engine: declarative
+// experiment specs (hypothesis, schemes under test, workload set, seed
+// list, parameter matrix, success criteria), multi-seed statistical
+// aggregation, and machine-checked PASS/FAIL/INCONCLUSIVE verdicts.
+//
+// The package is deliberately simulator-agnostic plain data and math: it
+// never imports the public boomsim package or the simulation internals.
+// Spec validation resolves names through an injected Env, and evaluation
+// consumes flat per-cell metric maps — so the engine layers cleanly under
+// boomsim.RunExperiment (which supplies the registries and the matrix
+// runner) without an import cycle, and its logic is testable with
+// hand-built cells. The spec/statistics/verdict plane defined here is what
+// checked-in paper claims (testdata/experiments/), the boomctl experiment
+// subcommand and CI's experiment-smoke job all share.
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// SpecVersion is the experiment spec format version this engine reads and
+// writes. Specs carry it explicitly so stored experiments fail loudly on a
+// format change instead of silently reinterpreting fields.
+const SpecVersion = 1
+
+// Typed validation errors. Callers (and the invalid-spec golden corpus)
+// match them with errors.Is; the concrete errors wrap these with the
+// offending field and value.
+var (
+	// ErrInvalidSpec covers structural problems: wrong version, empty
+	// seeds, no workloads, duplicate schemes, malformed criteria.
+	ErrInvalidSpec = errors.New("exp: invalid experiment spec")
+
+	// ErrUnknownScheme means the spec names a scheme the registry does not
+	// know (and no inline scheme config defines).
+	ErrUnknownScheme = errors.New("exp: unknown scheme")
+
+	// ErrUnknownWorkload means the spec names a workload the registry does
+	// not know.
+	ErrUnknownWorkload = errors.New("exp: unknown workload")
+
+	// ErrUnknownMetric means a criterion references a metric that is
+	// neither derived (speedup/coverage/recovery), nor a headline result
+	// field, nor — at evaluation time — present in the per-component stats
+	// registry.
+	ErrUnknownMetric = errors.New("exp: unknown metric")
+)
+
+// Spec is one complete declarative experiment: what to run, how many seeds
+// to run it across, and what the result is supposed to show. Field order
+// here is the canonical JSON order — specs round-trip byte-identically
+// through ParseSpec and MarshalIndent, which the golden round-trip test
+// pins for every checked-in spec.
+type Spec struct {
+	// Version is the spec format version; must equal SpecVersion.
+	Version int `json:"version"`
+	// Name identifies the experiment (report headers, file names).
+	Name string `json:"name"`
+	// Hypothesis is the human statement the criteria below make checkable,
+	// e.g. "Boomerang recovers the majority of the Perfect-BTB speedup on
+	// server workloads".
+	Hypothesis string `json:"hypothesis"`
+	// Baseline is the control scheme every derived metric (speedup,
+	// coverage, recovery) is computed against.
+	Baseline string `json:"baseline"`
+	// Candidates are the registry schemes under test, compared against
+	// Baseline. Together with SchemeConfigs at least one is required.
+	Candidates []string `json:"candidates,omitempty"`
+	// SchemeConfigs are inline declarative scheme definitions (the
+	// boomsim.SchemeConfig JSON format) under test alongside Candidates —
+	// novel scenarios travel inside the spec, no registration needed.
+	SchemeConfigs []json.RawMessage `json:"scheme_configs,omitempty"`
+	// Workloads are the registry workloads the schemes run on.
+	Workloads []string `json:"workloads"`
+	// Seeds are the replication axis: each seed runs every cell once
+	// (seeding both code-image generation and the oracle walk), and
+	// metrics aggregate across seeds into mean/stderr/CI95. Statistical
+	// criteria need >= 2; the paper specs use >= 3.
+	Seeds []uint64 `json:"seeds"`
+	// Window optionally overrides the measurement methodology.
+	Window *Window `json:"window,omitempty"`
+	// Matrix optionally crosses the scheme x workload x seed sweep with
+	// microarchitectural parameter axes; every combination is one cell
+	// group and criteria must hold at every point.
+	Matrix *Matrix `json:"matrix,omitempty"`
+	// Metrics optionally names extra metrics to aggregate into the report
+	// beyond the defaults and whatever the criteria reference.
+	Metrics []string `json:"metrics,omitempty"`
+	// Criteria are the machine-checked success conditions; at least one is
+	// required — an experiment without criteria is a sweep, not a test.
+	Criteria []Criterion `json:"criteria"`
+}
+
+// Window is a spec's measurement methodology override: warm instructions
+// (statistics discarded), then measured instructions.
+type Window struct {
+	Warm    uint64 `json:"warm"`
+	Measure uint64 `json:"measure"`
+}
+
+// Matrix is a spec's parameter axes. Each listed axis multiplies the cell
+// count; an empty axis means "the default". Points enumerate in field
+// order with the last axis fastest, and each point is reported and judged
+// separately.
+type Matrix struct {
+	// BTBEntries sweeps the basic-block BTB capacity.
+	BTBEntries []int `json:"btb_entries,omitempty"`
+	// LLCLatency sweeps the average LLC round-trip latency in cycles.
+	LLCLatency []int `json:"llc_latency,omitempty"`
+	// FootprintKB sweeps the workload instruction footprint override.
+	FootprintKB []int `json:"footprint_kb,omitempty"`
+	// Predictor sweeps the direction predictor ("tage", "bimodal",
+	// "never-taken").
+	Predictor []string `json:"predictor,omitempty"`
+}
+
+// Point is one resolved parameter-matrix combination. The zero value means
+// "all defaults" and is what a spec without a matrix runs at.
+type Point struct {
+	BTBEntries  int    `json:"btb_entries,omitempty"`
+	LLCLatency  int    `json:"llc_latency,omitempty"`
+	FootprintKB int    `json:"footprint_kb,omitempty"`
+	Predictor   string `json:"predictor,omitempty"`
+}
+
+// IsZero reports whether the point is all defaults.
+func (p Point) IsZero() bool { return p == Point{} }
+
+// String renders the point compactly for report rows ("defaults" for the
+// zero point).
+func (p Point) String() string {
+	if p.IsZero() {
+		return "defaults"
+	}
+	var parts []string
+	if p.BTBEntries != 0 {
+		parts = append(parts, fmt.Sprintf("btb=%d", p.BTBEntries))
+	}
+	if p.LLCLatency != 0 {
+		parts = append(parts, fmt.Sprintf("llc=%d", p.LLCLatency))
+	}
+	if p.FootprintKB != 0 {
+		parts = append(parts, fmt.Sprintf("footprint=%dKB", p.FootprintKB))
+	}
+	if p.Predictor != "" {
+		parts = append(parts, "predictor="+p.Predictor)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Points expands the matrix into its cross product, last axis fastest; a
+// nil or empty matrix yields the single zero point.
+func (m *Matrix) Points() []Point {
+	if m == nil {
+		return []Point{{}}
+	}
+	btbs := orDefaultInts(m.BTBEntries)
+	llcs := orDefaultInts(m.LLCLatency)
+	fps := orDefaultInts(m.FootprintKB)
+	preds := m.Predictor
+	if len(preds) == 0 {
+		preds = []string{""}
+	}
+	out := make([]Point, 0, len(btbs)*len(llcs)*len(fps)*len(preds))
+	for _, b := range btbs {
+		for _, l := range llcs {
+			for _, f := range fps {
+				for _, p := range preds {
+					out = append(out, Point{BTBEntries: b, LLCLatency: l, FootprintKB: f, Predictor: p})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func orDefaultInts(xs []int) []int {
+	if len(xs) == 0 {
+		return []int{0}
+	}
+	return xs
+}
+
+// Criterion is one machine-checked success condition: a comparison of an
+// aggregated metric against a threshold.
+type Criterion struct {
+	// Name labels the criterion in reports ("boomerang-speedup-apache").
+	Name string `json:"name"`
+	// Metric names what is compared: a derived pairwise metric
+	// ("speedup", "coverage", "recovery" — computed per seed against the
+	// baseline), a headline result field ("ipc", "l1i_misses_per_ki",
+	// "storage_overhead_kb", ...), or a dotted per-component registry
+	// statistic ("cache.llc_misses", "boomerang.probes").
+	Metric string `json:"metric"`
+	// Scheme is the scheme under judgment; must be one of the spec's
+	// candidates (or, for non-derived metrics, the baseline).
+	Scheme string `json:"scheme"`
+	// Reference names the yardstick scheme for the "recovery" metric:
+	// recovery = (speedup(Scheme) - 1) / (speedup(Reference) - 1), the
+	// fraction of the reference's speedup the scheme achieves.
+	Reference string `json:"reference,omitempty"`
+	// Workload restricts the criterion to one workload; empty means the
+	// criterion must hold on every workload in the spec.
+	Workload string `json:"workload,omitempty"`
+	// Op compares the aggregate against Threshold: ">=", ">", "<=", "<".
+	Op string `json:"op"`
+	// Threshold is the comparison constant.
+	Threshold float64 `json:"threshold"`
+	// Compare selects the comparison semantics: "point" (default) judges
+	// the sample mean alone; "ci" is interval-aware — PASS only if the
+	// entire 95% confidence interval satisfies the comparison, FAIL only
+	// if the entire interval violates it, INCONCLUSIVE if the interval
+	// straddles the threshold or fewer than two seeds ran.
+	Compare string `json:"compare,omitempty"`
+}
+
+// Derived pairwise metrics: computed per (workload, point, seed) against
+// the baseline cell, then aggregated across seeds like any other metric.
+const (
+	// MetricSpeedup is candidate IPC over baseline IPC.
+	MetricSpeedup = "speedup"
+	// MetricCoverage is the fraction of the baseline's front-end stall
+	// cycles (normalised per instruction) the candidate eliminated.
+	MetricCoverage = "coverage"
+	// MetricRecovery is the fraction of a reference scheme's speedup the
+	// candidate achieves: (speedup-1)/(speedup_ref-1).
+	MetricRecovery = "recovery"
+)
+
+// Comparison semantics names for Criterion.Compare.
+const (
+	ComparePoint = "point"
+	CompareCI    = "ci"
+)
+
+// Env supplies the registry knowledge Validate needs, keeping this package
+// free of simulator imports. HasMetric reports whether a non-derived,
+// non-dotted metric name is a known headline result field; dotted registry
+// statistics are scheme-dependent and are checked at evaluation time
+// instead.
+type Env struct {
+	HasScheme   func(name string) bool
+	HasWorkload func(name string) bool
+	HasMetric   func(name string) bool
+	// SchemeConfigName validates one inline scheme config and returns its
+	// name; required when the spec carries SchemeConfigs.
+	SchemeConfigName func(raw json.RawMessage) (string, error)
+}
+
+// ParseSpec decodes one JSON experiment spec, rejecting unknown fields so
+// typos surface instead of silently weakening an experiment. The spec is
+// NOT validated — call Validate with an Env next; boomsim's
+// ParseExperimentSpec does both.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("%w: decoding: %v", ErrInvalidSpec, err)
+	}
+	return s, nil
+}
+
+// MarshalIndent renders the spec in its canonical on-disk form: two-space
+// indentation, a trailing newline, fields in declaration order, and no
+// HTML escaping (criterion ops stay ">=" instead of a unicode escape).
+// Every checked-in spec is exactly these bytes (the round-trip golden
+// test). Encoder.Encode supplies the trailing newline.
+func (s *Spec) MarshalIndent() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SchemeNames returns every scheme the spec runs, in execution order:
+// baseline first, then candidates, then inline configs (resolved through
+// env). Call only after Validate succeeded with the same env.
+func (s *Spec) SchemeNames(env Env) ([]string, error) {
+	names := append([]string{s.Baseline}, s.Candidates...)
+	for i, raw := range s.SchemeConfigs {
+		name, err := env.SchemeConfigName(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: scheme_configs[%d]: %v", ErrInvalidSpec, i, err)
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// Validate checks the spec structurally and against the registries. It
+// returns the first problem found, wrapped in the matching typed error.
+func (s *Spec) Validate(env Env) error {
+	if s.Version != SpecVersion {
+		return fmt.Errorf("%w: version %d (this engine reads version %d)",
+			ErrInvalidSpec, s.Version, SpecVersion)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("%w: empty name", ErrInvalidSpec)
+	}
+	if s.Hypothesis == "" {
+		return fmt.Errorf("%w: empty hypothesis — state what the experiment is supposed to show", ErrInvalidSpec)
+	}
+	if s.Baseline == "" {
+		return fmt.Errorf("%w: empty baseline scheme", ErrInvalidSpec)
+	}
+	if len(s.Candidates) == 0 && len(s.SchemeConfigs) == 0 {
+		return fmt.Errorf("%w: no candidate schemes (candidates or scheme_configs)", ErrInvalidSpec)
+	}
+	if len(s.Workloads) == 0 {
+		return fmt.Errorf("%w: empty workload set", ErrInvalidSpec)
+	}
+	if len(s.Seeds) == 0 {
+		return fmt.Errorf("%w: empty seed list — statistics need replication", ErrInvalidSpec)
+	}
+	if len(s.Criteria) == 0 {
+		return fmt.Errorf("%w: no success criteria — an experiment without criteria is a sweep", ErrInvalidSpec)
+	}
+	if s.Window != nil && s.Window.Measure == 0 {
+		return fmt.Errorf("%w: window.measure must be positive", ErrInvalidSpec)
+	}
+
+	seen := map[uint64]bool{}
+	for _, seed := range s.Seeds {
+		if seen[seed] {
+			return fmt.Errorf("%w: duplicate seed %d", ErrInvalidSpec, seed)
+		}
+		seen[seed] = true
+	}
+
+	if !env.HasScheme(s.Baseline) {
+		return fmt.Errorf("%w: baseline %q", ErrUnknownScheme, s.Baseline)
+	}
+	schemeSet := map[string]bool{s.Baseline: true}
+	for _, c := range s.Candidates {
+		if !env.HasScheme(c) {
+			return fmt.Errorf("%w: candidate %q", ErrUnknownScheme, c)
+		}
+		if schemeSet[c] {
+			return fmt.Errorf("%w: scheme %q listed twice", ErrInvalidSpec, c)
+		}
+		schemeSet[c] = true
+	}
+	for i, raw := range s.SchemeConfigs {
+		if env.SchemeConfigName == nil {
+			return fmt.Errorf("%w: scheme_configs[%d]: inline configs unsupported by this environment", ErrInvalidSpec, i)
+		}
+		name, err := env.SchemeConfigName(raw)
+		if err != nil {
+			return fmt.Errorf("%w: scheme_configs[%d]: %v", ErrInvalidSpec, i, err)
+		}
+		if schemeSet[name] {
+			return fmt.Errorf("%w: scheme %q listed twice", ErrInvalidSpec, name)
+		}
+		schemeSet[name] = true
+	}
+
+	wlSet := map[string]bool{}
+	for _, w := range s.Workloads {
+		if !env.HasWorkload(w) {
+			return fmt.Errorf("%w: %q", ErrUnknownWorkload, w)
+		}
+		if wlSet[w] {
+			return fmt.Errorf("%w: workload %q listed twice", ErrInvalidSpec, w)
+		}
+		wlSet[w] = true
+	}
+
+	if s.Matrix != nil {
+		for _, p := range s.Matrix.Predictor {
+			switch p {
+			case "tage", "bimodal", "never-taken":
+			default:
+				return fmt.Errorf("%w: matrix.predictor %q (have: tage, bimodal, never-taken)", ErrInvalidSpec, p)
+			}
+		}
+		for _, b := range s.Matrix.BTBEntries {
+			if b <= 0 {
+				return fmt.Errorf("%w: matrix.btb_entries %d must be positive", ErrInvalidSpec, b)
+			}
+		}
+		for _, l := range s.Matrix.LLCLatency {
+			if l <= 0 {
+				return fmt.Errorf("%w: matrix.llc_latency %d must be positive", ErrInvalidSpec, l)
+			}
+		}
+		for _, f := range s.Matrix.FootprintKB {
+			if f <= 0 {
+				return fmt.Errorf("%w: matrix.footprint_kb %d must be positive", ErrInvalidSpec, f)
+			}
+		}
+	}
+
+	for _, m := range s.Metrics {
+		if err := validateMetricName(m, env); err != nil {
+			return err
+		}
+	}
+
+	names := map[string]bool{}
+	for i, c := range s.Criteria {
+		if c.Name == "" {
+			return fmt.Errorf("%w: criteria[%d]: empty name", ErrInvalidSpec, i)
+		}
+		if names[c.Name] {
+			return fmt.Errorf("%w: criterion %q listed twice", ErrInvalidSpec, c.Name)
+		}
+		names[c.Name] = true
+		if err := validateMetricName(c.Metric, env); err != nil {
+			return fmt.Errorf("criterion %q: %w", c.Name, err)
+		}
+		if !schemeSet[c.Scheme] {
+			return fmt.Errorf("%w: criterion %q judges scheme %q, which the spec does not run", ErrInvalidSpec, c.Name, c.Scheme)
+		}
+		if isDerived(c.Metric) && c.Scheme == s.Baseline {
+			return fmt.Errorf("%w: criterion %q: derived metric %q is trivial for the baseline itself", ErrInvalidSpec, c.Name, c.Metric)
+		}
+		switch c.Metric {
+		case MetricRecovery:
+			if c.Reference == "" {
+				return fmt.Errorf("%w: criterion %q: recovery needs a reference scheme", ErrInvalidSpec, c.Name)
+			}
+			if !schemeSet[c.Reference] {
+				return fmt.Errorf("%w: criterion %q references scheme %q, which the spec does not run", ErrInvalidSpec, c.Name, c.Reference)
+			}
+			if c.Reference == c.Scheme {
+				return fmt.Errorf("%w: criterion %q: recovery reference equals the judged scheme", ErrInvalidSpec, c.Name)
+			}
+		default:
+			if c.Reference != "" {
+				return fmt.Errorf("%w: criterion %q: reference is only meaningful for %q", ErrInvalidSpec, c.Name, MetricRecovery)
+			}
+		}
+		if c.Workload != "" && !wlSet[c.Workload] {
+			return fmt.Errorf("%w: criterion %q restricts to workload %q, which the spec does not run", ErrInvalidSpec, c.Name, c.Workload)
+		}
+		switch c.Op {
+		case ">=", ">", "<=", "<":
+		default:
+			return fmt.Errorf("%w: criterion %q: op %q (have: >=, >, <=, <)", ErrInvalidSpec, c.Name, c.Op)
+		}
+		switch c.Compare {
+		case "", ComparePoint, CompareCI:
+		default:
+			return fmt.Errorf("%w: criterion %q: compare %q (have: point, ci)", ErrInvalidSpec, c.Name, c.Compare)
+		}
+	}
+	return nil
+}
+
+func isDerived(metric string) bool {
+	switch metric {
+	case MetricSpeedup, MetricCoverage, MetricRecovery:
+		return true
+	}
+	return false
+}
+
+// validateMetricName admits derived metrics, known headline fields, and
+// dotted registry statistics (whose existence is scheme-dependent and
+// checked at evaluation time against the actual cells).
+func validateMetricName(m string, env Env) error {
+	if m == "" {
+		return fmt.Errorf("%w: empty metric name", ErrInvalidSpec)
+	}
+	if isDerived(m) || strings.Contains(m, ".") {
+		return nil
+	}
+	if env.HasMetric != nil && env.HasMetric(m) {
+		return nil
+	}
+	return fmt.Errorf("%w: %q is not a derived metric, a headline result field or a dotted registry statistic", ErrUnknownMetric, m)
+}

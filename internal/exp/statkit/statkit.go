@@ -1,0 +1,140 @@
+// Package statkit provides the small-sample statistics the experiment
+// subsystem aggregates simulation metrics with: mean, sample standard
+// deviation, standard error, and Student-t 95% confidence intervals.
+//
+// Experiment seed counts are small (3-10 is typical), so the normal
+// approximation understates interval width badly; CI95 uses the Student-t
+// critical value for the sample's actual degrees of freedom. All functions
+// are pure and deterministic — equal inputs produce equal float64 outputs —
+// which is what lets experiment reports stay byte-identical across
+// parallelism levels and local/distributed execution.
+package statkit
+
+import "math"
+
+// Summary is the aggregate of one metric across an experiment's seeds:
+// the per-seed sample reduced to mean, spread and a 95% confidence
+// interval. With N == 1 the spread and interval are undefined and reported
+// as zero-width at the mean; CI-aware criterion comparisons treat that case
+// as inconclusive rather than trusting a width-zero interval.
+type Summary struct {
+	// N is the sample size (the number of seeds).
+	N int `json:"n"`
+	// Mean is the sample mean.
+	Mean float64 `json:"mean"`
+	// StdDev is the sample (Bessel-corrected, N-1) standard deviation.
+	StdDev float64 `json:"std_dev"`
+	// StdErr is StdDev / sqrt(N), the standard error of the mean.
+	StdErr float64 `json:"std_err"`
+	// CI95Lo and CI95Hi bound the Student-t 95% confidence interval for
+	// the mean: Mean ± t(0.975, N-1) * StdErr.
+	CI95Lo float64 `json:"ci95_lo"`
+	CI95Hi float64 `json:"ci95_hi"`
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs with Bessel's N-1
+// correction (0 for samples of fewer than two values).
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(variance(xs))
+}
+
+// variance is the N-1 sample variance, computed against the mean in one
+// extra pass for numerical robustness at simulation-counter magnitudes.
+func variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdErr returns the standard error of the mean, StdDev/sqrt(N) (0 for
+// samples of fewer than two values).
+func StdErr(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// tCrit95 holds two-sided 95% Student-t critical values t(0.975, df) for
+// df = 1..30; beyond the table the normal value is used. Values are the
+// standard published table at 4 decimal places.
+var tCrit95 = [...]float64{
+	1:  12.7062,
+	2:  4.3027,
+	3:  3.1824,
+	4:  2.7764,
+	5:  2.5706,
+	6:  2.4469,
+	7:  2.3646,
+	8:  2.3060,
+	9:  2.2622,
+	10: 2.2281,
+	11: 2.2010,
+	12: 2.1788,
+	13: 2.1604,
+	14: 2.1448,
+	15: 2.1314,
+	16: 2.1199,
+	17: 2.1098,
+	18: 2.1009,
+	19: 2.0930,
+	20: 2.0860,
+	21: 2.0796,
+	22: 2.0739,
+	23: 2.0687,
+	24: 2.0639,
+	25: 2.0595,
+	26: 2.0555,
+	27: 2.0518,
+	28: 2.0484,
+	29: 2.0452,
+	30: 2.0423,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom (df <= 0 returns 0; df > 30 uses the normal
+// 1.96 — at experiment seed counts the table path is the one that matters).
+func TCritical95(df int) float64 {
+	switch {
+	case df <= 0:
+		return 0
+	case df < len(tCrit95):
+		return tCrit95[df]
+	default:
+		return 1.959964
+	}
+}
+
+// Summarize reduces one metric's per-seed sample to its Summary. A sample
+// of one value has zero spread and a zero-width interval at the mean.
+func Summarize(xs []float64) Summary {
+	s := Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		StdErr: StdErr(xs),
+	}
+	half := TCritical95(len(xs)-1) * s.StdErr
+	s.CI95Lo = s.Mean - half
+	s.CI95Hi = s.Mean + half
+	return s
+}

@@ -1,0 +1,88 @@
+package statkit
+
+import (
+	"math"
+	"testing"
+)
+
+func close(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestMoments pins mean / sample stddev / stderr against values computed
+// independently (by hand and cross-checked with numpy's ddof=1 convention).
+func TestMoments(t *testing.T) {
+	cases := []struct {
+		name                 string
+		xs                   []float64
+		mean, stddev, stderr float64
+	}{
+		{"empty", nil, 0, 0, 0},
+		{"single", []float64{3.25}, 3.25, 0, 0},
+		{"pair", []float64{1, 3}, 2, math.Sqrt2, 1},
+		// deviations ±0.05 and 0: variance 0.005/2 = 0.0025, std 0.05,
+		// sem 0.05/sqrt(3)
+		{"ipc-like", []float64{1.21, 1.26, 1.31}, 1.26, 0.05, 0.028867513459481287},
+		// numpy over five seeds: mean=100.8, std=2.5884358211089695, sem=1.1575836902790226
+		{"five", []float64{98, 103, 99, 104, 100}, 100.8, 2.5884358211089695, 1.1575836902790226},
+		{"constant", []float64{7, 7, 7, 7}, 7, 0, 0},
+		{"negative", []float64{-2, 2}, 0, 2.8284271247461903, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Mean(c.xs); !close(got, c.mean) {
+				t.Errorf("Mean = %v, want %v", got, c.mean)
+			}
+			if got := StdDev(c.xs); !close(got, c.stddev) {
+				t.Errorf("StdDev = %v, want %v", got, c.stddev)
+			}
+			if got := StdErr(c.xs); !close(got, c.stderr) {
+				t.Errorf("StdErr = %v, want %v", got, c.stderr)
+			}
+		})
+	}
+}
+
+// TestTCritical95 pins the Student-t table against published values and the
+// normal tail beyond it.
+func TestTCritical95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{-1, 0}, {0, 0},
+		{1, 12.7062}, {2, 4.3027}, {4, 2.7764}, {9, 2.2622},
+		{29, 2.0452}, {30, 2.0423}, {31, 1.959964}, {1000, 1.959964},
+	}
+	for _, c := range cases {
+		if got := TCritical95(c.df); !close(got, c.want) {
+			t.Errorf("TCritical95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+}
+
+// TestSummarize pins the composed interval: for n=3 the half-width is
+// t(0.975,2)=4.3027 times the standard error.
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1.21, 1.26, 1.31})
+	if s.N != 3 {
+		t.Fatalf("N = %d, want 3", s.N)
+	}
+	half := 4.3027 * 0.028867513459481287
+	if !close(s.CI95Lo, 1.26-half) || !close(s.CI95Hi, 1.26+half) {
+		t.Errorf("CI95 = [%v, %v], want [%v, %v]", s.CI95Lo, s.CI95Hi, 1.26-half, 1.26+half)
+	}
+
+	// A single-seed sample must degenerate to a zero-width interval at the
+	// mean — the signal CI-aware comparisons use to go inconclusive.
+	one := Summarize([]float64{2.5})
+	if one.N != 1 || one.Mean != 2.5 || one.StdErr != 0 || one.CI95Lo != 2.5 || one.CI95Hi != 2.5 {
+		t.Errorf("single-seed summary = %+v, want zero-width at mean", one)
+	}
+
+	// Empty sample: all zeros, no NaNs anywhere.
+	zero := Summarize(nil)
+	if zero != (Summary{}) {
+		t.Errorf("empty summary = %+v, want zero value", zero)
+	}
+}
