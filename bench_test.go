@@ -10,9 +10,11 @@
 package boomsim_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
+	"boomsim"
 	"boomsim/internal/experiments"
 	"boomsim/internal/frontend"
 	"boomsim/internal/scheme"
@@ -224,6 +226,82 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.ReportMetric(float64(instrs)/secs/1e6, "MIPS")
 	}
 }
+
+// The full sweep grid: every built-in scheme crossed with every built-in
+// workload. The names are pinned here (rather than read from Schemes() /
+// Workloads()) so the grid stays exactly 18x7 even when tests in the same
+// binary register extra schemes before the benchmarks run.
+var (
+	benchMatrixSchemes = []string{
+		"Base", "Next Line", "DIP", "FDIP", "SHIFT", "Confluence", "Boomerang",
+		"PIF", "Perfect L1-I", "Perfect L1-I + BTB", "2-Level BTB", "PhantomBTB",
+		"Boomerang-Unthrottled",
+		"Boomerang-N0", "Boomerang-N1", "Boomerang-N2", "Boomerang-N4", "Boomerang-N8",
+	}
+	benchMatrixWorkloads = []string{
+		"Nutch", "Streaming", "Apache", "Zeus", "Oracle", "DB2", "SPEC-like",
+	}
+)
+
+// benchMatrixParallelism fixes the matrix worker count so matrix_ms is
+// comparable across runs regardless of the host's GOMAXPROCS.
+const benchMatrixParallelism = 8
+
+// matrix18x7Sims builds the full 126-cell grid through the public API at
+// bench scale (reduced footprint and window, default seeds).
+func matrix18x7Sims(b *testing.B, reuse bool) []*boomsim.Simulation {
+	sims := make([]*boomsim.Simulation, 0, len(benchMatrixSchemes)*len(benchMatrixWorkloads))
+	for _, w := range benchMatrixWorkloads {
+		for _, s := range benchMatrixSchemes {
+			sm, err := boomsim.New(
+				boomsim.WithScheme(s),
+				boomsim.WithWorkload(w),
+				boomsim.WithFootprintKB(512),
+				boomsim.WithWindow(150_000, 200_000),
+				boomsim.WithWarmReuse(reuse),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sims = append(sims, sm)
+		}
+	}
+	return sims
+}
+
+// runMatrix18x7 times RunMatrix over the full grid and reports the mean
+// wall-clock per matrix as matrix_ms. One untimed priming pass runs first so
+// the timed iterations measure the steady state a sweep loop actually sees:
+// with warm reuse on, every cell forks its arena snapshot instead of
+// re-simulating the warm window; with reuse off the priming pass changes
+// nothing, keeping the two benchmarks structurally identical.
+func runMatrix18x7(b *testing.B, reuse bool) {
+	sims := matrix18x7Sims(b, reuse)
+	ctx := context.Background()
+	if _, err := boomsim.RunMatrix(ctx, sims, boomsim.WithParallelism(benchMatrixParallelism)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := boomsim.RunMatrix(ctx, sims, boomsim.WithParallelism(benchMatrixParallelism)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "matrix_ms")
+	}
+}
+
+// BenchmarkMatrix18x7 measures the full 18-scheme x 7-workload sweep with
+// warm-state reuse on (the default): the headline sub-linear-sweep number
+// that benchgate records as matrix_ms in BENCH_<pr>.json and gates.
+func BenchmarkMatrix18x7(b *testing.B) { runMatrix18x7(b, true) }
+
+// BenchmarkMatrix18x7NoReuse is the control: the same grid with warm reuse
+// disabled, so every cell re-simulates its warm window. The matrix_ms gap
+// against BenchmarkMatrix18x7 is the measured win of the snapshot plane.
+func BenchmarkMatrix18x7NoReuse(b *testing.B) { runMatrix18x7(b, false) }
 
 // BenchmarkTable2_Workloads sanity-checks that every Table II profile
 // builds and executes (the workload substrate itself).

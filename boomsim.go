@@ -14,8 +14,9 @@ import (
 // Simulation is one fully-resolved simulation: a scheme on a workload under
 // a core configuration and measurement window. Construct it with New; the
 // zero value is not usable. A Simulation is immutable after New and safe to
-// run repeatedly and concurrently — every Run builds fresh
-// microarchitectural state.
+// run repeatedly and concurrently — every Run measures on private
+// microarchitectural state (built fresh, or forked from a shared warmed
+// snapshot when warm reuse applies; see WithWarmReuse).
 type Simulation struct {
 	schemeName   string
 	workloadName string
@@ -33,6 +34,10 @@ type Simulation struct {
 
 	progressEvery uint64
 	progress      ProgressFunc
+
+	// warmReuse gates forking warmed state from the process-wide warm arena
+	// (sim package). On by default; WithWarmReuse(false) disables it.
+	warmReuse bool
 
 	// Resolved at New time so configuration errors surface before any
 	// cycles are simulated.
@@ -71,6 +76,7 @@ func New(opts ...Option) (*Simulation, error) {
 		walkSeed:      DefaultWalkSeed,
 		warmInstrs:    DefaultWarmInstrs,
 		measureInstrs: DefaultMeasureInstrs,
+		warmReuse:     true,
 	}
 	for _, opt := range opts {
 		if err := opt(s); err != nil {
@@ -128,6 +134,7 @@ func (s *Simulation) spec() sim.Spec {
 		WarmInstrs:    s.warmInstrs,
 		MeasureInstrs: s.measureInstrs,
 		MaxCycles:     s.maxCycles,
+		ReuseWarm:     s.warmReuse,
 	}
 }
 

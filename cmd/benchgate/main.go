@@ -3,12 +3,15 @@
 //
 // It parses benchmark output on stdin (or -in), extracts the headline
 // simulation-speed metrics from BenchmarkSimulatorThroughput — simulated
-// MIPS, its reciprocal ns/instr, and the hot loop's allocs/op — plus every
+// MIPS, its reciprocal ns/instr, and the hot loop's allocs/op — and the full
+// 18x7 sweep wall-clock from BenchmarkMatrix18x7 (matrix_ms), plus every
 // custom metric of every other benchmark, and writes them to BENCH_<pr>.json
 // in -dir. If an earlier BENCH_<n>.json (highest n below -pr) is already
-// checked in, benchgate compares ns/instr against it and exits non-zero on
-// a regression beyond -threshold (default 10%), so the perf trajectory is
-// both populated and enforced by the same step.
+// checked in, benchgate compares ns/instr against it (exiting non-zero on a
+// regression beyond -threshold, default 10%) and matrix_ms (beyond
+// -matrix-threshold, default 30% — wall-clock over a whole sweep is noisier
+// than the steady-state loop), so the perf trajectory is both populated and
+// enforced by the same step.
 //
 // The headline must come from a steady-state run: the throughput benchmark
 // warms up before its timer starts and reports setup cost separately
@@ -56,6 +59,11 @@ type Record struct {
 	SetupMillis float64 `json:"setup_ms,omitempty"`
 	// AllocsPerOp pins the measured loop's zero-allocation contract.
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// MatrixMillis is BenchmarkMatrix18x7's mean wall-clock (ms) for one
+	// full 18-scheme x 7-workload RunMatrix at fixed parallelism with warm
+	// reuse on — the sweep-level headline the snapshot/fork plane optimises,
+	// complementing the per-instruction steady-state cost above.
+	MatrixMillis float64 `json:"matrix_ms,omitempty"`
 	// Metrics holds every parsed "<benchmark>/<unit>" value for trajectory
 	// analysis beyond the headline (figure-level custom metrics included).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
@@ -67,6 +75,7 @@ func main() {
 		in         = flag.String("in", "", "benchmark output file (default stdin)")
 		dir        = flag.String("dir", ".", "directory holding BENCH_*.json records")
 		threshold  = flag.Float64("threshold", 0.10, "maximum tolerated ns/instr regression vs the previous record")
+		matrixThr  = flag.Float64("matrix-threshold", 0.30, "maximum tolerated matrix_ms regression vs the previous record")
 		recordOnly = flag.Bool("record-only", false, "write the record but never fail on regression (push-to-main runs)")
 	)
 	flag.Parse()
@@ -109,23 +118,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: no previous record; nothing to gate against")
 		return
 	}
-	if prev.NsPerInstr <= 0 || rec.NsPerInstr <= 0 {
-		fmt.Fprintln(os.Stderr, "benchgate: missing ns/instr on one side; skipping the gate")
+	// Wall-clock metrics measured on different hardware gate the machine,
+	// not the code; record the point and report, but do not fail.
+	if prev.CPU != rec.CPU {
+		fmt.Fprintf(os.Stderr, "benchgate: previous record is from different hardware (%q vs %q); skipping the gates\n",
+			prev.CPU, rec.CPU)
 		return
 	}
-	ratio := rec.NsPerInstr/prev.NsPerInstr - 1
-	fmt.Fprintf(os.Stderr, "benchgate: ns/instr %.2f -> %.2f vs PR %d (%+.1f%%)\n",
-		prev.NsPerInstr, rec.NsPerInstr, prev.PR, 100*ratio)
-	switch {
-	case *recordOnly:
-		fmt.Fprintln(os.Stderr, "benchgate: record-only mode; not gating")
-	case prev.CPU != rec.CPU:
-		// ns/instr measured on different hardware gates the machine, not
-		// the code; record the point and report, but do not fail.
-		fmt.Fprintf(os.Stderr, "benchgate: previous record is from different hardware (%q vs %q); skipping the gate\n",
-			prev.CPU, rec.CPU)
-	case ratio > *threshold:
-		fatalf("ns/instr regressed %.1f%% vs PR %d (threshold %.0f%%)", 100*ratio, prev.PR, 100**threshold)
+	failed := false
+	gate := func(metric string, prevV, curV, thr float64) {
+		if prevV <= 0 || curV <= 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: missing %s on one side; skipping its gate\n", metric)
+			return
+		}
+		ratio := curV/prevV - 1
+		fmt.Fprintf(os.Stderr, "benchgate: %s %.2f -> %.2f vs PR %d (%+.1f%%)\n",
+			metric, prevV, curV, prev.PR, 100*ratio)
+		switch {
+		case *recordOnly:
+			fmt.Fprintln(os.Stderr, "benchgate: record-only mode; not gating")
+		case ratio > thr:
+			fmt.Fprintf(os.Stderr, "benchgate: %s regressed %.1f%% vs PR %d (threshold %.0f%%)\n",
+				metric, 100*ratio, prev.PR, 100*thr)
+			failed = true
+		}
+	}
+	gate("ns/instr", prev.NsPerInstr, rec.NsPerInstr, *threshold)
+	gate("matrix_ms", prev.MatrixMillis, rec.MatrixMillis, *matrixThr)
+	if failed {
+		os.Exit(1)
 	}
 }
 
@@ -173,6 +194,9 @@ func parse(r io.Reader) (Record, error) {
 	}
 	if setup, ok := rec.Metrics["SimulatorThroughput/setup_ms"]; ok {
 		rec.SetupMillis = setup
+	}
+	if ms, ok := rec.Metrics["Matrix18x7/matrix_ms"]; ok {
+		rec.MatrixMillis = ms
 	}
 	return rec, nil
 }

@@ -1,0 +1,54 @@
+// Clone support: deep copies of BTB-side state so a warmed instance can be
+// forked and advanced without perturbing the original (see internal/sim's
+// warm-state arena).
+package btb
+
+import "boomsim/internal/isa"
+
+// Clone returns an independent deep copy of the BTB: same entries, LRU state
+// and counters, no shared storage. The copy reproduces the original's
+// single-backing-array layout.
+func (b *BTB) Clone() *BTB {
+	n := *b
+	assoc := len(b.sets[0])
+	backing := make([]btbWay, len(b.sets)*assoc)
+	n.sets = make([][]btbWay, len(b.sets))
+	for i := range b.sets {
+		dst := backing[i*assoc : (i+1)*assoc]
+		copy(dst, b.sets[i])
+		n.sets[i] = dst
+	}
+	return &n
+}
+
+// Clone returns an independent deep copy of the buffer.
+func (p *PrefetchBuffer) Clone() *PrefetchBuffer {
+	c := *p
+	c.entries = append(make([]Entry, 0, cap(p.entries)), p.entries...)
+	return &c
+}
+
+// Clone returns an independent copy of the predecoder. The immutable image
+// is shared; the scratch buffer (only live within a single Append* call) is
+// left to regrow; the decoded-lines counter carries over so cloned runs
+// report the same traffic totals a fresh warm would.
+func (d *Predecoder) Clone() *Predecoder {
+	return &Predecoder{img: d.img, LinesDecoded: d.LinesDecoded}
+}
+
+// Clone returns an independent deep copy of the hierarchical miss handler.
+// l1 must be the clone of the first level the original preloads into — the
+// caller owns that structure (the engine's BTB) and its copy.
+func (t *TwoLevel) Clone(l1 *BTB) *TwoLevel {
+	c := *t
+	c.l1 = l1
+	c.l2 = t.l2.Clone()
+	if t.ring != nil {
+		c.ring = append([]isa.Addr(nil), t.ring...)
+		c.index = make(map[isa.Addr]int, len(t.index))
+		for k, v := range t.index {
+			c.index[k] = v
+		}
+	}
+	return &c
+}

@@ -1,0 +1,36 @@
+package cache
+
+// Clone returns an independent deep copy of the cache: same contents, LRU
+// state and counters, no shared storage. The copy reproduces the original's
+// single-backing-array layout so a clone has the same locality (and the same
+// zero-allocation steady state) as a freshly built cache.
+func (c *SetAssoc) Clone() *SetAssoc {
+	n := *c
+	assoc := len(c.sets[0])
+	backing := make([]way, len(c.sets)*assoc)
+	n.sets = make([][]way, len(c.sets))
+	for i := range c.sets {
+		dst := backing[i*assoc : (i+1)*assoc]
+		copy(dst, c.sets[i])
+		n.sets[i] = dst
+	}
+	return &n
+}
+
+// Clone returns an independent deep copy of the hierarchy: caches, prefetch
+// buffer, MSHR state and counters all duplicated, so advancing the clone
+// never perturbs the original. The fill hook is NOT carried over — it is a
+// closure owned by the scheme that installed it, which must re-attach one
+// bound to the cloned components (see scheme.Instance.Clone).
+func (h *Hierarchy) Clone() *Hierarchy {
+	c := *h
+	c.l1 = h.l1.Clone()
+	c.llc = h.llc.Clone()
+	c.pbuf = append(make([]pbufEntry, 0, cap(h.pbuf)), h.pbuf...)
+	c.mshrSlab = append(make([]mshr, 0, cap(h.mshrSlab)), h.mshrSlab...)
+	c.mshrFree = append(make([]int32, 0, cap(h.mshrFree)), h.mshrFree...)
+	c.mshrs = h.mshrs.Clone()
+	c.pending = append(make([]int32, 0, cap(h.pending)), h.pending...)
+	c.fillHook = nil
+	return &c
+}

@@ -1,0 +1,21 @@
+package core
+
+import (
+	"boomsim/internal/btb"
+	"boomsim/internal/cache"
+)
+
+// Clone returns an independent deep copy of the Boomerang unit wired to the
+// given cloned hierarchy and L1 BTB (the caller owns those components and
+// their copies). The predecoder, prefetch buffer and counters are deep
+// copies; the per-Handle scratch buffers are transient and regrow.
+func (b *Boomerang) Clone(hier *cache.Hierarchy, l1btb *btb.BTB) *Boomerang {
+	c := *b
+	c.hier = hier
+	c.dec = b.dec.Clone()
+	c.pbuf = b.pbuf.Clone()
+	c.l1btb = l1btb
+	c.extrasScratch = nil
+	c.linesScratch = nil
+	return &c
+}

@@ -140,6 +140,18 @@ func (m *Map) Delete(key uint64) {
 	}
 }
 
+// Clone returns an independent deep copy of the map: same contents, same
+// capacity, no shared backing storage.
+func (m *Map) Clone() Map {
+	c := *m
+	if m.keys != nil {
+		c.keys = append([]uint64(nil), m.keys...)
+		c.vals = append([]int32(nil), m.vals...)
+		c.used = append([]bool(nil), m.used...)
+	}
+	return c
+}
+
 // Reset empties the map, keeping its capacity.
 func (m *Map) Reset() {
 	for i := range m.used {

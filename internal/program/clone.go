@@ -1,0 +1,14 @@
+package program
+
+import "boomsim/internal/isa"
+
+// Clone returns an independent copy of the walker at the same execution
+// point: subsequent Next calls on the clone and the original produce the
+// same step stream without sharing mutable state. The immutable image is
+// shared.
+func (w *Walker) Clone() *Walker {
+	c := *w
+	c.stack = append(make([]isa.Addr, 0, cap(w.stack)), w.stack...)
+	c.occ = append([]uint32(nil), w.occ...)
+	return &c
+}

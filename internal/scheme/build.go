@@ -84,6 +84,22 @@ func newDirection(name string, kb int) bpu.Direction {
 	panic(fmt.Sprintf("scheme: unknown predictor %q", name))
 }
 
+// attachPredecodeFillHook wires Confluence's fill-path predecode: every line
+// filled into the hierarchy is decoded and its branches inserted into the
+// BTB. The hook runs inside the per-cycle hierarchy tick; it decodes into a
+// reused scratch buffer to honour the zero-alloc contract. Build installs it
+// on fresh instances and Instance.Clone re-attaches it on forks (the closure
+// captures the predecoder and BTB, so it cannot be copied between instances).
+func attachPredecodeFillHook(hier *cache.Hierarchy, dec *btb.Predecoder, b *btb.BTB) {
+	var scratch []btb.Entry
+	hier.SetFillHook(func(line cache.Line, now int64) {
+		scratch = dec.AppendLine(scratch[:0], isa.Addr(line)*isa.BlockBytes)
+		for _, entry := range scratch {
+			b.Insert(entry, now)
+		}
+	})
+}
+
 // Build interprets the declarative Config against env and assembles the
 // machine: hierarchy, BTB, predictor, oracle walker, optional prefetcher and
 // miss policy, all wired into a front-end engine. It is the one generic
@@ -137,15 +153,7 @@ func (c Config) Build(env Env) *Instance {
 
 	if c.PredecodeBTBFills {
 		dec := btb.NewPredecoder(env.Img)
-		// The hook runs inside the per-cycle hierarchy tick; decode into a
-		// reused scratch buffer to honour the zero-alloc contract.
-		var scratch []btb.Entry
-		hier.SetFillHook(func(line cache.Line, now int64) {
-			scratch = dec.AppendLine(scratch[:0], isa.Addr(line)*isa.BlockBytes)
-			for _, entry := range scratch {
-				b.Insert(entry, now)
-			}
-		})
+		attachPredecodeFillHook(hier, dec, b)
 		inst.Predec = dec
 	}
 

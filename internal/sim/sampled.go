@@ -45,10 +45,17 @@ func RunSampled(spec Spec, samples int) (SampledResult, error) {
 			return SampledResult{}, errs[i]
 		}
 		r := results[i]
-		ki := float64(r.Stats.RetiredInstrs) / 1000
 		out.IPC.Add(r.IPC)
-		out.StallPerKI.Add(float64(r.Stats.FetchStallCycles) / ki)
-		out.SquashPerKI.Add(float64(r.Stats.TotalSquashes()) / ki)
+		// A MaxCycles-bounded run can retire nothing; its per-KI rates are
+		// recorded as zero (matching frontend.Stats' own zero-denominator
+		// convention) rather than poisoning the means and CIs with Inf/NaN.
+		var stallPerKI, squashPerKI float64
+		if ki := float64(r.Stats.RetiredInstrs) / 1000; ki > 0 {
+			stallPerKI = float64(r.Stats.FetchStallCycles) / ki
+			squashPerKI = float64(r.Stats.TotalSquashes()) / ki
+		}
+		out.StallPerKI.Add(stallPerKI)
+		out.SquashPerKI.Add(squashPerKI)
 		out.BTBMissSquashPerKI.Add(r.Stats.SquashesPerKI(frontend.SquashBTBMiss))
 	}
 	return out, nil

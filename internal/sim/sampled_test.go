@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 
 	"boomsim/internal/scheme"
@@ -55,5 +56,39 @@ func TestRunSampledPropagatesErrors(t *testing.T) {
 	spec.Cfg.FetchWidth = -1
 	if _, err := RunSampled(spec, 2); err == nil {
 		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestRunSampledNoRetirement is the regression test for the NaN/Inf
+// poisoning bug: a MaxCycles-bounded run that retires nothing must record
+// zero per-KI rates, not divide by zero into the sample means and CIs.
+func TestRunSampledNoRetirement(t *testing.T) {
+	spec := Spec{
+		Scheme:        scheme.Base(),
+		Workload:      fastProfile("Apache"),
+		MeasureInstrs: 1_000,
+		MaxCycles:     1, // one cycle: nothing can retire
+	}
+	res, err := RunSampled(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StallPerKI.N() != 3 || res.SquashPerKI.N() != 3 {
+		t.Fatalf("expected 3 samples, got %d/%d", res.StallPerKI.N(), res.SquashPerKI.N())
+	}
+	for name, v := range map[string]float64{
+		"IPC mean":          res.IPC.Mean(),
+		"StallPerKI mean":   res.StallPerKI.Mean(),
+		"StallPerKI CI95":   res.StallPerKI.CI95(),
+		"SquashPerKI mean":  res.SquashPerKI.Mean(),
+		"SquashPerKI CI95":  res.SquashPerKI.CI95(),
+		"BTBMissPerKI mean": res.BTBMissSquashPerKI.Mean(),
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s is %v; zero-retirement runs must not poison the sample", name, v)
+		}
+	}
+	if m := res.StallPerKI.Mean(); m != 0 {
+		t.Fatalf("StallPerKI mean %v, want 0 for zero-retirement runs", m)
 	}
 }

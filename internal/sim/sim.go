@@ -9,6 +9,7 @@ package sim
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -38,6 +39,13 @@ type Spec struct {
 	WarmInstrs, MeasureInstrs uint64
 	// MaxCycles bounds the measurement window (0 = unbounded).
 	MaxCycles int64
+	// ReuseWarm lets the run fork memoised warmed state shared with other
+	// runs of the same warm-relevant configuration (see the warm arena in
+	// warm.go) instead of re-simulating the warm window. Results are
+	// byte-identical either way — a fork is indistinguishable from a fresh
+	// warm — so this is purely a wall-clock optimisation. DefaultSpec enables
+	// it; the zero value is off so hand-built Specs opt in explicitly.
+	ReuseWarm bool
 }
 
 // DefaultSpec fills in the standard methodology: Table I config, 200K warm
@@ -52,6 +60,7 @@ func DefaultSpec(s scheme.Scheme, w workload.Profile) Spec {
 		WarmInstrs:    200_000,
 		MeasureInstrs: 1_000_000,
 		MaxCycles:     0,
+		ReuseWarm:     true,
 	}
 }
 
@@ -172,9 +181,42 @@ func RunContext(ctx context.Context, spec Spec, h Hooks) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	chunk := h.ProgressEvery
+	if chunk == 0 && (ctx.Done() != nil || h.Progress != nil) {
+		chunk = DefaultProgressEvery
+	}
+
+	var inst *scheme.Instance
+	if spec.ReuseWarm {
+		f, err, ok := forkWarm(ctx, spec, chunk)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			inst = f
+		}
+	}
+	if inst == nil {
+		var err error
+		inst, err = buildWarm(ctx, spec, chunk)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if err := runWindow(ctx, inst.Engine, spec.MeasureInstrs, spec.MaxCycles, chunk, h.Progress); err != nil {
+		return Result{}, err
+	}
+	return collectResult(spec, inst), nil
+}
+
+// buildWarm performs everything up to the measurement window: image
+// generation, scheme construction, LLC preload, the warm window and the
+// stats reset. It is both RunContext's non-shared path and the builder the
+// warm arena memoises masters with.
+func buildWarm(ctx context.Context, spec Spec, chunk uint64) (*scheme.Instance, error) {
 	img, err := imageFor(spec.Workload, spec.ImageSeed)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	inst := spec.Scheme.Build(scheme.Env{
 		Cfg:       spec.Cfg,
@@ -185,21 +227,18 @@ func RunContext(ctx context.Context, spec Spec, h Hooks) (Result, error) {
 	// The paper measures from SMARTS checkpoints with warmed caches: all 16
 	// cores run the same binary, so its text is LLC-resident. Preload it.
 	warmLLCWithImage(inst, img)
-
-	chunk := h.ProgressEvery
-	if chunk == 0 && (ctx.Done() != nil || h.Progress != nil) {
-		chunk = DefaultProgressEvery
-	}
-
 	if spec.WarmInstrs > 0 {
-		if err := runWindow(ctx, inst, spec.WarmInstrs, 0, chunk, nil); err != nil {
-			return Result{}, err
+		if err := runWindow(ctx, inst.Engine, spec.WarmInstrs, 0, chunk, nil); err != nil {
+			return nil, err
 		}
 		inst.Engine.ResetStats()
 	}
-	if err := runWindow(ctx, inst, spec.MeasureInstrs, spec.MaxCycles, chunk, h.Progress); err != nil {
-		return Result{}, err
-	}
+	return inst, nil
+}
+
+// collectResult assembles a Result from an instance whose measurement window
+// has completed.
+func collectResult(spec Spec, inst *scheme.Instance) Result {
 	st := inst.Engine.Stats()
 	r := Result{
 		SchemeName:   spec.Scheme.Name,
@@ -224,25 +263,67 @@ func RunContext(ctx context.Context, spec Spec, h Hooks) (Result, error) {
 	reg := stats.NewRegistry()
 	inst.PublishStats(reg)
 	r.Registry = reg
-	return r, nil
+	return r
 }
+
+// ErrNoProgress reports a simulation window that stopped retiring
+// instructions: a chunk ran to its full cycle allowance without a single
+// retirement, which no healthy configuration does (worst-case miss chains
+// retire orders of magnitude faster). It indicates a wedged engine — a
+// malformed scheme or a simulator bug — not a slow workload.
+var ErrNoProgress = errors.New("sim: simulation made no forward progress")
+
+// windowEngine is the slice of frontend.Engine that runWindow drives. Run
+// advances until target instructions have retired since the last stats reset
+// or the absolute cycle bound is reached, whichever is first.
+type windowEngine interface {
+	Run(targetInstrs uint64, maxCycles int64) frontend.Stats
+}
+
+// Cycle allowance granted to a chunk before it is declared wedged: chunk
+// instructions at an IPC far below any real configuration (the worst
+// memory-bound runs stay under ~50 cycles/instruction; the allowance grants
+// 400), floored high enough that even a single-instruction chunk can absorb
+// a full squash-plus-memory-miss chain many times over.
+const (
+	noProgressCyclesPerInstr = 400
+	noProgressCycleFloor     = 1 << 20
+)
 
 // runWindow advances the engine until target instructions have retired
 // since the last stats reset (or maxCycles elapsed), in chunks of chunk
 // instructions with a ctx check between chunks. chunk == 0 runs the whole
 // window in one call with no checks — the hot path stays branch-free.
-func runWindow(ctx context.Context, inst *scheme.Instance, target uint64, maxCycles int64, chunk uint64, progress func(done, total uint64)) error {
+//
+// With chunking and no cycle bound, each chunk runs under a synthetic cycle
+// allowance so that a wedged engine — one that stops retiring entirely —
+// returns control instead of spinning inside Engine.Run forever; a chunk
+// that exhausts its allowance without retiring anything fails with
+// ErrNoProgress. Healthy runs never come near the allowance, so their cycle
+// trajectory (and every result) is unchanged.
+func runWindow(ctx context.Context, eng windowEngine, target uint64, maxCycles int64, chunk uint64, progress func(done, total uint64)) error {
 	if chunk == 0 {
-		inst.Engine.Run(target, maxCycles)
+		eng.Run(target, maxCycles)
 		return nil
 	}
 	done := uint64(0)
+	prevCycles := int64(0)
 	for {
 		next := done + chunk
 		if next > target {
 			next = target
 		}
-		st := inst.Engine.Run(next, maxCycles)
+		budget := maxCycles
+		if budget == 0 {
+			// Engine.Run's bound is absolute (cycles since the last stats
+			// reset), so the allowance extends from the cycles already spent.
+			allowance := int64(chunk) * noProgressCyclesPerInstr
+			if allowance < noProgressCycleFloor {
+				allowance = noProgressCycleFloor
+			}
+			budget = prevCycles + allowance
+		}
+		st := eng.Run(next, budget)
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -259,7 +340,12 @@ func runWindow(ctx context.Context, inst *scheme.Instance, target uint64, maxCyc
 		if maxCycles > 0 && st.Cycles >= maxCycles {
 			return nil // cycle budget exhausted before the instruction target
 		}
+		if st.RetiredInstrs == done {
+			return fmt.Errorf("%w: %d instructions retired after %d cycles (target %d)",
+				ErrNoProgress, st.RetiredInstrs, st.Cycles, target)
+		}
 		done = st.RetiredInstrs
+		prevCycles = st.Cycles
 	}
 }
 
@@ -286,22 +372,7 @@ func WarmInstance(spec Spec) (*scheme.Instance, error) {
 	if err := spec.Scheme.Validate(); err != nil {
 		return nil, err
 	}
-	img, err := imageFor(spec.Workload, spec.ImageSeed)
-	if err != nil {
-		return nil, err
-	}
-	inst := spec.Scheme.Build(scheme.Env{
-		Cfg:       spec.Cfg,
-		Img:       img,
-		WalkSeed:  spec.WalkSeed,
-		Predictor: spec.Predictor,
-	})
-	warmLLCWithImage(inst, img)
-	if spec.WarmInstrs > 0 {
-		inst.Engine.Run(spec.WarmInstrs, 0)
-	}
-	inst.Engine.ResetStats()
-	return inst, nil
+	return buildWarm(context.Background(), spec, 0)
 }
 
 // MustRun is Run for tests and examples with known-good specs.
@@ -381,6 +452,11 @@ func RunCMP(spec CMPSpec) (CMPResult, error) {
 // stops the whole chip promptly. h.Progress is not propagated — the cores
 // run concurrently, so per-core progress callbacks would interleave
 // meaninglessly.
+//
+// Per-core errors reduce under the same policy RunMatrix documents: genuine
+// simulation failures outrank cancellation noise, and among genuine failures
+// the lowest core index wins, so the same failure surfaces no matter how the
+// cores' cancellations interleave.
 func RunCMPContext(ctx context.Context, spec CMPSpec, h Hooks) (CMPResult, error) {
 	if spec.Cores <= 0 {
 		spec.Cores = config.DefaultCMP().Cores
@@ -401,10 +477,8 @@ func RunCMPContext(ctx context.Context, spec CMPSpec, h Hooks) (CMPResult, error
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return CMPResult{}, err
-		}
+	if err := firstGenuineError(errs); err != nil {
+		return CMPResult{}, err
 	}
 	var instrs uint64
 	var maxCycles int64
@@ -419,4 +493,26 @@ func RunCMPContext(ctx context.Context, spec CMPSpec, h Hooks) (CMPResult, error
 		out.Throughput = float64(instrs) / float64(maxCycles)
 	}
 	return out, nil
+}
+
+// firstGenuineError reduces per-worker errors under the matrix policy:
+// genuine simulation failures outrank cancellation noise and the lowest
+// index wins; when only cancellation remains, the lowest-index cancellation
+// is returned. At this layer cancellation appears as the raw context
+// sentinels (the public package wraps them in its ErrCanceled afterwards).
+func firstGenuineError(errs []error) error {
+	var cancel error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cancel == nil {
+				cancel = err
+			}
+			continue
+		}
+		return err
+	}
+	return cancel
 }

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"boomsim/internal/scheme"
+)
+
+// The warm arena memoises warmed instances — the snapshot/fork plane that
+// makes sweeps sub-linear in their warm cost. A sweep re-simulates the same
+// 200K-instruction warm window for every run that shares a warm-relevant
+// configuration (repeated matrix runs, parameter sweeps over the measurement
+// window, benchmark iterations); the arena instead warms one master per
+// configuration and hands every run a deep fork of it, so only the
+// measurement window is re-simulated.
+//
+// Correctness rests on two invariants:
+//   - A fork is indistinguishable from a fresh warm: Instance.Clone
+//     duplicates every piece of mutable state, so results are byte-identical
+//     with reuse on or off (the golden corpus pins this).
+//   - The master never advances past the warm boundary: every consumer —
+//     including the first — receives a clone, and clones never write through
+//     to the master.
+//
+// The key must cover everything that shapes warmed state. That includes the
+// full scheme config — warm microarchitectural contents (caches, BTB,
+// predictor, prefetcher history, even the walker's exact stopping point) are
+// scheme-dependent — serialised as canonical JSON because scheme.Config
+// holds pointer sub-configs whose Go-syntax formatting would key on
+// addresses. MeasureInstrs and MaxCycles are deliberately excluded: they
+// only shape the measurement window, so sweeps over them share one master.
+//
+// Like the image cache above it, the arena is bounded LRU with a sync.Once
+// per entry: concurrent runs of the same configuration warm one master
+// between them, and a parameter sweep cannot grow the arena monotonically.
+// Masters are a few MB each (dominated by the LLC tag array), so the bound
+// also caps resident memory (~1 GB worst case). It is sized so a full
+// 18-scheme x 7-workload matrix (126 entries, the sweep shape the paper's
+// figures and this repo's benchmarks re-run most) stays resident even with
+// dozens of other warmed configurations already in the arena — at a tighter
+// bound a process mixing a full matrix with other sweeps evicts matrix
+// masters mid-sweep and rebuilds them every pass.
+const warmArenaEntries = 256
+
+var (
+	warmMu    sync.Mutex
+	warmLRU   = list.New() // front = most recently used; values are *warmArenaEntry
+	warmIndex = map[string]*list.Element{}
+)
+
+type warmArenaEntry struct {
+	key  string
+	once sync.Once
+	inst *scheme.Instance
+	err  error
+}
+
+// warmKeyOf projects spec onto its warm-relevant parameters. ok is false
+// when the scheme config cannot be serialised (no such built-in exists, but
+// user-authored configs are arbitrary data) — the caller then skips reuse.
+func warmKeyOf(spec Spec) (key string, ok bool) {
+	cfg, err := json.Marshal(spec.Scheme)
+	if err != nil {
+		return "", false
+	}
+	return fmt.Sprintf("scheme=%s|workload=%s/%d/%+v|walk=%d|pred=%q|core=%+v|warm=%d",
+		cfg, spec.Workload.Name, spec.ImageSeed, spec.Workload.Gen,
+		spec.WalkSeed, spec.Predictor, spec.Cfg, spec.WarmInstrs), true
+}
+
+// forkWarm returns a private fork of the memoised warmed instance for spec.
+// ok reports whether the arena could serve the request; on ok == false (key
+// not derivable, shared warm failed for a reason other than the caller's own
+// context, or a component was not clonable) the caller falls back to
+// building a private instance. A non-nil err is returned only for the
+// caller's own cancellation.
+func forkWarm(ctx context.Context, spec Spec, chunk uint64) (*scheme.Instance, error, bool) {
+	key, keyed := warmKeyOf(spec)
+	if !keyed {
+		return nil, nil, false
+	}
+	warmMu.Lock()
+	var e *warmArenaEntry
+	if el, hit := warmIndex[key]; hit {
+		warmLRU.MoveToFront(el)
+		e = el.Value.(*warmArenaEntry)
+	} else {
+		e = &warmArenaEntry{key: key}
+		warmIndex[key] = warmLRU.PushFront(e)
+		for warmLRU.Len() > warmArenaEntries {
+			oldest := warmLRU.Back()
+			warmLRU.Remove(oldest)
+			delete(warmIndex, oldest.Value.(*warmArenaEntry).key)
+		}
+	}
+	warmMu.Unlock()
+	// Warming runs outside the lock; the Once makes concurrent runs of the
+	// same configuration share one master. An evicted-while-warming entry
+	// still completes for the runs holding it.
+	e.once.Do(func() {
+		e.inst, e.err = buildWarm(ctx, spec, chunk)
+	})
+	if e.err != nil {
+		// The failure may be another caller's cancellation, which must not
+		// poison the configuration for everyone: drop the entry so future
+		// runs retry. Our own cancellation surfaces directly; anything else
+		// falls back to the private path, which reproduces the error (or
+		// succeeds if it was transient).
+		warmMu.Lock()
+		if el, hit := warmIndex[key]; hit && el.Value.(*warmArenaEntry) == e {
+			warmLRU.Remove(el)
+			delete(warmIndex, key)
+		}
+		warmMu.Unlock()
+		if err := ctx.Err(); err != nil {
+			return nil, err, true
+		}
+		return nil, nil, false
+	}
+	// The master is immutable once warmed, so concurrent forks are safe.
+	if c := e.inst.Clone(); c != nil {
+		return c, nil, true
+	}
+	return nil, nil, false
+}

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"boomsim/internal/frontend"
+	"boomsim/internal/scheme"
+)
+
+// requireResultsEqual fails unless a and b are byte-identical outcomes:
+// every headline field and every registry counter.
+func requireResultsEqual(t *testing.T, label string, a, b Result) {
+	t.Helper()
+	if a.Stats != b.Stats {
+		t.Fatalf("%s: Stats differ:\n a=%+v\n b=%+v", label, a.Stats, b.Stats)
+	}
+	if a.Hier != b.Hier {
+		t.Fatalf("%s: Hier stats differ:\n a=%+v\n b=%+v", label, a.Hier, b.Hier)
+	}
+	if a.IPC != b.IPC {
+		t.Fatalf("%s: IPC %v != %v", label, a.IPC, b.IPC)
+	}
+	if a.PredecodedLines != b.PredecodedLines {
+		t.Fatalf("%s: PredecodedLines %d != %d", label, a.PredecodedLines, b.PredecodedLines)
+	}
+	if a.PrefetchMetaBytes != b.PrefetchMetaBytes {
+		t.Fatalf("%s: PrefetchMetaBytes %d != %d", label, a.PrefetchMetaBytes, b.PrefetchMetaBytes)
+	}
+	if !reflect.DeepEqual(a.Registry.Map(), b.Registry.Map()) {
+		t.Fatalf("%s: registries differ:\n a=%v\n b=%v", label, a.Registry.Map(), b.Registry.Map())
+	}
+}
+
+// builtinSchemes is every built-in configuration: the seven figure schemes,
+// the limit studies, PIF, the hierarchical-BTB alternatives, and the
+// throttle variants — the same set the public registry exposes.
+func builtinSchemes() []scheme.Config {
+	out := append(scheme.All(), scheme.PIF(), scheme.PerfectL1I(), scheme.PerfectCF(),
+		scheme.TwoLevelBTB(), scheme.PhantomBTBScheme(), scheme.BoomerangUnthrottled())
+	for _, n := range []int{0, 1, 4, 8} {
+		s := scheme.BoomerangThrottled(n)
+		s.Name = fmt.Sprintf("Boomerang-N%d", n)
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestWarmMeasureBoundary pins the invariant the snapshot plane relies on:
+// WarmInstance followed by a measured Engine.Run is byte-identical to Run of
+// the full spec. The full-spec results themselves are pinned by the golden
+// corpus, so this transitively anchors the split run to the goldens.
+func TestWarmMeasureBoundary(t *testing.T) {
+	w := fastProfile("Apache")
+	for _, s := range []scheme.Config{scheme.Base(), scheme.FDIP(), scheme.Boomerang(), scheme.Confluence()} {
+		spec := fastSpec(s, w)
+		spec.ReuseWarm = false
+		full, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := WarmInstance(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Engine.Run(spec.MeasureInstrs, spec.MaxCycles)
+		requireResultsEqual(t, s.Name, full, collectResult(spec, inst))
+	}
+}
+
+// TestForkMatchesFreshWarm proves, for every built-in scheme, that a forked
+// snapshot is indistinguishable from a fresh warm — and that forking and
+// running a fork leaves the master untouched (a second, later fork behaves
+// identically to the first).
+func TestForkMatchesFreshWarm(t *testing.T) {
+	w := fastProfile("DB2")
+	for _, s := range builtinSchemes() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			spec := fastSpec(s, w)
+			spec.ReuseWarm = false
+			spec.WarmInstrs = 30_000
+			spec.MeasureInstrs = 60_000
+
+			master, err := WarmInstance(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fork := master.Clone()
+			if fork == nil {
+				t.Fatalf("%s: instance not clonable", s.Name)
+			}
+			fresh, err := WarmInstance(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fork.Engine.Run(spec.MeasureInstrs, spec.MaxCycles)
+			fresh.Engine.Run(spec.MeasureInstrs, spec.MaxCycles)
+			requireResultsEqual(t, s.Name+" fork-vs-fresh",
+				collectResult(spec, fork), collectResult(spec, fresh))
+
+			// The measured fork must not have written through to the master:
+			// a second fork taken afterwards behaves identically.
+			fork2 := master.Clone()
+			if fork2 == nil {
+				t.Fatalf("%s: second fork not clonable", s.Name)
+			}
+			fork2.Engine.Run(spec.MeasureInstrs, spec.MaxCycles)
+			requireResultsEqual(t, s.Name+" refork-vs-fresh",
+				collectResult(spec, fork2), collectResult(spec, fresh))
+		})
+	}
+}
+
+// TestRunContextWarmReuse pins that RunContext with reuse on — both the
+// arena-miss (build master, measure a fork) and arena-hit (measure a fork of
+// the cached master) paths — matches reuse off exactly.
+func TestRunContextWarmReuse(t *testing.T) {
+	spec := fastSpec(scheme.Boomerang(), fastProfile("Zeus"))
+	spec.ReuseWarm = false
+	off, err := RunContext(context.Background(), spec, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.ReuseWarm = true
+	miss, err := RunContext(context.Background(), spec, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := RunContext(context.Background(), spec, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireResultsEqual(t, "arena miss vs reuse off", miss, off)
+	requireResultsEqual(t, "arena hit vs reuse off", hit, off)
+
+	// Chunked execution (a cancellable ctx forces chunking) must not change
+	// results either way.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	chunked, err := RunContext(ctx, spec, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireResultsEqual(t, "chunked arena hit vs reuse off", chunked, off)
+}
+
+// wedgedEngine models an engine that stops retiring: Run consumes its full
+// cycle allowance (its bound is absolute, like frontend.Engine's) without
+// retiring anything beyond the preset count.
+type wedgedEngine struct {
+	retired uint64
+	cycles  int64
+}
+
+func (w *wedgedEngine) Run(target uint64, maxCycles int64) frontend.Stats {
+	if maxCycles > 0 && maxCycles > w.cycles {
+		w.cycles = maxCycles
+	}
+	return frontend.Stats{RetiredInstrs: w.retired, Cycles: w.cycles}
+}
+
+func TestRunWindowNoProgress(t *testing.T) {
+	// A wedged engine under chunking with no cycle bound must surface
+	// ErrNoProgress instead of looping forever.
+	err := runWindow(context.Background(), &wedgedEngine{}, 1_000, 0, 100, nil)
+	if !errors.Is(err, ErrNoProgress) {
+		t.Fatalf("wedged engine: got %v, want ErrNoProgress", err)
+	}
+
+	// Partial progress that then stops is still a wedge.
+	err = runWindow(context.Background(), &wedgedEngine{retired: 500}, 1_000, 0, 100, nil)
+	if !errors.Is(err, ErrNoProgress) {
+		t.Fatalf("stalled engine: got %v, want ErrNoProgress", err)
+	}
+
+	// With a cycle budget the window ends at the budget, as documented —
+	// that is a bounded run, not a wedge.
+	if err := runWindow(context.Background(), &wedgedEngine{}, 1_000, 5_000, 100, nil); err != nil {
+		t.Fatalf("cycle-bounded run: got %v, want nil", err)
+	}
+
+	// A healthy real engine is unaffected: full window, no error.
+	spec := fastSpec(scheme.Base(), fastProfile("Apache"))
+	spec.ReuseWarm = false
+	inst, err := WarmInstance(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runWindow(context.Background(), inst.Engine, 50_000, 0, 10_000, nil); err != nil {
+		t.Fatalf("healthy engine: got %v, want nil", err)
+	}
+}
+
+func TestFirstGenuineError(t *testing.T) {
+	genuine := errors.New("simulation exploded")
+	wrapped := fmt.Errorf("core 3: %w", context.Canceled)
+	cases := []struct {
+		name string
+		errs []error
+		want error
+	}{
+		{"all nil", []error{nil, nil}, nil},
+		{"cancellation before genuine failure", []error{context.Canceled, genuine}, genuine},
+		{"genuine failure before cancellation", []error{genuine, context.Canceled}, genuine},
+		{"wrapped cancellation before genuine failure", []error{nil, wrapped, genuine}, genuine},
+		{"deadline before genuine failure", []error{context.DeadlineExceeded, genuine}, genuine},
+		{"only cancellation", []error{nil, wrapped, context.Canceled}, wrapped},
+	}
+	for _, tc := range cases {
+		if got := firstGenuineError(tc.errs); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRunCMPContextCancellation pins the unified policy end to end: a chip
+// run whose cores were all cancelled reports the cancellation (not a
+// fabricated success), and the error is the raw context sentinel for the
+// public layer to wrap.
+func TestRunCMPContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := CMPSpec{Spec: fastSpec(scheme.Base(), fastProfile("Apache")), Cores: 2}
+	_, err := RunCMPContext(ctx, spec, Hooks{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

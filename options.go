@@ -123,6 +123,22 @@ func WithMaxCycles(cycles int64) Option {
 	}
 }
 
+// WithWarmReuse toggles warm-state reuse (on by default): runs sharing a
+// warm-relevant configuration — scheme, workload, seeds, core config,
+// predictor and warm length — fork one process-wide warmed snapshot instead
+// of each re-simulating the warm window, so sweeps pay the warm cost once
+// per configuration rather than once per run. Results are byte-identical
+// either way (a fork is indistinguishable from a fresh warm), which is why
+// reuse does not participate in Key: it is purely a wall-clock and memory
+// trade. Disable it to bound resident memory (each cached snapshot holds a
+// few MB of warmed cache state) or when auditing the simulator itself.
+func WithWarmReuse(on bool) Option {
+	return func(s *Simulation) error {
+		s.warmReuse = on
+		return nil
+	}
+}
+
 // WithFootprintKB overrides the workload's calibrated instruction footprint
 // (0 = the profile's own). Smaller footprints generate faster and run
 // hotter; tests and examples use this to stay within CI budgets.
