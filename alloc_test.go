@@ -28,7 +28,9 @@ func TestMeasureLoopAllocationFree(t *testing.T) {
 		t.Run(s.Name, func(t *testing.T) {
 			inst := s.Build(scheme.Env{Cfg: config.Default(), Img: img, WalkSeed: 1})
 			// Warm caches, predictors and every scratch structure to steady
-			// state before measuring.
+			// state before measuring. The flight recorder is detached here
+			// (its default), so this also proves the recorder-off hot path —
+			// one nil compare per cycle — costs zero allocations.
 			inst.Engine.Run(150_000, 0)
 			allocs := testing.AllocsPerRun(5, func() {
 				inst.Engine.ResetStats()
@@ -36,6 +38,20 @@ func TestMeasureLoopAllocationFree(t *testing.T) {
 			})
 			if allocs != 0 {
 				t.Fatalf("steady-state measure loop allocated %v times per 20K instructions; want 0", allocs)
+			}
+
+			// Recorder-on variant: the recorder preallocates its epoch buffer
+			// at attach, so steady-state recording — snapshotting windowed
+			// counters every 1K cycles — must also never touch the heap.
+			// Attach outside the measured closure (the one-time buffer
+			// allocation is the contract's explicit exception).
+			inst.Engine.StartFlightRecorder(1_000, 4096)
+			allocs = testing.AllocsPerRun(5, func() {
+				inst.Engine.Run(20_000, 0)
+			})
+			inst.Engine.StopFlightRecorder()
+			if allocs != 0 {
+				t.Fatalf("recording measure loop allocated %v times per 20K instructions; want 0", allocs)
 			}
 		})
 	}

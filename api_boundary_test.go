@@ -133,13 +133,17 @@ func TestServerSpeaksPublicAPIAndWireOnly(t *testing.T) {
 
 // TestClusterSpeaksOnlyWireTypes pins the coordinator's tighter contract:
 // internal/cluster may depend, module-internally, on nothing but the shared
-// wire vocabulary. The public boomsim package builds its distributed runner
-// on the coordinator, so any other internal import is either an import
-// cycle waiting to happen (boomsim itself) or a layering leak (the server's
-// implementation); the coordinator must treat workers as remote HTTP
-// services, full stop.
+// wire vocabulary and the leaf observability plane (spans and slog helpers
+// with no boomsim dependencies of their own). The public boomsim package
+// builds its distributed runner on the coordinator, so any other internal
+// import is either an import cycle waiting to happen (boomsim itself) or a
+// layering leak (the server's implementation); the coordinator must treat
+// workers as remote HTTP services, full stop.
 func TestClusterSpeaksOnlyWireTypes(t *testing.T) {
-	allowed := map[string]bool{"boomsim/internal/wire": true}
+	allowed := map[string]bool{
+		"boomsim/internal/wire": true,
+		"boomsim/internal/obs":  true,
+	}
 	err := filepath.WalkDir("internal/cluster", func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -165,6 +169,40 @@ func TestClusterSpeaksOnlyWireTypes(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("walking internal/cluster: %v", err)
+	}
+}
+
+// TestObsIsALeaf pins the observability plane's position in the layering:
+// internal/obs (trace IDs, the span collector, slog helpers) is imported by
+// everything — the root package, the coordinator, the CLIs — so it may
+// import nothing from the module at all. A boomsim import appearing here is
+// an import cycle waiting to happen.
+func TestObsIsALeaf(t *testing.T) {
+	err := filepath.WalkDir("internal/obs", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if ip == "boomsim" || strings.HasPrefix(ip, "boomsim/") {
+				t.Errorf("%s imports %s; internal/obs must stay a standard-library-only leaf", path, ip)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking internal/obs: %v", err)
 	}
 }
 

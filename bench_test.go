@@ -227,6 +227,38 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorThroughputRecorded is the flight recorder's overhead
+// control: the same measured loop with the recorder attached at a 10K-cycle
+// epoch. BenchmarkSimulatorThroughput above stays recorder-off — that is the
+// number benchgate's ns/instr regression gate protects — so any recorder
+// cost shows up here as a visible MIPS delta, never as a silent regression
+// of the gated headline.
+func BenchmarkSimulatorThroughputRecorded(b *testing.B) {
+	apache, _ := workload.ByName("Apache")
+	apache.Gen.FootprintKB = 768
+	spec := sim.DefaultSpec(scheme.Boomerang(), apache)
+	spec.WarmInstrs = 50_000
+
+	inst, err := sim.WarmInstance(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	instrs := uint64(b.N)
+	if instrs < 100_000 {
+		instrs = 100_000
+	}
+	inst.Engine.StartFlightRecorder(10_000, 0)
+	b.ResetTimer()
+	inst.Engine.Run(instrs, 0)
+	b.StopTimer()
+	epochs := inst.Engine.StopFlightRecorder()
+	b.ReportMetric(float64(len(epochs)), "epochs")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(instrs)/secs/1e6, "MIPS")
+	}
+}
+
 // The full sweep grid: every built-in scheme crossed with every built-in
 // workload. The names are pinned here (rather than read from Schemes() /
 // Workloads()) so the grid stays exactly 18x7 even when tests in the same

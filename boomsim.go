@@ -34,6 +34,11 @@ type Simulation struct {
 
 	progressEvery uint64
 	progress      ProgressFunc
+	warmObs       func(source string)
+
+	// flightEvery > 0 attaches the flight recorder (WithFlightRecorder):
+	// epoch deltas every flightEvery cycles, carried on Result.Epochs.
+	flightEvery int64
 
 	// warmReuse gates forking warmed state from the process-wide warm arena
 	// (sim package). On by default; WithWarmReuse(false) disables it.
@@ -135,6 +140,7 @@ func (s *Simulation) spec() sim.Spec {
 		MeasureInstrs: s.measureInstrs,
 		MaxCycles:     s.maxCycles,
 		ReuseWarm:     s.warmReuse,
+		FlightEvery:   s.flightEvery,
 	}
 }
 
@@ -143,9 +149,27 @@ func (s *Simulation) spec() sim.Spec {
 // WithProgress granularity, or every sim chunk by default) and returns
 // ErrCanceled — wrapping ctx's own error — if it fires mid-run.
 func (s *Simulation) Run(ctx context.Context) (Result, error) {
+	return s.runWithHooks(ctx, s.warmObs)
+}
+
+// runWithHooks is Run with an explicit warm observer: the matrix runner's
+// tracing path injects its own span-recording observer without mutating
+// the (immutable, shared) Simulation. onWarm may be nil; a WithWarmObserver
+// callback installed at New time is chained after it.
+func (s *Simulation) runWithHooks(ctx context.Context, onWarm func(source string)) (Result, error) {
+	if onWarm == nil {
+		onWarm = s.warmObs
+	} else if obs := s.warmObs; obs != nil {
+		inner := onWarm
+		onWarm = func(src string) {
+			inner(src)
+			obs(src)
+		}
+	}
 	r, err := sim.RunContext(ctx, s.spec(), sim.Hooks{
 		ProgressEvery: s.progressEvery,
 		Progress:      s.progress,
+		OnWarm:        onWarm,
 	})
 	if err != nil {
 		return Result{}, wrapRunError(err)

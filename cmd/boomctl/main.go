@@ -26,6 +26,8 @@
 //	boomctl -workers ... -journal sweep.journal        # crash-safe sweep
 //	boomctl -resume sweep.journal -workers ...         # pick it back up
 //	boomctl -membership members.json -journal sweep.journal
+//	boomctl -workers ... -trace-out sweep.trace.json   # Perfetto-loadable trace
+//	boomctl -workers ... -log-level debug -flight-every 50000 -json
 //
 // Crash safety: with -journal every completed cell is durably logged, and
 // re-running the identical sweep against the same journal (-resume is the
@@ -34,9 +36,17 @@
 // sweep, so workers can be added or drained mid-run. -cell-timeout caps how
 // long any single cell may keep failing before the sweep gives up.
 //
+// Observability: -trace-out writes the whole sweep as Chrome trace_event
+// JSON — one row per cell with queue/dispatch/sim phases, retries and
+// hedges marked, all under one trace ID that also travels to the workers —
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. -log-level
+// tunes the coordinator's structured logs on stderr (a -resume always logs
+// its one-line journaled-vs-recomputed summary), and -flight-every attaches
+// the simulator flight recorder so -json results carry per-epoch counters.
+//
 // The run summary (dispatch, retry, hedge and cache-hit counters plus
-// per-worker load) goes to stderr; results go to stdout as a table, or as
-// JSON with -json.
+// per-worker load and the slowest cells) goes to stderr; results go to
+// stdout as a table, or as JSON with -json.
 package main
 
 import (
@@ -44,6 +54,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -53,6 +64,7 @@ import (
 	"time"
 
 	"boomsim"
+	"boomsim/internal/obs"
 )
 
 func main() {
@@ -89,13 +101,26 @@ func main() {
 		cellTimeout = flag.Duration("cell-timeout", 0, "max wall-clock a single cell may spend being retried (0 = unbounded)")
 		metricsAddr = flag.String("metrics-addr", "", "serve coordinator Prometheus metrics and /healthz (membership view) on this address during the run")
 		jsonOut     = flag.Bool("json", false, "emit results as a JSON array instead of a table")
+		traceOut    = flag.String("trace-out", "", "write the sweep as Chrome trace_event JSON (load in Perfetto or chrome://tracing)")
+		flightEvery = flag.Int64("flight-every", 0, "attach the simulator flight recorder at this epoch granularity in cycles (0 = off; epochs ride on -json results)")
+		logLevel    = flag.String("log-level", "warn", "coordinator log floor on stderr: debug, info, warn or error")
 	)
 	flag.Parse()
 	if *workers == "" && *membership == "" {
 		fatalf("-workers or -membership is required")
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 	journalPath := *journal
 	if *resume != "" {
+		// A resume always narrates itself: the one-line journaled-vs-recomputed
+		// summary should not require turning the log floor down first.
+		if level > slog.LevelInfo {
+			logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
+		}
 		if journalPath != "" && journalPath != *resume {
 			fatalf("-journal and -resume disagree (%s vs %s); pass one", journalPath, *resume)
 		}
@@ -155,6 +180,9 @@ func main() {
 						boomsim.WithSeeds(is, ws),
 						boomsim.WithWindow(*warm, *measure),
 					}
+					if *flightEvery > 0 {
+						opts = append(opts, boomsim.WithFlightRecorder(*flightEvery))
+					}
 					if cell.cfg != nil {
 						opts = append(opts, boomsim.WithSchemeConfig(*cell.cfg))
 					}
@@ -185,6 +213,13 @@ func main() {
 		boomsim.WithBatchSize(*batch),
 		boomsim.WithJobAttempts(*retries),
 		boomsim.WithClusterTimeout(*timeout),
+		boomsim.WithClusterLogger(logger),
+	}
+	var trace *boomsim.Trace
+	if *traceOut != "" {
+		trace = boomsim.NewTrace()
+		clOpts = append(clOpts, boomsim.WithClusterTrace(trace))
+		fmt.Fprintf(os.Stderr, "boomctl: tracing sweep, trace id %s\n", trace.ID())
 	}
 	if *workers != "" {
 		clOpts = append(clOpts, boomsim.WithEndpoints(strings.Split(*workers, ",")...))
@@ -210,10 +245,18 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("GET /metrics", cl.MetricsHandler())
 		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			// Cell-level visibility rides on /healthz whether or not the
+			// sweep is traced: totals, distinct retried cells, and the
+			// slowest-cells leaderboard.
+			st := cl.Stats()
 			w.Header().Set("Content-Type", "application/json")
 			json.NewEncoder(w).Encode(map[string]any{
-				"status":     "ok",
-				"membership": cl.MembershipView(),
+				"status":          "ok",
+				"membership":      cl.MembershipView(),
+				"cells_total":     st.CellsTotal,
+				"cells_retried":   st.CellsRetried,
+				"slowest_cell_ms": st.SlowestCellMS,
+				"slowest_cells":   st.SlowestCells,
 			})
 		})
 		go func() {
@@ -249,6 +292,21 @@ func main() {
 		printTable(results, len(cells)*len(workloads))
 	}
 	printSummary(cl.Stats(), len(sims), elapsed)
+
+	if trace != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("-trace-out: %v", err)
+		}
+		if err := trace.WriteChromeTrace(f); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "boomctl: wrote %d spans (%d dropped) to %s — load it at ui.perfetto.dev\n",
+			trace.Len(), trace.Dropped(), *traceOut)
+	}
 }
 
 // printTable renders one row per cell; when Base is part of the sweep each
@@ -301,6 +359,16 @@ func printSummary(st boomsim.ClusterStats, cells int, elapsed time.Duration) {
 		}
 		fmt.Fprintf(os.Stderr, "boomctl:   %-30s %7s  jobs %4d  requests %4d  failures %2d  avg batch %v\n",
 			w.Endpoint, w.State, w.Jobs, w.Requests, w.Failures, avg.Round(time.Millisecond))
+	}
+	if len(st.SlowestCells) > 0 {
+		fmt.Fprintf(os.Stderr, "boomctl: slowest cells:\n")
+		for _, c := range st.SlowestCells {
+			key := c.Key
+			if len(key) > 16 {
+				key = key[:16]
+			}
+			fmt.Fprintf(os.Stderr, "boomctl:   %-16s %8.0fms  %s\n", key, c.MS, c.Worker)
+		}
 	}
 }
 

@@ -13,7 +13,16 @@
 //	boomsim -scheme-file my-scheme.json -workload DB2 -stats
 //	boomsim -remote http://sim-1:8080 -scheme FDIP -workload DB2
 //	boomsim -remote http://sim-1:8080 -scheme-file my-scheme.json
+//	boomsim -scheme Boomerang -workload Apache -flight-every 50000 -json
+//	boomsim -scheme Boomerang -workload Apache -trace-out run.trace.json
 //	boomsim -list
+//
+// Observability: -flight-every attaches the simulator flight recorder at
+// that epoch granularity (cycles); -json results then carry per-epoch
+// windowed counters (fetch bubbles, BTB misses, prefetch activity,
+// squashes), and text output summarises the epochs. -trace-out writes the
+// run (and its -baseline, when asked) as Chrome trace_event JSON loadable
+// in Perfetto or chrome://tracing.
 package main
 
 import (
@@ -33,22 +42,24 @@ import (
 
 func main() {
 	var (
-		schemeName = flag.String("scheme", "Boomerang", "scheme: "+strings.Join(schemeNames(), ", "))
-		wlName     = flag.String("workload", "Apache", "workload: "+strings.Join(workloadNames(), ", "))
-		btb        = flag.Int("btb", 0, "override BTB entries (default Table I: 2048)")
-		llc        = flag.Int("llc", 0, "override LLC round-trip latency in cycles (default 30)")
-		predictor  = flag.String("predictor", "", "FDIP direction predictor: tage|bimodal|never-taken")
-		warm       = flag.Uint64("warm", 300_000, "warmup instructions")
-		measure    = flag.Uint64("measure", 1_000_000, "measured instructions")
-		imageSeed  = flag.Uint64("image-seed", 1, "code image generation seed")
-		walkSeed   = flag.Uint64("walk-seed", 1, "oracle execution seed")
-		cores      = flag.Int("cores", 1, "simulate a CMP with this many cores")
-		baseline   = flag.Bool("baseline", false, "also run the Base scheme and report speedup/coverage")
-		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of text")
-		list       = flag.Bool("list", false, "list registered schemes and workloads, then exit")
-		remote     = flag.String("remote", "", "run on a boomsimd at this base URL instead of locally (implies -json output)")
-		schemeFile = flag.String("scheme-file", "", "run a custom declarative scheme from this JSON file instead of -scheme (see EXPERIMENTS.md)")
-		showStats  = flag.Bool("stats", false, "also print the full per-component statistics registry, grouped by namespace")
+		schemeName  = flag.String("scheme", "Boomerang", "scheme: "+strings.Join(schemeNames(), ", "))
+		wlName      = flag.String("workload", "Apache", "workload: "+strings.Join(workloadNames(), ", "))
+		btb         = flag.Int("btb", 0, "override BTB entries (default Table I: 2048)")
+		llc         = flag.Int("llc", 0, "override LLC round-trip latency in cycles (default 30)")
+		predictor   = flag.String("predictor", "", "FDIP direction predictor: tage|bimodal|never-taken")
+		warm        = flag.Uint64("warm", 300_000, "warmup instructions")
+		measure     = flag.Uint64("measure", 1_000_000, "measured instructions")
+		imageSeed   = flag.Uint64("image-seed", 1, "code image generation seed")
+		walkSeed    = flag.Uint64("walk-seed", 1, "oracle execution seed")
+		cores       = flag.Int("cores", 1, "simulate a CMP with this many cores")
+		baseline    = flag.Bool("baseline", false, "also run the Base scheme and report speedup/coverage")
+		jsonOut     = flag.Bool("json", false, "emit the result as JSON instead of text")
+		list        = flag.Bool("list", false, "list registered schemes and workloads, then exit")
+		remote      = flag.String("remote", "", "run on a boomsimd at this base URL instead of locally (implies -json output)")
+		schemeFile  = flag.String("scheme-file", "", "run a custom declarative scheme from this JSON file instead of -scheme (see EXPERIMENTS.md)")
+		showStats   = flag.Bool("stats", false, "also print the full per-component statistics registry, grouped by namespace")
+		flightEvery = flag.Int64("flight-every", 0, "attach the simulator flight recorder at this epoch granularity in cycles (0 = off)")
+		traceOut    = flag.String("trace-out", "", "write the run as Chrome trace_event JSON (load in Perfetto or chrome://tracing)")
 	)
 	flag.Parse()
 
@@ -75,6 +86,9 @@ func main() {
 		if *cores > 1 || *baseline {
 			fatalf("-remote supports single runs only (no -cores/-baseline)")
 		}
+		if *traceOut != "" {
+			fatalf("-trace-out traces local runs; remote sweeps are traced by boomctl")
+		}
 		req := wire.RunRequest{
 			Scheme:     *schemeName,
 			Workload:   *wlName,
@@ -83,6 +97,7 @@ func main() {
 			LLCLatency: *llc,
 			ImageSeed:  imageSeed, WalkSeed: walkSeed,
 			WarmInstrs: warm, MeasureInstrs: measure,
+			FlightEvery: *flightEvery,
 		}
 		if customScheme != nil {
 			raw, err := json.Marshal(customScheme)
@@ -113,6 +128,9 @@ func main() {
 		if *llc > 0 {
 			opts = append(opts, boomsim.WithLLCLatency(*llc))
 		}
+		if *flightEvery > 0 {
+			opts = append(opts, boomsim.WithFlightRecorder(*flightEvery))
+		}
 		return boomsim.New(opts...)
 	}
 
@@ -122,20 +140,61 @@ func main() {
 	}
 
 	if *cores > 1 {
+		if *traceOut != "" {
+			fatalf("-trace-out supports single-core runs only")
+		}
 		runCMP(ctx, s, *cores, *jsonOut)
 		return
 	}
 
-	r, err := s.Run(ctx)
+	// With -trace-out even a single run goes through RunMatrix, which is
+	// where span recording lives; results are identical either way.
+	var trace *boomsim.Trace
+	runOne := func(s *boomsim.Simulation) (boomsim.Result, error) {
+		if trace == nil {
+			return s.Run(ctx)
+		}
+		rs, err := boomsim.RunMatrix(ctx, []*boomsim.Simulation{s}, boomsim.WithMatrixTrace(trace))
+		if err != nil {
+			return boomsim.Result{}, err
+		}
+		return rs[0], nil
+	}
+	if *traceOut != "" {
+		trace = boomsim.NewTrace()
+	}
+	writeTrace := func() {
+		if trace == nil {
+			return
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("-trace-out: %v", err)
+		}
+		if err := trace.WriteChromeTrace(f); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "boomsim: wrote %d spans to %s — load it at ui.perfetto.dev\n",
+			trace.Len(), *traceOut)
+	}
+
+	r, err := runOne(s)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	if *jsonOut && !*baseline {
 		emitJSON(r)
+		writeTrace()
 		return
 	}
 	if !*jsonOut {
 		printResult(r)
+		if len(r.Epochs) > 0 {
+			printEpochs(r, *flightEvery)
+		}
 		if *showStats {
 			printStats(r)
 		}
@@ -146,7 +205,7 @@ func main() {
 		if err != nil {
 			fatalf("baseline: %v", err)
 		}
-		b, err := bs.Run(ctx)
+		b, err := runOne(bs)
 		if err != nil {
 			fatalf("baseline: %v", err)
 		}
@@ -157,11 +216,42 @@ func main() {
 				Speedup  float64        `json:"speedup"`
 				Coverage float64        `json:"coverage"`
 			}{r, b, boomsim.Speedup(b, r), boomsim.Coverage(b, r)})
+			writeTrace()
 			return
 		}
 		fmt.Printf("\nvs Base (IPC %.3f):\n", b.IPC)
 		fmt.Printf("  speedup             %.3fx\n", boomsim.Speedup(b, r))
 		fmt.Printf("  stall cycle coverage %.1f%%\n", 100*boomsim.Coverage(b, r))
+	}
+	writeTrace()
+}
+
+// printEpochs summarises the flight recorder's windowed counters: the
+// best- and worst-IPC epochs bracket how much the run's behaviour moves
+// within the measurement window — the time-resolved view a single
+// end-of-run average hides.
+func printEpochs(r boomsim.Result, every int64) {
+	worst, best := -1, -1
+	var worstIPC, bestIPC float64
+	for i, e := range r.Epochs {
+		if e.Cycles == 0 {
+			continue
+		}
+		ipc := float64(e.Instructions) / float64(e.Cycles)
+		if worst < 0 || ipc < worstIPC {
+			worst, worstIPC = i, ipc
+		}
+		if best < 0 || ipc > bestIPC {
+			best, bestIPC = i, ipc
+		}
+	}
+	fmt.Printf("  flight recorder      %d epochs of %d cycles\n", len(r.Epochs), every)
+	if worst >= 0 {
+		we, be := r.Epochs[worst], r.Epochs[best]
+		fmt.Printf("    worst epoch        #%d IPC %.3f (cycle %d, %d BTB misses, %d squashes)\n",
+			worst, worstIPC, we.StartCycle, we.BTBMisses, we.Squashes)
+		fmt.Printf("    best epoch         #%d IPC %.3f (cycle %d, %d prefetch hits)\n",
+			best, bestIPC, be.StartCycle, be.PrefetchHits)
 	}
 }
 

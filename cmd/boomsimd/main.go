@@ -21,12 +21,20 @@
 //
 //	boomsimd -addr :8080 -workers 8 -queue 64
 //	boomsimd -addr :8080 -store /var/lib/boomsim/results
+//	boomsimd -addr :8080 -log-level debug -debug-addr localhost:6060
 //	curl -s localhost:8080/v1/run -d '{"scheme":"Boomerang","workload":"DB2"}'
 //
 // With -store, results are also written to a disk-backed content-addressed
 // store under the in-memory cache: a restarted worker starts warm, and
 // entries that fail their integrity check are quarantined and recomputed,
 // never served.
+//
+// Observability: lifecycle events (request/job settlement, store
+// quarantines and GC, drain) are structured logs on stderr — -log-level
+// picks the floor (debug shows per-job settlement with the client's
+// trace_id). -debug-addr serves net/http/pprof on a separate listener kept
+// off the public API surface; point it at localhost and
+// `go tool pprof http://localhost:6060/debug/pprof/profile` works as usual.
 //
 // SIGINT/SIGTERM drains gracefully: queued and running simulations are
 // canceled through boomsim's cooperative-cancellation path, in-flight HTTP
@@ -38,44 +46,55 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"boomsim/internal/obs"
 	"boomsim/internal/server"
 	"boomsim/internal/store"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 0, "max queued+running flights before 429 (0 = 4x workers)")
-		cache    = flag.Int("cache", 0, "result cache entries (0 = 4096)")
-		storeDir = flag.String("store", "", "durable result store directory (empty = memory-only cache)")
-		storeMax = flag.Int64("store-max-bytes", 0, "byte cap for the durable store, oldest entries evicted (0 = unbounded)")
-		timeout  = flag.Duration("timeout", 0, "per-request deadline cap (0 = 5m)")
-		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight HTTP responses")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "max queued+running flights before 429 (0 = 4x workers)")
+		cache     = flag.Int("cache", 0, "result cache entries (0 = 4096)")
+		storeDir  = flag.String("store", "", "durable result store directory (empty = memory-only cache)")
+		storeMax  = flag.Int64("store-max-bytes", 0, "byte cap for the durable store, oldest entries evicted (0 = unbounded)")
+		timeout   = flag.Duration("timeout", 0, "per-request deadline cap (0 = 5m)")
+		grace     = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight HTTP responses")
+		logLevel  = flag.String("log-level", "info", "log floor: debug, info, warn or error")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it on localhost)")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	cfg := server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
 		RequestTimeout: *timeout,
+		Logger:         logger,
 	}
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir, store.Options{MaxBytes: *storeMax})
+		st, err := store.Open(*storeDir, store.Options{MaxBytes: *storeMax, Logger: logger})
 		if err != nil {
 			fatalf("opening result store: %v", err)
 		}
 		cfg.Store = st
 		ss := st.Stats()
-		log.Printf("result store %s: %d entries, %d bytes recovered", *storeDir, ss.Entries, ss.Bytes)
+		logger.Info("result store recovered",
+			"dir", *storeDir, "entries", ss.Entries, "bytes", ss.Bytes)
 	}
 	srv := server.New(cfg)
 	httpSrv := &http.Server{
@@ -84,12 +103,31 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	if *debugAddr != "" {
+		// pprof rides its own mux and listener: the profiling surface never
+		// leaks onto the public API address, and binding it to localhost
+		// keeps it operator-only.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("pprof debug listener on", "addr", *debugAddr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("boomsimd listening on %s", *addr)
+	logger.Info("boomsimd listening", "addr", *addr)
 
 	select {
 	case err := <-errCh:
@@ -99,7 +137,7 @@ func main() {
 
 	// Drain: cancel simulations first so blocked handlers respond promptly,
 	// then let in-flight HTTP responses flush within the grace period.
-	log.Printf("signal received; draining (grace %v)", *grace)
+	logger.Info("signal received; draining", "grace", *grace)
 	srv.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
@@ -107,8 +145,9 @@ func main() {
 		fatalf("shutdown: %v", err)
 	}
 	stats := srv.Stats()
-	log.Printf("drained: %d requests, %d sims, %d cache hits, %.0f ns/instr",
-		stats.Requests, stats.SimsStarted, stats.CacheHits, stats.NsPerInstr())
+	logger.Info("drained",
+		"requests", stats.Requests, "sims", stats.SimsStarted,
+		"cache_hits", stats.CacheHits, "ns_per_instr", fmt.Sprintf("%.0f", stats.NsPerInstr()))
 }
 
 func fatalf(format string, args ...any) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -184,6 +185,34 @@ func WithClusterClient(hc *http.Client) ClusterOption {
 	}
 }
 
+// WithClusterTrace records the sweep into t: one "cell" span per matrix
+// cell plus queue/dispatch/sim phase spans, retry and hedge markers, all
+// stamped with t's trace ID. The same ID travels to workers in every batch
+// request, so worker-side logs correlate with the coordinator's spans and a
+// multi-worker sweep merges into one consistent trace. Export with
+// Trace.WriteChromeTrace. Tracing observes a sweep without affecting its
+// results.
+func WithClusterTrace(t *Trace) ClusterOption {
+	return func(c *cluster.Config) error {
+		if t == nil {
+			return fmt.Errorf("%w: nil cluster trace", ErrInvalidOption)
+		}
+		c.Trace = t.collector()
+		c.TraceID = t.ID()
+		return nil
+	}
+}
+
+// WithClusterLogger routes coordinator lifecycle logs (sweep start/finish,
+// journal resume, breaker transitions, membership changes, retries, hedges)
+// to log. Nil (the default) discards them.
+func WithClusterLogger(log *slog.Logger) ClusterOption {
+	return func(c *cluster.Config) error {
+		c.Logger = log
+		return nil
+	}
+}
+
 func ensureClient(c *cluster.Config) {
 	if c.Client == nil {
 		c.Client = &cluster.RetryClient{}
@@ -245,7 +274,13 @@ func (c *Cluster) Stats() ClusterStats {
 		WorkerDeaths:   s.WorkerDeaths,
 		WorkersJoined:  s.WorkersJoined,
 		WorkersRemoved: s.WorkersRemoved,
+		CellsTotal:     s.CellsTotal,
+		CellsRetried:   s.CellsRetried,
+		SlowestCellMS:  s.SlowestCellMS,
 		Workers:        make([]ClusterWorkerStats, len(s.Workers)),
+	}
+	for _, sc := range s.SlowestCells {
+		out.SlowestCells = append(out.SlowestCells, ClusterCellTiming(sc))
 	}
 	for i, w := range s.Workers {
 		out.Workers[i] = ClusterWorkerStats(w)
@@ -300,7 +335,24 @@ type ClusterStats struct {
 	WorkersJoined  uint64 `json:"workers_joined"`
 	WorkersRemoved uint64 `json:"workers_removed"`
 
+	// CellsTotal counts cells settled across sweeps (completed plus resumed
+	// from a journal) and CellsRetried the distinct cells that needed at
+	// least one re-dispatch — maintained whether or not the sweep is traced.
+	CellsTotal   uint64 `json:"cells_total"`
+	CellsRetried uint64 `json:"cells_retried"`
+	// SlowestCellMS is the slowest settled cell's dispatch-to-settle wall
+	// time; SlowestCells the top-N leaderboard behind it, slowest first.
+	SlowestCellMS float64             `json:"slowest_cell_ms"`
+	SlowestCells  []ClusterCellTiming `json:"slowest_cells,omitempty"`
+
 	Workers []ClusterWorkerStats `json:"workers"`
+}
+
+// ClusterCellTiming is one row of a Cluster's slowest-cells leaderboard.
+type ClusterCellTiming struct {
+	Key    string  `json:"key"`
+	Worker string  `json:"worker"`
+	MS     float64 `json:"ms"`
 }
 
 // ClusterWorkerStats is one worker endpoint's share of a Cluster's
@@ -357,6 +409,7 @@ func wireRequest(s *Simulation) wire.RunRequest {
 		WarmInstrs:    &warm,
 		MeasureInstrs: &measure,
 		MaxCycles:     s.maxCycles,
+		FlightEvery:   s.flightEvery,
 	}
 	if s.schemeCfg != nil {
 		req.Scheme = ""

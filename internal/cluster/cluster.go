@@ -39,12 +39,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
 	"sync"
 	"time"
 
+	"boomsim/internal/obs"
 	"boomsim/internal/wire"
 )
 
@@ -125,6 +127,17 @@ type Config struct {
 	// Client is the transport (default a zero RetryClient: 3 attempts,
 	// 100ms base backoff, Retry-After honored).
 	Client *RetryClient
+	// Logger receives structured lifecycle events — sweep start/end,
+	// journal resume summaries, breaker transitions, membership changes,
+	// hedges — at slog levels (nil = discard). The event loop logs
+	// synchronously; handlers should be fast.
+	Logger *slog.Logger
+	// Trace, when set, collects per-cell spans (queue wait, dispatch, sim
+	// time, retries, hedges) for the sweep. TraceID overrides the span
+	// trace ID and is propagated in every batch request so worker logs
+	// correlate; empty uses the collector's own ID.
+	Trace   *obs.Collector
+	TraceID string
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +170,16 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Client == nil {
 		c.Client = &RetryClient{}
+	}
+	if c.Logger == nil {
+		c.Logger = obs.Nop()
+	}
+	if c.Trace != nil {
+		if c.TraceID != "" {
+			c.Trace.SetTraceID(c.TraceID)
+		} else {
+			c.TraceID = c.Trace.ID()
+		}
 	}
 	return c
 }
@@ -331,6 +354,13 @@ type runState struct {
 	// CellTimeout budget is measured from.
 	firstTry []time.Time
 	hedgedJ  []bool
+	// tries counts dispatches per job (attempts, hedges included);
+	// retriedJ marks jobs that needed at least one re-dispatch.
+	tries    []int
+	retriedJ []bool
+	// queuedAt is the sweep's dispatch epoch: every cell's queue-wait span
+	// is measured from it.
+	queuedAt time.Time
 	workers  []*workerState
 	byEP     map[string]*workerState
 	// parked holds jobs with no routable owner right now but a reason to
@@ -378,6 +408,9 @@ func (c *Coordinator) Run(ctx context.Context, jobs []Job) ([]JobResult, error) 
 		fails:     make([]int, len(jobs)),
 		firstTry:  make([]time.Time, len(jobs)),
 		hedgedJ:   make([]bool, len(jobs)),
+		tries:     make([]int, len(jobs)),
+		retriedJ:  make([]bool, len(jobs)),
+		queuedAt:  time.Now(),
 		byEP:      make(map[string]*workerState, len(endpoints)),
 		probing:   make(map[string]bool),
 		remaining: len(jobs),
@@ -385,6 +418,9 @@ func (c *Coordinator) Run(ctx context.Context, jobs []Job) ([]JobResult, error) 
 		events:    make(chan batchEvent, len(endpoints)*c.cfg.InFlight+8),
 		joins:     make(chan joinEvent, 8),
 	}
+	log := c.cfg.Logger
+	log.Info("cluster: sweep starting",
+		"jobs", len(jobs), "workers", len(endpoints), "trace_id", c.cfg.TraceID)
 	for _, ep := range endpoints {
 		w := &workerState{endpoint: ep, metrics: c.m.worker(ep)}
 		w.setState(wsLive)
@@ -405,6 +441,7 @@ func (c *Coordinator) Run(ctx context.Context, jobs []Job) ([]JobResult, error) 
 		}
 		st.journal = j
 		defer j.Close()
+		resumed := 0
 		for i := range jobs {
 			if st.done[i] {
 				continue
@@ -414,8 +451,13 @@ func (c *Coordinator) Run(ctx context.Context, jobs []Job) ([]JobResult, error) 
 				st.remaining--
 				st.results[i] = JobResult{Cached: true, Result: raw}
 				st.m.jobsResumed.Add(1)
+				resumed++
+				st.cellSpan(i, nil, wire.JobResult{Cached: true}, true)
 			}
 		}
+		log.Info("cluster: journal resume",
+			"journal", c.cfg.JournalPath, "journaled", resumed,
+			"recomputing", st.remaining, "total", len(jobs))
 		if st.remaining == 0 {
 			return st.results, nil
 		}
@@ -481,9 +523,66 @@ func (c *Coordinator) Run(ctx context.Context, jobs []Job) ([]JobResult, error) 
 			// stopped persisting costs only resumability. Surface it without
 			// failing the sweep.
 			st.m.journalErrors.Add(1)
+			log.Warn("cluster: journal stopped persisting", "journal", c.cfg.JournalPath, "err", err)
 		}
 	}
+	log.Info("cluster: sweep complete",
+		"jobs", len(jobs), "elapsed", time.Since(st.queuedAt).Round(time.Millisecond),
+		"trace_id", c.cfg.TraceID)
 	return st.results, nil
+}
+
+// cellSpan settles one cell's observability: its timing joins the
+// slowest-cells leaderboard, and — when the sweep is traced — its spans
+// (whole-cell plus queue/dispatch/sim phases) are recorded under the cell's
+// matrix index as the trace row. Resumed cells record a zero-length span at
+// the sweep epoch so every cell appears in the trace exactly once.
+func (st *runState) cellSpan(j int, b *batch, jr wire.JobResult, resumed bool) {
+	now := time.Now()
+	key := st.jobs[j].Key
+	worker := ""
+	if b != nil {
+		worker = b.worker.endpoint
+	}
+	if !resumed && !st.firstTry[j].IsZero() {
+		st.m.observeCell(key, worker, float64(now.Sub(st.firstTry[j]))/1e6)
+	}
+	tr := st.cfg.Trace
+	if tr == nil {
+		return
+	}
+	short := key
+	if len(short) > 12 {
+		short = short[:12]
+	}
+	tr.SetThreadName(j, fmt.Sprintf("cell %d %s", j, short))
+	if resumed {
+		tr.Add(obs.Span{Name: "cell", Cat: "sweep", Start: st.queuedAt, TID: j, Args: []obs.Arg{
+			{Key: "key", Value: key},
+			{Key: "resumed", Value: true},
+			{Key: "cached", Value: true},
+		}})
+		return
+	}
+	first := st.firstTry[j]
+	tr.Add(obs.Span{Name: "cell", Cat: "sweep", Start: st.queuedAt, Dur: now.Sub(st.queuedAt), TID: j, Args: []obs.Arg{
+		{Key: "key", Value: key},
+		{Key: "worker", Value: worker},
+		{Key: "attempts", Value: st.tries[j]},
+		{Key: "retried", Value: st.retriedJ[j]},
+		{Key: "hedged", Value: st.hedgedJ[j]},
+		{Key: "cached", Value: jr.Cached},
+		{Key: "warm", Value: jr.Warm},
+	}})
+	tr.Add(obs.Span{Name: "queue", Cat: "phase", Start: st.queuedAt, Dur: first.Sub(st.queuedAt), TID: j,
+		Args: []obs.Arg{{Key: "key", Value: key}}})
+	tr.Add(obs.Span{Name: "dispatch", Cat: "phase", Start: first, Dur: now.Sub(first), TID: j,
+		Args: []obs.Arg{{Key: "key", Value: key}, {Key: "worker", Value: worker}}})
+	if jr.SimNanos > 0 {
+		d := time.Duration(jr.SimNanos)
+		tr.Add(obs.Span{Name: "sim", Cat: "phase", Start: now.Add(-d), Dur: d, TID: j,
+			Args: []obs.Arg{{Key: "key", Value: key}, {Key: "warm", Value: jr.Warm}}})
+	}
 }
 
 // healthProbe checks one endpoint's /healthz within timeout.
@@ -673,11 +772,13 @@ func (st *runState) launch(w *workerState, idxs []int) {
 	reqs := make([]wire.RunRequest, len(idxs))
 	for k, j := range idxs {
 		reqs[k] = st.jobs[j].Req
+		st.tries[j]++
 		if st.firstTry[j].IsZero() {
 			st.firstTry[j] = b.started
 		}
 	}
-	body, err := json.Marshal(wire.JobsRequest{Jobs: reqs, TimeoutMS: st.cfg.JobTimeoutMS})
+	body, err := json.Marshal(wire.JobsRequest{Jobs: reqs, TimeoutMS: st.cfg.JobTimeoutMS,
+		TraceID: st.cfg.TraceID})
 	if err != nil {
 		// Unreachable for wire types; fail through the event path so the
 		// loop's accounting stays consistent.
@@ -751,6 +852,12 @@ func (st *runState) handle(ev batchEvent) error {
 				if st.journal != nil {
 					st.journal.Append(st.jobs[j].Key, jr.Result)
 				}
+				st.cellSpan(j, b, jr, false)
+				st.cfg.Logger.Debug("cluster: job completed",
+					"key", st.jobs[j].Key, "worker", w.endpoint,
+					"cached", jr.Cached, "warm", jr.Warm,
+					"sim_ms", time.Duration(jr.SimNanos).Milliseconds(),
+					"attempts", st.tries[j])
 			}
 			continue
 		}
@@ -799,6 +906,7 @@ func (st *runState) handle(ev batchEvent) error {
 			w.setState(wsLive)
 			w.trips = 0
 			st.m.breakerCloses.Add(1)
+			st.cfg.Logger.Info("cluster: breaker closed", "worker", w.endpoint)
 		}
 	}
 	return nil
@@ -851,6 +959,16 @@ func (st *runState) requeue(j int, charge bool, cause error) error {
 			ErrCellTimeout, st.jobs[j].Key, st.cfg.CellTimeout, cause)
 	}
 	st.m.jobsRetried.Add(1)
+	if !st.retriedJ[j] {
+		st.retriedJ[j] = true
+		st.m.cellsRetried.Add(1)
+	}
+	if tr := st.cfg.Trace; tr != nil {
+		tr.Add(obs.Span{Name: "retry", Cat: "phase", Start: time.Now(), TID: j, Instant: true,
+			Args: []obs.Arg{{Key: "key", Value: st.jobs[j].Key}, {Key: "cause", Value: cause.Error()}}})
+	}
+	st.cfg.Logger.Debug("cluster: job requeued",
+		"key", st.jobs[j].Key, "charged", charge, "attempt_fails", st.fails[j], "cause", cause)
 	return st.placeJob(j)
 }
 
@@ -873,6 +991,8 @@ func (st *runState) trip(w *workerState, cause error) error {
 	}
 	w.reopenAt = time.Now().Add(cool)
 	st.m.workerDeaths.Add(1)
+	st.cfg.Logger.Warn("cluster: breaker opened",
+		"worker", w.endpoint, "cooldown", cool, "trips", w.trips, "cause", cause)
 	q := w.queue
 	w.queue = nil
 	for _, j := range q {
@@ -925,6 +1045,7 @@ func (st *runState) retire(w *workerState) {
 	w.setState(wsRemoved)
 	w.consecFails = 0
 	st.m.workersRemoved.Add(1)
+	st.cfg.Logger.Info("cluster: worker retired", "worker", w.endpoint)
 	q := w.queue
 	w.queue = nil
 	for _, j := range q {
@@ -959,6 +1080,7 @@ func (st *runState) handleJoin(ev joinEvent) error {
 	w.consecFails = 0
 	w.trips = 0
 	st.m.workersJoined.Add(1)
+	st.cfg.Logger.Info("cluster: worker joined", "worker", w.endpoint)
 	return st.rebalance()
 }
 
@@ -1009,6 +1131,16 @@ func (st *runState) hedgeScan() {
 			}
 			st.hedgedJ[j] = true
 			st.m.jobsHedged.Add(1)
+			if tr := st.cfg.Trace; tr != nil {
+				tr.Add(obs.Span{Name: "hedge", Cat: "phase", Start: now, TID: j, Instant: true,
+					Args: []obs.Arg{
+						{Key: "key", Value: st.jobs[j].Key},
+						{Key: "from", Value: b.worker.endpoint},
+						{Key: "to", Value: target.endpoint},
+					}})
+			}
+			st.cfg.Logger.Debug("cluster: job hedged",
+				"key", st.jobs[j].Key, "from", b.worker.endpoint, "to", target.endpoint)
 			target.queue = append(target.queue, j)
 		}
 	}

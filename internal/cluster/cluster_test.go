@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"boomsim/internal/obs"
 	"boomsim/internal/wire"
 )
 
@@ -600,6 +601,105 @@ func TestCoordinatorResumesFromJournal(t *testing.T) {
 	}
 	if st2 := co2.Stats(); st2.JobsResumed != 12 {
 		t.Errorf("second run JobsResumed = %d, want 12", st2.JobsResumed)
+	}
+}
+
+// TestCoordinatorTraceCoversResumedAndRetriedCells pins the sweep-trace
+// completeness contract on the two paths the root end-to-end test never
+// reaches: journal-resumed cells must still appear exactly once in the
+// trace (as zero-length resumed spans at the sweep epoch), and a cell that
+// saw a 429 must emit a "retry" instant span and flip the distinct-cell
+// CellsRetried counter — which, unlike the trace, must also work with
+// tracing off.
+func TestCoordinatorTraceCoversResumedAndRetriedCells(t *testing.T) {
+	w := newFakeWorker(t)
+	// Reject the first offer of every job with a 429 so each dispatched
+	// cell is requeued exactly once before succeeding.
+	w.perJob = func(key string, seen int) *wire.JobResult {
+		if seen == 1 {
+			return &wire.JobResult{Error: "queue full", Status: http.StatusTooManyRequests, RetryAfterMS: 1}
+		}
+		return nil
+	}
+
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	jobs := makeJobs(8)
+	keys := make([]string, len(jobs))
+	for i := range jobs {
+		keys[i] = jobs[i].Key
+	}
+	// A prior coordinator journaled the first half before crashing.
+	j, err := OpenJournal(path, SweepID(keys), len(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		j.Append(keys[i], okResult(keys[i]))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig(w)
+	cfg.JournalPath = path
+	cfg.Trace = obs.NewCollector(0)
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := co.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, jobs, results)
+
+	st := co.Stats()
+	if st.CellsTotal != 8 {
+		t.Errorf("CellsTotal = %d, want 8 (resumed + dispatched)", st.CellsTotal)
+	}
+	if st.CellsRetried != 4 {
+		t.Errorf("CellsRetried = %d, want the 4 dispatched cells (one 429 each)", st.CellsRetried)
+	}
+
+	cells := make(map[string]int)    // key -> "cell" span count
+	resumed := make(map[string]bool) // key -> resumed arg on its cell span
+	retries := make(map[string]int)  // key -> "retry" instant count
+	for _, s := range cfg.Trace.Spans() {
+		if s.TraceID != cfg.Trace.ID() {
+			t.Fatalf("span %q carries trace ID %q, want the run's %q", s.Name, s.TraceID, cfg.Trace.ID())
+		}
+		args := make(map[string]any, len(s.Args))
+		for _, a := range s.Args {
+			args[a.Key] = a.Value
+		}
+		key, _ := args["key"].(string)
+		switch s.Name {
+		case "cell":
+			cells[key]++
+			r, _ := args["resumed"].(bool)
+			resumed[key] = r
+		case "retry":
+			if !s.Instant {
+				t.Errorf("retry span for %q is not an instant event", key)
+			}
+			retries[key]++
+		}
+	}
+	for i, key := range keys {
+		if cells[key] != 1 {
+			t.Errorf("cell %q has %d cell spans, want exactly 1", key, cells[key])
+		}
+		wantResumed := i < 4
+		if resumed[key] != wantResumed {
+			t.Errorf("cell %q resumed = %v, want %v", key, resumed[key], wantResumed)
+		}
+		if wantResumed {
+			if retries[key] != 0 {
+				t.Errorf("journal-resumed cell %q has %d retry spans, want 0", key, retries[key])
+			}
+		} else if retries[key] != 1 {
+			t.Errorf("dispatched cell %q has %d retry spans, want 1 (one 429)", key, retries[key])
+		}
 	}
 }
 

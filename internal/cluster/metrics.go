@@ -28,11 +28,60 @@ type metrics struct {
 	membershipErrors  atomic.Uint64
 	journalErrors     atomic.Uint64
 
+	// cellsRetried counts distinct cells that needed at least one
+	// re-dispatch (jobsRetried counts every re-dispatch event).
+	cellsRetried atomic.Uint64
+
 	// mu guards the worker list, which grows when membership admits
 	// endpoints the coordinator was not born with; the per-worker counters
 	// themselves stay lock-free.
 	mu      sync.Mutex
 	workers []*workerMetrics
+
+	// slowMu guards the slowest-cells leaderboard: the coordinator used to
+	// discard per-cell timing the moment a job settled; this retains the
+	// top-N so /healthz and boomctl can name the cells that gated the sweep
+	// even when tracing is off.
+	slowMu  sync.Mutex
+	slowest []CellTiming
+}
+
+// topSlowCells bounds the slowest-cells leaderboard.
+const topSlowCells = 8
+
+// CellTiming is one cell's completion wall-clock, measured from its first
+// dispatch to its settled result (retries and hedges included).
+type CellTiming struct {
+	Key    string  `json:"key"`
+	Worker string  `json:"worker"`
+	MS     float64 `json:"ms"`
+}
+
+// observeCell records one settled cell's timing into the leaderboard.
+func (m *metrics) observeCell(key, worker string, ms float64) {
+	m.slowMu.Lock()
+	defer m.slowMu.Unlock()
+	i := len(m.slowest)
+	for i > 0 && m.slowest[i-1].MS < ms {
+		i--
+	}
+	if i >= topSlowCells {
+		return
+	}
+	m.slowest = append(m.slowest, CellTiming{})
+	copy(m.slowest[i+1:], m.slowest[i:])
+	m.slowest[i] = CellTiming{Key: key, Worker: worker, MS: ms}
+	if len(m.slowest) > topSlowCells {
+		m.slowest = m.slowest[:topSlowCells]
+	}
+}
+
+func (m *metrics) slowestSnapshot() []CellTiming {
+	m.slowMu.Lock()
+	defer m.slowMu.Unlock()
+	out := make([]CellTiming, len(m.slowest))
+	copy(out, m.slowest)
+	return out
 }
 
 // workerMetrics is one endpoint's share.
@@ -67,6 +116,17 @@ type Stats struct {
 	// journal stopped persisting (results unaffected, resumability lost).
 	MembershipErrors uint64 `json:"membership_errors"`
 	JournalErrors    uint64 `json:"journal_errors"`
+
+	// CellsTotal is every matrix cell with a recorded result, however it
+	// got one (dispatch or journal resume); CellsRetried counts the
+	// distinct cells that needed at least one re-dispatch. SlowestCellMS
+	// and SlowestCells retain per-cell completion timing — wall clock from
+	// first dispatch to settled result — that the coordinator previously
+	// discarded; available even when tracing is off.
+	CellsTotal    uint64       `json:"cells_total"`
+	CellsRetried  uint64       `json:"cells_retried"`
+	SlowestCellMS float64      `json:"slowest_cell_ms"`
+	SlowestCells  []CellTiming `json:"slowest_cells,omitempty"`
 
 	Workers []WorkerStats `json:"workers"`
 }
@@ -141,7 +201,17 @@ func (m *metrics) workerSnapshot() []WorkerStats {
 }
 
 func (m *metrics) snapshot() Stats {
+	slowest := m.slowestSnapshot()
+	var slowMS float64
+	if len(slowest) > 0 {
+		slowMS = slowest[0].MS
+	}
 	return Stats{
+		CellsTotal:    m.jobsCompleted.Load() + m.jobsResumed.Load(),
+		CellsRetried:  m.cellsRetried.Load(),
+		SlowestCellMS: slowMS,
+		SlowestCells:  slowest,
+
 		BatchesDispatched: m.batchesDispatched.Load(),
 		JobsDispatched:    m.jobsDispatched.Load(),
 		JobsCompleted:     m.jobsCompleted.Load(),
@@ -203,6 +273,9 @@ func (m *metrics) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	write("boomsim_coordinator_workers_removed_total", "counter", "Workers retired by membership changes mid-sweep.", s.WorkersRemoved)
 	write("boomsim_coordinator_membership_errors_total", "counter", "Membership file reads that failed.", s.MembershipErrors)
 	write("boomsim_coordinator_journal_errors_total", "counter", "Sweeps whose journal stopped persisting.", s.JournalErrors)
+	write("boomsim_coordinator_cells_total", "counter", "Matrix cells with a recorded result (dispatched or journal-resumed).", s.CellsTotal)
+	write("boomsim_coordinator_cells_retried_total", "counter", "Distinct cells that needed at least one re-dispatch.", s.CellsRetried)
+	write("boomsim_coordinator_slowest_cell_ms", "gauge", "Slowest observed cell completion, first dispatch to settled result.", s.SlowestCellMS)
 	perWorker := func(name, kind, help string, value func(WorkerStats) any) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
 		for _, ws := range s.Workers {

@@ -58,6 +58,9 @@ func (e *Engine) Clone(d CloneDeps) *Engine {
 	}
 	c.pf = d.Prefetcher
 	c.be = e.be.Clone()
+	// A flight recorder observes one engine; a fork starts unobserved (its
+	// run attaches its own recorder if asked).
+	c.rec = nil
 
 	c.entrySlab = make([]Entry, len(e.entrySlab))
 	copy(c.entrySlab, e.entrySlab)

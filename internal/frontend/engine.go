@@ -247,6 +247,11 @@ type Engine struct {
 	cycleBase       int64
 	retireBase      uint64
 	retireBlockBase uint64
+
+	// rec is the optional flight recorder (see recorder.go). nil in the
+	// default configuration: the steady-state loop then pays exactly one
+	// pointer compare per cycle and keeps its zero-alloc contract.
+	rec *Recorder
 }
 
 // New builds an engine. It panics on nil required dependencies (programming
@@ -342,6 +347,11 @@ func (e *Engine) Run(targetInstrs uint64, maxCycles int64) Stats {
 			break
 		}
 		e.Tick()
+		// Tick advances the clock by exactly one cycle, so the recorder
+		// boundary is hit exactly — epochs tile the window with no drift.
+		if e.rec != nil && e.cycle >= e.rec.next {
+			e.rec.roll(e)
+		}
 	}
 	return e.Stats()
 }

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps the CLI -log-level strings onto slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds the text-handler logger the binaries share: one line
+// per event, level-gated, written to w.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Nop returns a logger that discards everything. Library layers (cluster,
+// server, store) take a *slog.Logger and substitute Nop for nil, so their
+// code logs unconditionally and the zero-config path stays silent.
+func Nop() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}

@@ -1,0 +1,28 @@
+// Package obs is the observability plane: trace identifiers, a bounded
+// in-process span collector, Chrome trace_event JSON export, and slog
+// construction helpers shared by the service binaries.
+//
+// The package is deliberately leaf-level — it imports only the standard
+// library and knows nothing about simulations, wire types, or the cluster.
+// Every other layer (coordinator, server, CLIs, the public matrix runner)
+// records into it through plain values, so the import wall that keeps
+// internal/cluster speaking only wire types extends naturally to obs.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// NewTraceID mints a 16-byte random identifier rendered as 32 hex digits,
+// the same shape as a W3C trace-context trace-id. Collisions across the
+// sweeps of one repository's lifetime are not a practical concern.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform entropy source is gone;
+		// a fixed ID keeps tracing usable rather than panicking a sweep.
+		return "00000000000000000000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+)
+
+func TestNewTraceID(t *testing.T) {
+	hex32 := regexp.MustCompile(`^[0-9a-f]{32}$`)
+	a, b := NewTraceID(), NewTraceID()
+	if !hex32.MatchString(a) || !hex32.MatchString(b) {
+		t.Fatalf("trace IDs not 32 hex digits: %q %q", a, b)
+	}
+	if a == b {
+		t.Fatalf("two minted trace IDs collided: %q", a)
+	}
+}
+
+func TestCollectorBound(t *testing.T) {
+	c := NewCollector(2)
+	for i := 0; i < 5; i++ {
+		c.Add(Span{Name: "s", Start: time.Unix(0, int64(i))})
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if got := c.Dropped(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+}
+
+func TestCollectorStampsTraceID(t *testing.T) {
+	c := NewCollector(0)
+	c.SetTraceID("cafe")
+	c.Add(Span{Name: "a", Start: time.Unix(1, 0)})
+	c.Add(Span{Name: "b", Start: time.Unix(2, 0), TraceID: "other"})
+	spans := c.Spans()
+	if spans[0].TraceID != "cafe" {
+		t.Fatalf("span without ID not stamped: %q", spans[0].TraceID)
+	}
+	if spans[1].TraceID != "other" {
+		t.Fatalf("explicit span ID overwritten: %q", spans[1].TraceID)
+	}
+}
+
+// goldenCollector builds the fixed trace the golden file pins: two cell
+// rows with queue/dispatch/sim phases, one retry instant, deliberately
+// added out of timeline order to exercise the deterministic sort.
+func goldenCollector() *Collector {
+	c := NewCollector(0)
+	c.SetTraceID("0123456789abcdef0123456789abcdef")
+	base := time.Date(2024, 1, 2, 3, 4, 5, 0, time.UTC)
+	c.SetThreadName(1, "cell 1")
+	c.SetThreadName(0, "cell 0")
+	c.Add(Span{Name: "cell", Cat: "sweep", Start: base.Add(1 * time.Millisecond), Dur: 9 * time.Millisecond, TID: 1,
+		Args: []Arg{{"key", "k1"}, {"attempts", 2}, {"cached", false}}})
+	c.Add(Span{Name: "retry", Cat: "sweep", Start: base.Add(4 * time.Millisecond), TID: 1, Instant: true,
+		Args: []Arg{{"cause", "timeout"}}})
+	c.Add(Span{Name: "cell", Cat: "sweep", Start: base, Dur: 5 * time.Millisecond, TID: 0,
+		Args: []Arg{{"key", "k0"}, {"attempts", 1}, {"cached", true}}})
+	c.Add(Span{Name: "sim", Cat: "sweep", Start: base.Add(6 * time.Millisecond), Dur: 4 * time.Millisecond, TID: 1,
+		Args: []Arg{{"warm", "fork"}}})
+	return c
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenCollector().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -run TestWriteChromeTraceGolden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("export drifted from golden file %s\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestWriteChromeTracePerfettoShape checks the structural contract the
+// golden bytes imply: the object form with a traceEvents array, every
+// event carrying the keys Perfetto's trace_event importer requires, and
+// complete events also carrying dur.
+func TestWriteChromeTracePerfettoShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenCollector().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var top struct {
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if top.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", top.DisplayTimeUnit)
+	}
+	if len(top.TraceEvents) != 6 { // 2 thread_name metadata + 4 spans
+		t.Fatalf("traceEvents count = %d, want 6", len(top.TraceEvents))
+	}
+	for i, ev := range top.TraceEvents {
+		for _, key := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing required key %q: %v", i, key, ev)
+			}
+		}
+		switch ph := ev["ph"]; ph {
+		case "M":
+		case "i", "X":
+			if _, ok := ev["ts"]; !ok {
+				t.Fatalf("event %d (ph=%v) missing ts: %v", i, ph, ev)
+			}
+			if ph == "X" {
+				if _, ok := ev["dur"]; !ok {
+					t.Fatalf("complete event %d missing dur: %v", i, ev)
+				}
+			}
+			args, ok := ev["args"].(map[string]interface{})
+			if !ok || args["trace_id"] != "0123456789abcdef0123456789abcdef" {
+				t.Fatalf("event %d missing trace_id arg: %v", i, ev)
+			}
+		default:
+			t.Fatalf("event %d has unexpected ph %v", i, ph)
+		}
+	}
+}
+
+// TestWriteChromeTraceStable re-exports the same logical trace from a
+// freshly built collector and demands byte equality — insertion order and
+// map iteration must not leak into the bytes.
+func TestWriteChromeTraceStable(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := goldenCollector().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenCollector().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two exports of the same trace differ:\n%s\n%s", a.Bytes(), b.Bytes())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]string{
+		"debug": "DEBUG", "info": "INFO", "": "INFO", "WARN": "WARN", "error": "ERROR",
+	} {
+		lv, err := ParseLevel(in)
+		if err != nil {
+			t.Fatalf("ParseLevel(%q): %v", in, err)
+		}
+		if lv.String() != want {
+			t.Fatalf("ParseLevel(%q) = %v, want %s", in, lv, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted an unknown level")
+	}
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Arg is one key/value pair attached to a span. Args are a slice, not a
+// map, so export order is the order the recorder chose — map iteration
+// order would make the exported JSON unstable across runs.
+type Arg struct {
+	Key   string
+	Value any
+}
+
+// Span is one timed (or instant) event on a trace timeline.
+//
+// TID groups spans onto rows: the matrix runner and coordinator use the
+// cell index, so Perfetto renders one row per sweep cell. Instant spans
+// (Instant == true) mark a point in time — a retry, a hedge — and ignore
+// Dur.
+type Span struct {
+	TraceID string
+	Name    string
+	Cat     string
+	Start   time.Time
+	Dur     time.Duration
+	TID     int
+	Instant bool
+	Args    []Arg
+}
+
+// DefaultMaxSpans bounds a collector at roughly the largest sweep this
+// repository runs (18 schemes x 7 workloads x dozens of seeds, a handful
+// of spans per cell) with a wide margin; beyond it spans are counted as
+// dropped rather than growing without bound inside a long-lived process.
+const DefaultMaxSpans = 65536
+
+// Collector is a bounded, concurrency-safe span sink. The zero value is
+// not usable; construct with NewCollector. Adds beyond the bound are
+// dropped and counted — observability must never turn into an OOM.
+type Collector struct {
+	mu      sync.Mutex
+	id      string
+	max     int
+	spans   []Span
+	threads map[int]string
+	dropped uint64
+}
+
+// NewCollector returns a collector with a freshly minted trace ID holding
+// at most max spans (DefaultMaxSpans when max <= 0).
+func NewCollector(max int) *Collector {
+	if max <= 0 {
+		max = DefaultMaxSpans
+	}
+	return &Collector{id: NewTraceID(), max: max, threads: map[int]string{}}
+}
+
+// ID returns the collector's trace ID. Every span added with an empty
+// TraceID inherits it.
+func (c *Collector) ID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.id
+}
+
+// SetTraceID overrides the minted trace ID — used when a collector joins
+// a trace started elsewhere (a worker merging into a coordinator's sweep).
+func (c *Collector) SetTraceID(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id != "" {
+		c.id = id
+	}
+}
+
+// SetThreadName labels a TID row in the exported trace.
+func (c *Collector) SetThreadName(tid int, name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.threads[tid] = name
+}
+
+// Add records a span, stamping the collector's trace ID if the span has
+// none. Over-bound spans are dropped and counted.
+func (c *Collector) Add(s Span) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.spans) >= c.max {
+		c.dropped++
+		return
+	}
+	if s.TraceID == "" {
+		s.TraceID = c.id
+	}
+	c.spans = append(c.spans, s)
+}
+
+// Len reports how many spans the collector holds.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.spans)
+}
+
+// Dropped reports how many spans were discarded at the bound.
+func (c *Collector) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Spans returns a copy of the collected spans in insertion order.
+func (c *Collector) Spans() []Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Span, len(c.spans))
+	copy(out, c.spans)
+	return out
+}
+
+// WriteChromeTrace exports the collected spans as Chrome trace_event JSON
+// (the object form Perfetto's legacy importer accepts):
+//
+//	{"displayTimeUnit":"ms","traceEvents":[...]}
+//
+// The encoding is hand-rolled so the output is byte-stable: fields appear
+// in a fixed order (name, cat, ph, ts, dur, pid, tid, args), args keys in
+// the order the recorder attached them, and events sorted by (tid, ts,
+// name). Timestamps are microseconds relative to the earliest span, so two
+// runs of the same sweep differ only where their measured durations do.
+// Thread-name metadata events lead, per-span trace IDs ride in args, and
+// every event carries the pid/tid/ph/ts keys Perfetto requires.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	c.mu.Lock()
+	spans := make([]Span, len(c.spans))
+	copy(spans, c.spans)
+	threads := make(map[int]string, len(c.threads))
+	for k, v := range c.threads {
+		threads[k] = v
+	}
+	c.mu.Unlock()
+
+	var base time.Time
+	for _, s := range spans {
+		if base.IsZero() || s.Start.Before(base) {
+			base = s.Start
+		}
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].TID != spans[j].TID {
+			return spans[i].TID < spans[j].TID
+		}
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[i].Name < spans[j].Name
+	})
+	tids := make([]int, 0, len(threads))
+	for tid := range threads {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+
+	bw := &errWriter{w: w}
+	bw.str(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	sep := func() {
+		if !first {
+			bw.str(",")
+		}
+		first = false
+	}
+	for _, tid := range tids {
+		sep()
+		bw.str(`{"name":"thread_name","ph":"M","pid":1,"tid":`)
+		bw.str(strconv.Itoa(tid))
+		bw.str(`,"args":{"name":`)
+		bw.jsonString(threads[tid])
+		bw.str(`}}`)
+	}
+	for _, s := range spans {
+		sep()
+		bw.str(`{"name":`)
+		bw.jsonString(s.Name)
+		bw.str(`,"cat":`)
+		bw.jsonString(s.Cat)
+		if s.Instant {
+			bw.str(`,"ph":"i","s":"t","ts":`)
+			bw.str(strconv.FormatInt(s.Start.Sub(base).Microseconds(), 10))
+		} else {
+			bw.str(`,"ph":"X","ts":`)
+			bw.str(strconv.FormatInt(s.Start.Sub(base).Microseconds(), 10))
+			bw.str(`,"dur":`)
+			bw.str(strconv.FormatInt(s.Dur.Microseconds(), 10))
+		}
+		bw.str(`,"pid":1,"tid":`)
+		bw.str(strconv.Itoa(s.TID))
+		bw.str(`,"args":{"trace_id":`)
+		bw.jsonString(s.TraceID)
+		for _, a := range s.Args {
+			bw.str(",")
+			bw.jsonString(a.Key)
+			bw.str(":")
+			bw.jsonValue(a.Value)
+		}
+		bw.str(`}}`)
+	}
+	bw.str("]}\n")
+	return bw.err
+}
+
+// errWriter accumulates the first write error so the export code stays
+// linear instead of checking every Fprint.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) str(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+func (e *errWriter) jsonString(s string) {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		e.str(`""`)
+		return
+	}
+	e.str(string(b))
+}
+
+func (e *errWriter) jsonValue(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		e.jsonString(fmt.Sprintf("%v", v))
+		return
+	}
+	e.str(string(b))
+}

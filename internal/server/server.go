@@ -24,10 +24,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"boomsim"
@@ -63,6 +65,10 @@ type Config struct {
 	// are fingerprint-verified by the store itself — a corrupt or torn
 	// entry is quarantined and recomputed, never served.
 	Store *store.Store
+	// Logger receives request and job lifecycle events (batch admission,
+	// per-job settlement, drain) at slog levels; request-scoped records
+	// carry the client's trace_id when one was sent. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +83,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 5 * time.Minute
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -137,8 +146,10 @@ func (s *Server) Close() {
 	s.closeMu.Lock()
 	s.closed = true
 	s.closeMu.Unlock()
+	s.cfg.Logger.Info("server: draining")
 	s.stop()
 	s.wg.Wait()
+	s.cfg.Logger.Info("server: drained")
 }
 
 // Stats snapshots the service counters (also exposed on /metrics).
@@ -264,6 +275,9 @@ func runOptions(req RunRequest) ([]boomsim.Option, error) {
 	if req.MaxCycles != 0 {
 		opts = append(opts, boomsim.WithMaxCycles(req.MaxCycles))
 	}
+	if req.FlightEvery > 0 {
+		opts = append(opts, boomsim.WithFlightRecorder(req.FlightEvery))
+	}
 	return opts, nil
 }
 
@@ -300,11 +314,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 
+	start := time.Now()
 	result, cached, err := s.runOne(ctx, sim)
 	if err != nil {
+		s.cfg.Logger.Warn("server: run failed",
+			"key", sim.Fingerprint(), "trace_id", req.TraceID, "err", err)
 		writeError(w, s.statusFor(err), err)
 		return
 	}
+	s.cfg.Logger.Debug("server: run completed",
+		"key", sim.Fingerprint(), "cached", cached,
+		"ms", time.Since(start).Milliseconds(), "trace_id", req.TraceID)
 	writeJSON(w, http.StatusOK, RunResponse{Key: sim.Fingerprint(), Cached: cached, Result: result})
 }
 
@@ -499,10 +519,23 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 
+	s.cfg.Logger.Debug("server: jobs batch accepted",
+		"jobs", len(req.Jobs), "trace_id", req.TraceID)
 	out := make([]wire.JobResult, len(req.Jobs))
 	var wg sync.WaitGroup
 	for i, jr := range req.Jobs {
-		sim, err := newSim(jr)
+		opts, err := runOptions(jr)
+		if err != nil {
+			out[i] = s.jobError(fmt.Errorf("jobs[%d]: %w", i, err))
+			continue
+		}
+		// Observe how the run's warmed state is obtained (arena fork vs
+		// fresh warm) so the coordinator's trace can attribute cell latency.
+		// atomic.Value because the observer fires on the flight's goroutine;
+		// a collapsed or cached job simply never stores.
+		var warm atomic.Value
+		opts = append(opts, boomsim.WithWarmObserver(func(src string) { warm.Store(src) }))
+		sim, err := boomsim.New(opts...)
 		if err != nil {
 			out[i] = s.jobError(fmt.Errorf("jobs[%d]: %w", i, err))
 			continue
@@ -518,8 +551,11 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 				jctx, cancel = context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
 				defer cancel()
 			}
+			start := time.Now()
 			result, cached, err := s.runOne(jctx, sim)
 			if err != nil {
+				s.cfg.Logger.Warn("server: job failed",
+					"key", sim.Fingerprint(), "trace_id", req.TraceID, "err", err)
 				out[i] = s.jobError(err)
 				return
 			}
@@ -529,6 +565,15 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			out[i] = wire.JobResult{Key: sim.Fingerprint(), Cached: cached, Result: raw}
+			if !cached {
+				out[i].SimNanos = time.Since(start).Nanoseconds()
+				if w, ok := warm.Load().(string); ok {
+					out[i].Warm = w
+				}
+			}
+			s.cfg.Logger.Debug("server: job completed",
+				"key", sim.Fingerprint(), "cached", cached, "warm", out[i].Warm,
+				"ms", time.Since(start).Milliseconds(), "trace_id", req.TraceID)
 		}(i, sim, jr.TimeoutMS)
 	}
 	wg.Wait()

@@ -46,6 +46,12 @@ type Spec struct {
 	// warm — so this is purely a wall-clock optimisation. DefaultSpec enables
 	// it; the zero value is off so hand-built Specs opt in explicitly.
 	ReuseWarm bool
+	// FlightEvery, when > 0, attaches the flight recorder to the measurement
+	// window: windowed counter deltas every FlightEvery cycles, returned as
+	// Result.Epochs. It is warm-irrelevant (recording starts after the warm
+	// boundary), so recorded and unrecorded runs share warm-arena masters;
+	// the measured counters themselves are unaffected.
+	FlightEvery int64
 }
 
 // DefaultSpec fills in the standard methodology: Table I config, 200K warm
@@ -82,6 +88,9 @@ type Result struct {
 	// full-fidelity measurement plane the headline fields above are a
 	// projection of.
 	Registry *stats.Registry
+	// Epochs is the flight-recorder timeline (nil unless Spec.FlightEvery
+	// was set): windowed counter deltas tiling the measurement window.
+	Epochs []frontend.Epoch
 }
 
 // The image cache memoises generated images: experiments run many schemes
@@ -150,6 +159,11 @@ type Hooks struct {
 	// instruction count so far and the measurement target. It runs on the
 	// simulating goroutine; keep it cheap.
 	Progress func(done, total uint64)
+	// OnWarm, if non-nil, is called once when the warmed instance is
+	// resolved, with "fork" (served from the warm arena) or "fresh" (warmed
+	// privately). It exists for observability — trace spans record how a
+	// cell's warm state was obtained — and runs on the simulating goroutine.
+	OnWarm func(source string)
 }
 
 // DefaultProgressEvery is the chunk size used when Hooks.ProgressEvery is
@@ -196,17 +210,32 @@ func RunContext(ctx context.Context, spec Spec, h Hooks) (Result, error) {
 			inst = f
 		}
 	}
+	warmSource := "fork"
 	if inst == nil {
 		var err error
 		inst, err = buildWarm(ctx, spec, chunk)
 		if err != nil {
 			return Result{}, err
 		}
+		warmSource = "fresh"
+	}
+	if h.OnWarm != nil {
+		h.OnWarm(warmSource)
+	}
+	// The recorder attaches after the warm boundary (buildWarm resets stats
+	// post-warm; forks inherit that reset), so epoch zero starts at measured
+	// cycle zero and epochs tile exactly the measurement window.
+	if spec.FlightEvery > 0 {
+		inst.Engine.StartFlightRecorder(spec.FlightEvery, 0)
 	}
 	if err := runWindow(ctx, inst.Engine, spec.MeasureInstrs, spec.MaxCycles, chunk, h.Progress); err != nil {
 		return Result{}, err
 	}
-	return collectResult(spec, inst), nil
+	r := collectResult(spec, inst)
+	if spec.FlightEvery > 0 {
+		r.Epochs = inst.Engine.StopFlightRecorder()
+	}
+	return r, nil
 }
 
 // buildWarm performs everything up to the measurement window: image

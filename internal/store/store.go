@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -85,6 +86,10 @@ type Options struct {
 	// pushes past the cap, the oldest entries (by modification time) are
 	// garbage-collected down to ~90% of the cap.
 	MaxBytes int64
+	// Logger receives store lifecycle events — quarantined corruptions (Warn,
+	// each one is data the store refused to serve) and GC passes (Info). Nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // Store is a goroutine-safe content-addressed result store rooted at one
@@ -94,6 +99,7 @@ type Store struct {
 	dir string
 	fs  FS
 	max int64
+	log *slog.Logger
 
 	mu      sync.Mutex // serialises writes and GC; reads only take it for counters
 	entries int64
@@ -129,7 +135,11 @@ func Open(dir string, opts Options) (*Store, error) {
 	if fsys == nil {
 		fsys = OSFS{}
 	}
-	s := &Store{dir: dir, fs: fsys, max: opts.MaxBytes}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	s := &Store{dir: dir, fs: fsys, max: opts.MaxBytes, log: logger}
 	if err := fsys.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -217,6 +227,10 @@ func (s *Store) quarantine(key string, size int64) {
 	dst := filepath.Join(s.dir, quarantineDir, key)
 	if err := s.fs.Rename(s.path(key), dst); err != nil {
 		s.fs.Remove(s.path(key))
+		s.log.Warn("store: corrupt entry removed (quarantine move failed)",
+			"key", key, "err", err)
+	} else {
+		s.log.Warn("store: corrupt entry quarantined", "key", key, "quarantine", dst)
 	}
 	s.mu.Lock()
 	s.entries--
@@ -319,6 +333,8 @@ func (s *Store) gcLocked() {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].mtime < all[j].mtime })
 	target := s.max * 9 / 10
+	var evicted int
+	var freed int64
 	for _, c := range all {
 		if s.bytes <= target {
 			break
@@ -326,8 +342,12 @@ func (s *Store) gcLocked() {
 		if err := s.fs.Remove(c.path); err == nil {
 			s.entries--
 			s.bytes -= c.size
+			evicted++
+			freed += c.size
 		}
 	}
+	s.log.Info("store: gc pass",
+		"evicted", evicted, "freed_bytes", freed, "bytes", s.bytes, "cap", s.max)
 }
 
 // Stats snapshots the store counters; safe to call concurrently with reads

@@ -36,8 +36,16 @@ type RunRequest struct {
 	WarmInstrs    *uint64         `json:"warm_instrs,omitempty"`
 	MeasureInstrs *uint64         `json:"measure_instrs,omitempty"`
 	MaxCycles     int64           `json:"max_cycles,omitempty"`
+	// FlightEvery > 0 attaches the simulator flight recorder at this epoch
+	// granularity (cycles); the result then carries per-epoch counters. It
+	// participates in the simulation's identity (recorded results have
+	// different bytes), so coordinator and worker fingerprints agree.
+	FlightEvery int64 `json:"flight_every,omitempty"`
 	// TimeoutMS tightens this request's deadline below the server cap.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// TraceID correlates this request with a client-side sweep trace; the
+	// server only logs it. Never part of the simulation's identity.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // RunResponse is the client-side view of POST /v1/run's body: the shape
@@ -57,6 +65,10 @@ type JobsRequest struct {
 	Jobs []RunRequest `json:"jobs"`
 	// TimeoutMS tightens the whole batch's deadline below the server cap.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// TraceID is the sweep trace this batch belongs to, minted by the
+	// coordinator's client and propagated so worker-side logs correlate
+	// with coordinator-side spans.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // JobResult is one job's outcome: exactly one of Result or Error is set.
@@ -64,6 +76,13 @@ type JobResult struct {
 	Key    string          `json:"key,omitempty"`
 	Cached bool            `json:"cached,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
+
+	// SimNanos is the worker-side wall time actually spent simulating this
+	// job (0 on a cache hit) and Warm how its warmed state was obtained
+	// ("fork" from the warm arena, "fresh", "" when not simulated) — the
+	// facts a coordinator's trace needs to attribute a cell's latency.
+	SimNanos int64  `json:"sim_nanos,omitempty"`
+	Warm     string `json:"warm,omitempty"`
 
 	// Error carries the failure text and Status its HTTP-equivalent code
 	// (429 queue full, 400/404 bad configuration, 503 draining, 504

@@ -24,6 +24,12 @@ func (s *Simulation) Key() string {
 		s.btbEntries, s.llcLatency, s.footprintKB,
 		s.imageSeed, s.walkSeed,
 		s.warmInstrs, s.measureInstrs, s.maxCycles)
+	if s.flightEvery > 0 {
+		// The flight recorder changes the Result's bytes (epochs ride on it),
+		// so recorded runs get their own cache identity. Appended only when
+		// set, preserving historical keys for every unrecorded run.
+		key += fmt.Sprintf("|flightevery=%d", s.flightEvery)
+	}
 	if s.schemeCfg != nil {
 		// An inline scheme's identity is its full declarative config, not
 		// just its name: two custom schemes may share a name but differ in

@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
+	"time"
 
 	"boomsim/internal/experiments"
+	"boomsim/internal/obs"
 )
 
 // MatrixOption configures a RunMatrix call.
@@ -15,6 +18,7 @@ type MatrixOption func(*matrixConfig)
 type matrixConfig struct {
 	parallelism int
 	cluster     *Cluster
+	trace       *Trace
 }
 
 // WithParallelism bounds the number of simulations RunMatrix executes
@@ -35,6 +39,19 @@ func WithParallelism(n int) MatrixOption {
 func WithCluster(cl *Cluster) MatrixOption {
 	return func(c *matrixConfig) {
 		c.cluster = cl
+	}
+}
+
+// WithMatrixTrace records one span per cell into t: wall time, the cell's
+// scheme/workload, whether its warmed state was a warm-arena fork or a
+// fresh warm, and whether it failed. Local sweeps record on the spot; a
+// sweep that also passes WithCluster records through the cluster's own
+// trace plumbing instead (set WithClusterTrace on the cluster), so this
+// option only observes the local path. Tracing observes a run without
+// affecting its results.
+func WithMatrixTrace(t *Trace) MatrixOption {
+	return func(c *matrixConfig) {
+		c.trace = t
 	}
 }
 
@@ -66,9 +83,33 @@ func RunMatrix(ctx context.Context, sims []*Simulation, opts ...MatrixOption) ([
 
 	results := make([]Result, len(sims))
 	errs := make([]error, len(sims))
-	ctxErr := experiments.ForEach(ctx, workers, len(sims), func(i int) {
+	run := func(i int) {
 		results[i], errs[i] = sims[i].Run(ctx)
-	})
+	}
+	if cfg.trace != nil {
+		col := cfg.trace.collector()
+		run = func(i int) {
+			s := sims[i]
+			col.SetThreadName(i, "cell "+strconv.Itoa(i)+" "+s.schemeName+"/"+s.workloadName)
+			var warm string
+			start := time.Now()
+			results[i], errs[i] = s.runWithHooks(ctx, func(src string) { warm = src })
+			col.Add(obs.Span{
+				Name:  "cell",
+				Cat:   "sweep",
+				Start: start,
+				Dur:   time.Since(start),
+				TID:   i,
+				Args: []obs.Arg{
+					{Key: "scheme", Value: s.schemeName},
+					{Key: "workload", Value: s.workloadName},
+					{Key: "warm", Value: warm},
+					{Key: "error", Value: errs[i] != nil},
+				},
+			})
+		}
+	}
+	ctxErr := experiments.ForEach(ctx, workers, len(sims), run)
 
 	// Genuine simulation failures outrank cancellation noise: report the
 	// lowest-index one so the same failure surfaces at any parallelism.

@@ -152,6 +152,40 @@ func WithFootprintKB(kb int) Option {
 	}
 }
 
+// WithFlightRecorder attaches the simulator flight recorder: the
+// measurement window is sampled every everyCycles cycles into windowed
+// counter deltas (fetch bubbles, BTB misses, prefetch issues and hits,
+// squashes) returned as Result.Epochs, so one run renders as a timeline.
+// Epochs exactly tile the measurement window; the measured counters
+// themselves are unchanged. Recording changes the Result's bytes, so
+// FlightEvery participates in Key (runs with different epochs must not
+// share cache entries); warm-state reuse is unaffected.
+func WithFlightRecorder(everyCycles int64) Option {
+	return func(s *Simulation) error {
+		if everyCycles <= 0 {
+			return fmt.Errorf("%w: flight-recorder epoch must be positive cycles, got %d",
+				ErrInvalidOption, everyCycles)
+		}
+		s.flightEvery = everyCycles
+		return nil
+	}
+}
+
+// WithWarmObserver installs a callback invoked once per Run with how the
+// warmed state was obtained: "fork" (served from the process-wide warm
+// arena) or "fresh" (warmed privately). Purely observational — trace spans
+// use it to record warm-arena hits — so, like WithProgress, it does not
+// participate in Key. The callback runs on the simulating goroutine.
+func WithWarmObserver(fn func(source string)) Option {
+	return func(s *Simulation) error {
+		if fn == nil {
+			return fmt.Errorf("%w: nil warm observer", ErrInvalidOption)
+		}
+		s.warmObs = fn
+		return nil
+	}
+}
+
 // WithProgress installs a progress callback invoked every `every` retired
 // instructions of the measurement window (0 uses the default cancellation
 // granularity). The callback cadence also bounds how quickly Run notices a

@@ -63,6 +63,28 @@ type Result struct {
 	// metrics, and cluster reassembly. JSON renders it sorted by name, so
 	// Result round-trips bytes exactly.
 	Stats map[string]float64 `json:"stats,omitempty"`
+
+	// Epochs is the flight-recorder timeline (WithFlightRecorder): windowed
+	// counter deltas that exactly tile the measurement window. Omitted —
+	// and absent from the Result's bytes — unless recording was enabled.
+	Epochs []Epoch `json:"epochs,omitempty"`
+}
+
+// Epoch is one flight-recorder sample: counter deltas over the window
+// [StartCycle, StartCycle+Cycles) of the measurement window. Summing a
+// field across a Result's epochs reproduces the run total for that counter
+// over the recorded window.
+type Epoch struct {
+	StartCycle       int64  `json:"start_cycle"`
+	Cycles           int64  `json:"cycles"`
+	Instructions     uint64 `json:"instructions"`
+	FetchStallCycles uint64 `json:"fetch_stall_cycles"`
+	FTQEmptyCycles   uint64 `json:"ftq_empty_cycles"`
+	BTBMisses        uint64 `json:"btb_misses"`
+	Squashes         uint64 `json:"squashes"`
+	Prefetches       uint64 `json:"prefetches"`
+	PrefetchHits     uint64 `json:"prefetch_hits"`
+	DemandMisses     uint64 `json:"demand_misses"`
 }
 
 // ClassCounts attributes per-class quantities to how the fetch stream
@@ -120,6 +142,12 @@ func newResult(r sim.Result, storageKB float64) Result {
 	}
 	if r.Registry != nil {
 		out.Stats = r.Registry.Map()
+	}
+	if len(r.Epochs) > 0 {
+		out.Epochs = make([]Epoch, len(r.Epochs))
+		for i, e := range r.Epochs {
+			out.Epochs[i] = Epoch(e)
+		}
 	}
 	return out
 }

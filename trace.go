@@ -1,0 +1,45 @@
+package boomsim
+
+import (
+	"io"
+
+	"boomsim/internal/obs"
+)
+
+// Trace is a sweep trace: a bounded in-process collector of per-cell spans
+// (queue wait, dispatch, retries, simulation time, warm-arena source)
+// recorded by RunMatrix (WithMatrixTrace) or a Cluster (WithClusterTrace).
+// A Trace carries one minted trace ID; every span it collects is stamped
+// with it, so a merged multi-worker sweep stays correlated end to end.
+//
+// Export with WriteChromeTrace: the output is Chrome trace_event JSON that
+// Perfetto (ui.perfetto.dev) and chrome://tracing load directly, one row
+// per sweep cell. A Trace is safe for concurrent use and reusable across
+// runs (spans accumulate); it is bounded, so a runaway sweep degrades to
+// dropped spans rather than unbounded memory.
+type Trace struct {
+	c *obs.Collector
+}
+
+// NewTrace returns an empty trace with a freshly minted trace ID.
+func NewTrace() *Trace {
+	return &Trace{c: obs.NewCollector(obs.DefaultMaxSpans)}
+}
+
+// ID returns the trace's identifier: 32 lowercase hex digits.
+func (t *Trace) ID() string { return t.c.ID() }
+
+// Len reports how many spans the trace holds.
+func (t *Trace) Len() int { return t.c.Len() }
+
+// Dropped reports spans discarded at the trace's bound.
+func (t *Trace) Dropped() uint64 { return t.c.Dropped() }
+
+// WriteChromeTrace writes the trace as Chrome trace_event JSON, byte-stable
+// for a given set of spans (fixed field order, deterministic event order,
+// timestamps relative to the sweep's first span).
+func (t *Trace) WriteChromeTrace(w io.Writer) error { return t.c.WriteChromeTrace(w) }
+
+// collector exposes the underlying span sink to the matrix and cluster
+// plumbing in this package.
+func (t *Trace) collector() *obs.Collector { return t.c }
