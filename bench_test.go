@@ -259,6 +259,51 @@ func BenchmarkSimulatorThroughputRecorded(b *testing.B) {
 	}
 }
 
+// BenchmarkStallHeavy measures event-horizon cycle skipping on the regime it
+// exists for: the no-prefetch baseline against a 20× LLC round trip (the high-latency
+// end of the Fig 11 sweep regime), where the front end spends the overwhelming majority
+// of cycles stalled on fills and a per-cycle loop burns a full Tick per
+// stall. One op = one simulated instruction, warmed before the timer like
+// BenchmarkSimulatorThroughput. Beyond wall-clock it reports
+// stall_ns_per_instr (this regime's headline cost) and skipped_cycle_pct
+// (the fraction of simulated cycles fast-forwarded rather than ticked).
+// BenchmarkStallHeavyNoSkip is the per-cycle control — byte-identical
+// results, no skipping — so the ratio of the two stall_ns_per_instr values
+// is the skip's speedup; benchgate records both in BENCH_<pr>.json.
+func BenchmarkStallHeavy(b *testing.B)       { benchStallHeavy(b, true) }
+func BenchmarkStallHeavyNoSkip(b *testing.B) { benchStallHeavy(b, false) }
+
+func benchStallHeavy(b *testing.B, skip bool) {
+	apache, _ := workload.ByName("Apache")
+	apache.Gen.FootprintKB = 768
+	spec := sim.DefaultSpec(scheme.Base(), apache)
+	spec.Cfg = spec.Cfg.WithLLCLatency(600)
+	spec.WarmInstrs = 50_000
+	spec.DisableCycleSkip = !skip
+
+	setupStart := time.Now()
+	inst, err := sim.WarmInstance(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	setup := time.Since(setupStart)
+
+	instrs := uint64(b.N)
+	if instrs < 100_000 {
+		instrs = 100_000
+	}
+	b.ResetTimer()
+	st := inst.Engine.Run(instrs, 0)
+	b.StopTimer()
+	b.ReportMetric(float64(setup.Milliseconds()), "setup_ms")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(secs*1e9/float64(instrs), "stall_ns_per_instr")
+	}
+	if st.Cycles > 0 {
+		b.ReportMetric(100*float64(inst.Engine.SkippedCycles())/float64(st.Cycles), "skipped_cycle_pct")
+	}
+}
+
 // The full sweep grid: every built-in scheme crossed with every built-in
 // workload. The names are pinned here (rather than read from Schemes() /
 // Workloads()) so the grid stays exactly 18x7 even when tests in the same

@@ -44,6 +44,10 @@ type Simulation struct {
 	// (sim package). On by default; WithWarmReuse(false) disables it.
 	warmReuse bool
 
+	// noCycleSkip forces the per-cycle simulation loop (WithCycleSkip(false));
+	// event-horizon cycle skipping is on by default.
+	noCycleSkip bool
+
 	// Resolved at New time so configuration errors surface before any
 	// cycles are simulated.
 	scheme   scheme.Scheme
@@ -141,6 +145,8 @@ func (s *Simulation) spec() sim.Spec {
 		MaxCycles:     s.maxCycles,
 		ReuseWarm:     s.warmReuse,
 		FlightEvery:   s.flightEvery,
+
+		DisableCycleSkip: s.noCycleSkip,
 	}
 }
 

@@ -6,12 +6,14 @@
 // MIPS, its reciprocal ns/instr, and the hot loop's allocs/op — and the full
 // 18x7 sweep wall-clock from BenchmarkMatrix18x7 (matrix_ms), plus every
 // custom metric of every other benchmark, and writes them to BENCH_<pr>.json
-// in -dir. If an earlier BENCH_<n>.json (highest n below -pr) is already
-// checked in, benchgate compares ns/instr against it (exiting non-zero on a
+// in -dir. The earlier BENCH_<n>.json (highest n below -pr) is the gate's
+// baseline: benchgate compares ns/instr against it (exiting non-zero on a
 // regression beyond -threshold, default 10%) and matrix_ms (beyond
 // -matrix-threshold, default 30% — wall-clock over a whole sweep is noisier
 // than the steady-state loop), so the perf trajectory is both populated and
-// enforced by the same step.
+// enforced by the same step. A missing or unparsable baseline is itself a
+// hard failure — a broken trajectory must never silently gate on nothing —
+// except under -first, which acknowledges the repo's first recorded PR.
 //
 // The headline must come from a steady-state run: the throughput benchmark
 // warms up before its timer starts and reports setup cost separately
@@ -77,6 +79,7 @@ func main() {
 		threshold  = flag.Float64("threshold", 0.10, "maximum tolerated ns/instr regression vs the previous record")
 		matrixThr  = flag.Float64("matrix-threshold", 0.30, "maximum tolerated matrix_ms regression vs the previous record")
 		recordOnly = flag.Bool("record-only", false, "write the record but never fail on regression (push-to-main runs)")
+		first      = flag.Bool("first", false, "allow a missing previous record (only for the repo's first recorded PR)")
 	)
 	flag.Parse()
 	if *pr <= 0 {
@@ -112,11 +115,21 @@ func main() {
 
 	prev, ok, err := previous(*dir, *pr)
 	if err != nil {
-		fatalf("%v", err)
+		// A baseline that exists but cannot be read or parsed is a broken
+		// trajectory, not an absent one — gating on nothing here would let
+		// regressions slide in silently behind a corrupt file.
+		fatalf("loading previous record: %v", err)
 	}
 	if !ok {
-		fmt.Fprintln(os.Stderr, "benchgate: no previous record; nothing to gate against")
-		return
+		// Likewise a missing baseline: every PR after the first must have a
+		// predecessor record checked in, so "nothing to gate against" means
+		// the trajectory went dark. Fail loudly; -first acknowledges the one
+		// legitimate case (the repo's very first recorded PR).
+		if *first {
+			fmt.Fprintln(os.Stderr, "benchgate: no previous record (-first); recording without a gate")
+			return
+		}
+		fatalf("no previous BENCH_<n>.json below PR %d in %s: the bench trajectory is broken (pass -first only for the repo's first recorded PR)", *pr, *dir)
 	}
 	// Wall-clock metrics measured on different hardware gate the machine,
 	// not the code; record the point and report, but do not fail.

@@ -410,6 +410,7 @@ func wireRequest(s *Simulation) wire.RunRequest {
 		MeasureInstrs: &measure,
 		MaxCycles:     s.maxCycles,
 		FlightEvery:   s.flightEvery,
+		NoCycleSkip:   s.noCycleSkip,
 	}
 	if s.schemeCfg != nil {
 		req.Scheme = ""

@@ -13,7 +13,11 @@
 // see the frontend package comment).
 package backend
 
-import "boomsim/internal/config"
+import (
+	"math"
+
+	"boomsim/internal/config"
+)
 
 // Group is one fetched basic block (or sequential pseudo-block) in flight.
 type Group struct {
@@ -56,6 +60,10 @@ type Backend struct {
 	retired       uint64 // correct-path instructions retired
 	retiredGroups uint64
 	inflightCount int // instructions in window
+
+	// fastRetired backs RetiredEvents: the groups the last FastRetire call
+	// fully retired, reused every call (zero-alloc contract).
+	fastRetired []RetiredEvent
 }
 
 // New builds a backend window from core parameters.
@@ -129,6 +137,12 @@ func (b *Backend) RetiredGroups() uint64 { return b.retiredGroups }
 // backed by scratch storage owned by the Backend and are only valid until
 // the next Tick call.
 func (b *Backend) Tick(now int64) (resolved, retired []uint64) {
+	// Idle fast path: nothing in flight, or the oldest unresolved group is
+	// still in the future with no resolved prefix to retire. This is the
+	// common case on stalled cycles the engine cannot skip outright.
+	if b.n == 0 || (b.nResolved == 0 && b.at(0).resolveAt > now) {
+		return nil, nil
+	}
 	resolved = b.resolvedScratch[:0]
 	retired = b.retiredScratch[:0]
 
@@ -175,6 +189,93 @@ func (b *Backend) Tick(now int64) (resolved, retired []uint64) {
 	b.retiredScratch = retired
 	return resolved, retired
 }
+
+// NextEvent returns the earliest cycle at which Tick will report a branch
+// resolution — the resolveAt of the oldest unreported group — or
+// math.MaxInt64 when every group in the window has already resolved (or the
+// window is empty). Push keeps FetchDone — and therefore resolveAt —
+// non-decreasing in fetch order, so this single value bounds every future
+// resolution AND the start of retirement for a so-far-unresolved head: no
+// training, squash, or new retirement eligibility can appear before it. It
+// deliberately excludes retirement already in progress; Retiring reports
+// that, and FastRetire replays it in closed form for the engine's
+// event-horizon cycle skip.
+func (b *Backend) NextEvent() int64 {
+	if b.nResolved == b.n {
+		return math.MaxInt64
+	}
+	return b.at(b.nResolved).resolveAt
+}
+
+// Retiring reports whether retirement is in progress: the head group has
+// resolved but not fully retired, so every Tick until the window's resolved
+// prefix drains will retire instructions.
+func (b *Backend) Retiring() bool { return b.n > 0 && b.nResolved > 0 }
+
+// RetiredEvent records one correct-path group fully retired by FastRetire
+// and the cycle Tick would have reported it.
+type RetiredEvent struct {
+	ID uint64
+	At int64
+}
+
+// FastRetire replays, in one call, exactly the retirement work per-cycle
+// Ticks would do over cycles [now, to) under the caller's guarantee that no
+// resolution falls in that window (NextEvent() >= to): it drains the
+// resolved prefix at RetireWidth instructions per cycle, recording each
+// fully-retired correct-path group and its retirement cycle for
+// RetiredEvents. When stopAfter > 0 and cumulative correct-path retirements
+// within this call reach it at cycle c, the replay completes cycle c (a
+// real Tick retires its full width regardless of any caller's target) and
+// stops; the returned end cycle is then c+1, otherwise to. State afterwards
+// is bit-for-bit what per-cycle Ticks would leave at the start of cycle
+// `end` — including a partially retired head when the window closes
+// mid-group.
+func (b *Backend) FastRetire(now, to int64, stopAfter uint64) (end int64) {
+	b.fastRetired = b.fastRetired[:0]
+	w := b.cfg.RetireWidth
+	c := now
+	budget := w
+	newCP := uint64(0)
+	limit := to
+	for b.nResolved > 0 && c < limit {
+		head := b.at(0)
+		n := head.remaining
+		if n > budget {
+			n = budget
+		}
+		head.remaining -= n
+		budget -= n
+		b.inflightCount -= n
+		if !head.WrongPath {
+			b.retired += uint64(n)
+			newCP += uint64(n)
+			if stopAfter > 0 && newCP >= stopAfter && c+1 < limit {
+				limit = c + 1
+			}
+		}
+		if head.remaining == 0 {
+			if !head.WrongPath {
+				b.retiredGroups++
+				b.fastRetired = append(b.fastRetired, RetiredEvent{ID: head.ID, At: c})
+			}
+			b.head = (b.head + 1) & b.mask
+			b.n--
+			b.nResolved--
+		}
+		if budget == 0 {
+			c++
+			budget = w
+		}
+	}
+	return limit
+}
+
+// RetiredEvents returns the correct-path groups fully retired by the last
+// FastRetire call, in retirement order, each with the cycle a per-cycle
+// Tick would have reported it. The slice is scratch storage owned by the
+// Backend, valid until the next FastRetire call.
+func (b *Backend) RetiredEvents() []RetiredEvent { return b.fastRetired }
 
 // Squash drops every group younger than keepID (exclusive). The squashing
 // branch's own group stays: its block is on the correct path; only the

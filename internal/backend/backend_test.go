@@ -1,6 +1,8 @@
 package backend
 
 import (
+	"math"
+	"reflect"
 	"testing"
 
 	"boomsim/internal/config"
@@ -159,5 +161,99 @@ func TestThroughputBound(t *testing.T) {
 	}
 	if ipc < 2.5 {
 		t.Fatalf("IPC %v unexpectedly low for a perfect front end", ipc)
+	}
+}
+
+func TestNextEventTracksOldestUnreportedResolution(t *testing.T) {
+	b := New(cfg())
+	if b.NextEvent() != math.MaxInt64 {
+		t.Fatal("empty window must report no event")
+	}
+	b.Push(Group{ID: 1, NInstr: 2, FetchDone: 10})
+	b.Push(Group{ID: 2, NInstr: 2, FetchDone: 15})
+	if ev := b.NextEvent(); ev != 22 {
+		t.Fatalf("next event = %d, want first resolveAt 22", ev)
+	}
+	b.Tick(22) // reports group 1's resolution
+	if ev := b.NextEvent(); ev != 27 {
+		t.Fatalf("next event after first resolution = %d, want 27", ev)
+	}
+	// Drain retirement and report group 2; every resolution is then known.
+	for now := int64(23); now < 40; now++ {
+		b.Tick(now)
+	}
+	if b.NextEvent() != math.MaxInt64 {
+		t.Fatal("fully resolved window must report no event")
+	}
+}
+
+// TestFastRetireMatchesPerCycleTicks is the closed-form replay's equivalence
+// proof at unit scale: two identical windows, one drained by per-cycle Ticks
+// and one by a single FastRetire call, must retire the same groups at the
+// same cycles and land in the same final state — including a partially
+// retired head when the window ends mid-group.
+func TestFastRetireMatchesPerCycleTicks(t *testing.T) {
+	build := func() *Backend {
+		b := New(cfg())
+		b.Push(Group{ID: 1, NInstr: 5, FetchDone: 0})
+		b.Push(Group{ID: 2, NInstr: 1, FetchDone: 2})
+		b.Push(Group{ID: 3, NInstr: 7, FetchDone: 3, WrongPath: true})
+		b.Push(Group{ID: 4, NInstr: 4, FetchDone: 5})
+		b.Tick(18) // resolve everything (last resolveAt = 5+12 = 17)
+		return b
+	}
+	for _, to := range []int64{20, 21, 23, 25, 30} {
+		slow, fast := build(), build()
+
+		type ev struct {
+			id uint64
+			at int64
+		}
+		var slowEvents []ev
+		for now := int64(19); now < to; now++ {
+			_, retired := slow.Tick(now)
+			for _, id := range retired {
+				slowEvents = append(slowEvents, ev{id, now})
+			}
+		}
+		end := fast.FastRetire(19, to, 0)
+		if end != to {
+			t.Fatalf("to=%d: FastRetire ended at %d without a stop target", to, end)
+		}
+		var fastEvents []ev
+		for _, e := range fast.RetiredEvents() {
+			fastEvents = append(fastEvents, ev{e.ID, e.At})
+		}
+		if !reflect.DeepEqual(slowEvents, fastEvents) {
+			t.Fatalf("to=%d: retired events diverge: per-cycle %v, fast %v", to, slowEvents, fastEvents)
+		}
+		if slow.Retired() != fast.Retired() || slow.RetiredGroups() != fast.RetiredGroups() ||
+			slow.InFlightInstrs() != fast.InFlightInstrs() || slow.Retiring() != fast.Retiring() {
+			t.Fatalf("to=%d: final state diverges: per-cycle (%d,%d,%d,%t) vs fast (%d,%d,%d,%t)",
+				to,
+				slow.Retired(), slow.RetiredGroups(), slow.InFlightInstrs(), slow.Retiring(),
+				fast.Retired(), fast.RetiredGroups(), fast.InFlightInstrs(), fast.Retiring())
+		}
+	}
+}
+
+// TestFastRetireStopAfterCompletesTheCrossingCycle pins the target-crossing
+// contract Run depends on: the replay finishes the cycle that crosses
+// stopAfter at full retire width — exactly as a real Tick would — and
+// reports end = that cycle + 1.
+func TestFastRetireStopAfterCompletesTheCrossingCycle(t *testing.T) {
+	b := New(cfg()) // RetireWidth 3
+	b.Push(Group{ID: 1, NInstr: 10, FetchDone: 0})
+	b.Tick(12) // resolves AND retires width 3 (head is due at its own cycle)
+
+	// Within the replay, stopAfter=4 crosses during its second cycle (3 at
+	// 13, 3 more at 14); the crossing cycle still completes at full width,
+	// so 6 more instructions retire (9 total) and the replay reports 15.
+	end := b.FastRetire(13, 100, 4)
+	if end != 15 {
+		t.Fatalf("end = %d, want 15 (crossing cycle completes, then stop)", end)
+	}
+	if b.Retired() != 9 {
+		t.Fatalf("retired = %d, want 9 (full width on the crossing cycle)", b.Retired())
 	}
 }

@@ -222,7 +222,7 @@ func TestTAGEDeterminism(t *testing.T) {
 func TestFoldedRegMatchesDirectFold(t *testing.T) {
 	// The incrementally-maintained folded register must equal folding the
 	// full history register directly.
-	f := foldedReg{origLen: 17, bits: 7}
+	f := newFoldedReg(17, 7)
 	var h histReg
 	rng := xrand.New(11)
 	for i := 0; i < 2000; i++ {
@@ -247,7 +247,7 @@ func TestFoldedRegMatchesDirectFold(t *testing.T) {
 // the accumulated rotation equals the number of shifts... easiest correct
 // reference: rebuild by replaying shifts.
 func directFold(h *histReg, length, bits int) uint64 {
-	ref := foldedReg{origLen: length, bits: bits}
+	ref := newFoldedReg(length, bits)
 	// Replay from oldest to newest.
 	var empty histReg
 	replay := empty

@@ -54,6 +54,9 @@ type Direction interface {
 	Shift(taken bool)
 	// Snapshot captures speculative history for squash recovery.
 	Snapshot() HistState
+	// SnapshotInto writes the snapshot into *s (the per-entry hot path:
+	// no temporary copy of the history state).
+	SnapshotInto(s *HistState)
 	// Restore rewinds speculative history to a snapshot.
 	Restore(HistState)
 	// Name identifies the predictor in experiment output.
@@ -81,6 +84,9 @@ func (*NeverTaken) Shift(bool) {}
 
 // Snapshot implements Direction.
 func (*NeverTaken) Snapshot() HistState { return HistState{} }
+
+// SnapshotInto implements Direction.
+func (*NeverTaken) SnapshotInto(s *HistState) { *s = HistState{} }
 
 // Restore implements Direction.
 func (*NeverTaken) Restore(HistState) {}
@@ -138,6 +144,9 @@ func (b *Bimodal) Shift(bool) {}
 
 // Snapshot implements Direction.
 func (b *Bimodal) Snapshot() HistState { return HistState{} }
+
+// SnapshotInto implements Direction.
+func (b *Bimodal) SnapshotInto(s *HistState) { *s = HistState{} }
 
 // Restore implements Direction.
 func (b *Bimodal) Restore(HistState) {}

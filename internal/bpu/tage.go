@@ -37,6 +37,12 @@ type tageTable struct {
 	idxBits int
 	tagBits int
 
+	// oldWord/oldBit locate history bit histLen-1 (the bit falling out of
+	// this table's window on a shift), precomputed so the per-prediction
+	// Shift path performs no division.
+	oldWord int
+	oldBit  uint
+
 	// Incrementally folded history (circular shift registers): one for the
 	// index, two for the tag (per Seznec's reference implementation).
 	idxCSR, tagCSR0, tagCSR1 foldedReg
@@ -59,15 +65,21 @@ func (h *histReg) at(i int) uint64 {
 
 type foldedReg struct {
 	val     uint64
-	origLen int // history length being folded
-	bits    int // compressed width
+	origLen int    // history length being folded
+	bits    int    // compressed width
+	wrap    uint   // origLen % bits, precomputed off the shift path
+	mask    uint64 // 1<<bits - 1, precomputed off the shift path
+}
+
+func newFoldedReg(origLen, bits int) foldedReg {
+	return foldedReg{origLen: origLen, bits: bits, wrap: uint(origLen % bits), mask: 1<<uint(bits) - 1}
 }
 
 func (f *foldedReg) shift(newBit, oldBit uint64) {
 	f.val = f.val<<1 | newBit
-	f.val ^= oldBit << (f.origLen % f.bits)
+	f.val ^= oldBit << f.wrap
 	f.val ^= f.val >> f.bits
-	f.val &= 1<<f.bits - 1
+	f.val &= f.mask
 }
 
 var tageHistLens = [NumTageTables]int{5, 17, 44, 130}
@@ -94,9 +106,11 @@ func NewTAGE(budgetKB int) *TAGE {
 			histLen: tageHistLens[i],
 			idxBits: idxBits,
 			tagBits: 9,
-			idxCSR:  foldedReg{origLen: tageHistLens[i], bits: idxBits},
-			tagCSR0: foldedReg{origLen: tageHistLens[i], bits: 9},
-			tagCSR1: foldedReg{origLen: tageHistLens[i], bits: 8},
+			oldWord: (tageHistLens[i] - 1) / 64,
+			oldBit:  uint((tageHistLens[i] - 1) % 64),
+			idxCSR:  newFoldedReg(tageHistLens[i], idxBits),
+			tagCSR0: newFoldedReg(tageHistLens[i], 9),
+			tagCSR1: newFoldedReg(tageHistLens[i], 8),
 		}
 	}
 	t.lfsr = 0xACE1
@@ -271,7 +285,7 @@ func (t *TAGE) Shift(taken bool) {
 	}
 	for i := range t.tables {
 		tb := &t.tables[i]
-		old := t.hist.at(tb.histLen - 1)
+		old := (t.hist[tb.oldWord] >> tb.oldBit) & 1
 		tb.idxCSR.shift(bit, old)
 		tb.tagCSR0.shift(bit, old)
 		tb.tagCSR1.shift(bit, old)
@@ -282,13 +296,20 @@ func (t *TAGE) Shift(taken bool) {
 // Snapshot implements Direction.
 func (t *TAGE) Snapshot() HistState {
 	var s HistState
+	t.SnapshotInto(&s)
+	return s
+}
+
+// SnapshotInto implements Direction, writing the snapshot in place (the
+// engine captures one per FTQ entry; writing straight into the entry avoids
+// copying the 88-byte state through a temporary).
+func (t *TAGE) SnapshotInto(s *HistState) {
 	s.h = t.hist
 	for i := range t.tables {
 		s.idx[i] = t.tables[i].idxCSR.val
 		s.tg0[i] = t.tables[i].tagCSR0.val
 		s.tg1[i] = t.tables[i].tagCSR1.val
 	}
-	return s
 }
 
 // Restore implements Direction.

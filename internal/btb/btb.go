@@ -45,9 +45,12 @@ type btbWay struct {
 	lastUse int64
 }
 
-// BTB is a set-associative basic-block BTB with LRU replacement.
+// BTB is a set-associative basic-block BTB with LRU replacement. Ways live
+// in one flat backing array indexed arithmetically — set lookup is pure
+// address math, with no per-set slice header to chase on the hot path.
 type BTB struct {
-	sets    [][]btbWay
+	ways    []btbWay
+	assoc   int
 	setMask uint64
 	hits    uint64
 	misses  uint64
@@ -68,19 +71,15 @@ func New(entries, assoc int) *BTB {
 		p *= 2
 	}
 	nsets = p
-	sets := make([][]btbWay, nsets)
-	backing := make([]btbWay, nsets*assoc)
-	for i := range sets {
-		sets[i] = backing[i*assoc : (i+1)*assoc]
-	}
-	return &BTB{sets: sets, setMask: uint64(nsets - 1)}
+	return &BTB{ways: make([]btbWay, nsets*assoc), assoc: assoc, setMask: uint64(nsets - 1)}
 }
 
 // Entries returns total capacity.
-func (b *BTB) Entries() int { return len(b.sets) * len(b.sets[0]) }
+func (b *BTB) Entries() int { return len(b.ways) }
 
 func (b *BTB) set(start isa.Addr) []btbWay {
-	return b.sets[(uint64(start)>>2)&b.setMask]
+	base := int((uint64(start)>>2)&b.setMask) * b.assoc
+	return b.ways[base : base+b.assoc]
 }
 
 // Lookup returns the entry for the basic block starting at start. A miss is

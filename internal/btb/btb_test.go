@@ -45,7 +45,7 @@ func TestEntryGeometry(t *testing.T) {
 
 func TestLRUReplacement(t *testing.T) {
 	b := New(8, 2) // 4 sets x 2 ways
-	sets := uint64(len(b.sets))
+	sets := uint64(b.Entries() / 2)
 	stride := isa.Addr(sets * 4) // same set
 	a1, a2, a3 := isa.Addr(0x1000), isa.Addr(0x1000)+stride, isa.Addr(0x1000)+2*stride
 	b.Insert(mkEntry(a1), 1)

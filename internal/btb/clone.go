@@ -6,18 +6,10 @@ package btb
 import "boomsim/internal/isa"
 
 // Clone returns an independent deep copy of the BTB: same entries, LRU state
-// and counters, no shared storage. The copy reproduces the original's
-// single-backing-array layout.
+// and counters, no shared storage.
 func (b *BTB) Clone() *BTB {
 	n := *b
-	assoc := len(b.sets[0])
-	backing := make([]btbWay, len(b.sets)*assoc)
-	n.sets = make([][]btbWay, len(b.sets))
-	for i := range b.sets {
-		dst := backing[i*assoc : (i+1)*assoc]
-		copy(dst, b.sets[i])
-		n.sets[i] = dst
-	}
+	n.ways = append(make([]btbWay, 0, len(b.ways)), b.ways...)
 	return &n
 }
 

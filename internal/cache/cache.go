@@ -26,8 +26,11 @@ type way struct {
 
 // SetAssoc is a set-associative cache with true-LRU replacement over line
 // indices. It stores presence only (instruction caches are read-only here).
+// Ways live in one flat backing array indexed arithmetically — set lookup is
+// pure address math, with no per-set slice header to chase on the hot path.
 type SetAssoc struct {
-	sets    [][]way
+	ways    []way
+	assoc   int
 	nsets   uint64
 	isPow2  bool
 	setMask uint64
@@ -48,13 +51,9 @@ func NewSetAssoc(sizeKB, assoc int) *SetAssoc {
 	if nsets == 0 {
 		nsets = 1
 	}
-	sets := make([][]way, nsets)
-	backing := make([]way, nsets*assoc)
-	for i := range sets {
-		sets[i] = backing[i*assoc : (i+1)*assoc]
-	}
 	return &SetAssoc{
-		sets:    sets,
+		ways:    make([]way, nsets*assoc),
+		assoc:   assoc,
 		nsets:   uint64(nsets),
 		isPow2:  nsets&(nsets-1) == 0,
 		setMask: uint64(nsets - 1),
@@ -62,19 +61,23 @@ func NewSetAssoc(sizeKB, assoc int) *SetAssoc {
 }
 
 // Ways returns the associativity.
-func (c *SetAssoc) Ways() int { return len(c.sets[0]) }
+func (c *SetAssoc) Ways() int { return c.assoc }
 
 // Sets returns the set count.
-func (c *SetAssoc) Sets() int { return len(c.sets) }
+func (c *SetAssoc) Sets() int { return int(c.nsets) }
 
 // Lines returns total capacity in lines.
-func (c *SetAssoc) Lines() int { return len(c.sets) * len(c.sets[0]) }
+func (c *SetAssoc) Lines() int { return len(c.ways) }
 
 func (c *SetAssoc) set(line Line) []way {
+	var idx uint64
 	if c.isPow2 {
-		return c.sets[line&c.setMask]
+		idx = line & c.setMask
+	} else {
+		idx = line % c.nsets
 	}
-	return c.sets[line%c.nsets]
+	base := int(idx) * c.assoc
+	return c.ways[base : base+c.assoc]
 }
 
 // Lookup checks for the line, updating LRU and hit/miss counters on use.

@@ -373,3 +373,34 @@ func TestDemandPriorityOverPrefetchPort(t *testing.T) {
 		t.Fatalf("stagger %d below 7 port slots", pLast-pFirst)
 	}
 }
+
+// TestHierarchyNextEventBoundsFills pins the event-horizon contract: the
+// hierarchy's only spontaneous activity is fill completion, and NextEvent
+// reports the earliest pending one (NoEvent when nothing is in flight), so
+// the engine may fast-forward to it knowing every earlier Tick is a no-op.
+func TestHierarchyNextEventBoundsFills(t *testing.T) {
+	h := NewHierarchy(testCfg(), 0)
+	if h.NextEvent() != NoEvent {
+		t.Fatal("idle hierarchy must report NoEvent")
+	}
+	ready, _ := h.Demand(100, 0)
+	if ev := h.NextEvent(); ev != ready {
+		t.Fatalf("next event = %d, want the demand fill's readyAt %d", ev, ready)
+	}
+	// A second, later fill must not move the horizon earlier.
+	ready2, _ := h.Demand(200, 5)
+	if ready2 <= ready {
+		t.Fatalf("test setup: second fill %d should land after the first %d", ready2, ready)
+	}
+	if ev := h.NextEvent(); ev != ready {
+		t.Fatalf("next event = %d, want the earliest fill %d", ev, ready)
+	}
+	h.Tick(ready)
+	if ev := h.NextEvent(); ev != ready2 {
+		t.Fatalf("after first fill: next event = %d, want %d", ev, ready2)
+	}
+	h.Tick(ready2)
+	if h.NextEvent() != NoEvent {
+		t.Fatal("drained hierarchy must report NoEvent")
+	}
+}

@@ -1,19 +1,10 @@
 package cache
 
 // Clone returns an independent deep copy of the cache: same contents, LRU
-// state and counters, no shared storage. The copy reproduces the original's
-// single-backing-array layout so a clone has the same locality (and the same
-// zero-allocation steady state) as a freshly built cache.
+// state and counters, no shared storage.
 func (c *SetAssoc) Clone() *SetAssoc {
 	n := *c
-	assoc := len(c.sets[0])
-	backing := make([]way, len(c.sets)*assoc)
-	n.sets = make([][]way, len(c.sets))
-	for i := range c.sets {
-		dst := backing[i*assoc : (i+1)*assoc]
-		copy(dst, c.sets[i])
-		n.sets[i] = dst
-	}
+	n.ways = append(make([]way, 0, len(c.ways)), c.ways...)
 	return &n
 }
 

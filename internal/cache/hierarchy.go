@@ -1,10 +1,17 @@
 package cache
 
 import (
+	"math"
+
 	"boomsim/internal/config"
 	"boomsim/internal/flatmap"
 	"boomsim/internal/stats"
 )
+
+// NoEvent is the NextEvent sentinel for "no scheduled work": there is no
+// future cycle at which the component will change state on its own. The
+// engine's event-horizon cycle skip treats it as +infinity.
+const NoEvent = int64(math.MaxInt64)
 
 // Level identifies where an instruction access was satisfied.
 type Level uint8
@@ -172,6 +179,21 @@ func (h *Hierarchy) Tick(now int64) {
 			h.fillHook(line, ready)
 		}
 	}
+}
+
+// NextEvent returns the earliest cycle at which Tick will complete a fill —
+// the readyAt of the earliest pending MSHR — or NoEvent when nothing is in
+// flight. Between now and that cycle Tick is a no-op: fills are the only
+// spontaneous state change the hierarchy makes (port and prefetch-buffer
+// availability are watermarks evaluated on access, not timers), which is
+// what lets the engine fast-forward stalled windows across it. A superseded
+// heap entry may yield an earlier (conservative) cycle; that only shortens
+// a skip, never corrupts one.
+func (h *Hierarchy) NextEvent() int64 {
+	if len(h.pending) == 0 {
+		return NoEvent
+	}
+	return h.mshrSlab[h.pending[0]].readyAt
 }
 
 // Fetch ensures a fill for the line is under way (prefetch semantics: the

@@ -248,6 +248,15 @@ type Engine struct {
 	retireBase      uint64
 	retireBlockBase uint64
 
+	// Event-horizon cycle skipping (see skip.go). noSkip is inverted so the
+	// zero value — and therefore every engine, including clones — skips by
+	// default; skipped/skippedBase track fast-forwarded cycles as a
+	// diagnostic, deliberately outside Stats so results are byte-identical
+	// with skipping on or off.
+	noSkip      bool
+	skipped     int64
+	skippedBase int64
+
 	// rec is the optional flight recorder (see recorder.go). nil in the
 	// default configuration: the steady-state loop then pays exactly one
 	// pointer compare per cycle and keeps its zero-alloc contract.
@@ -336,15 +345,45 @@ func (e *Engine) ResetStats() {
 	e.cycleBase = e.cycle
 	e.retireBase = e.be.Retired()
 	e.retireBlockBase = e.be.RetiredGroups()
+	e.skippedBase = e.skipped
 }
 
 // Run advances the simulation until targetInstrs correct-path instructions
 // have retired since the last ResetStats (or construction), or maxCycles
 // elapses (0 = no bound). It returns the stats snapshot at completion.
+//
+// When cycle skipping is enabled (the default; see skip.go) and every
+// component is provably idle until a future event horizon, the loop
+// fast-forwards the clock to that horizon instead of ticking through it.
+// The horizon is clamped to the cycle bound and to the next flight-recorder
+// boundary, so window semantics and epoch tiling are bit-for-bit unchanged.
 func (e *Engine) Run(targetInstrs uint64, maxCycles int64) Stats {
 	for e.be.Retired()-e.retireBase < targetInstrs {
 		if maxCycles > 0 && e.cycle-e.cycleBase >= maxCycles {
 			break
+		}
+		if !e.noSkip {
+			if h, drain := e.skipHorizon(e.cycle); h > e.cycle {
+				if maxCycles > 0 {
+					if lim := e.cycleBase + maxCycles; h > lim {
+						h = lim
+					}
+				}
+				if e.rec != nil && h > e.rec.next {
+					h = e.rec.next
+				}
+				// An unclamped infinite horizon means nothing is scheduled at
+				// all: fall through to the per-cycle loop, preserving the
+				// wedged-engine behaviour the chunked runner detects. (With a
+				// cycle bound the clamp above turns that burn into one jump.)
+				if h > e.cycle && h < cache.NoEvent {
+					e.fastForward(e.cycle, h, drain, targetInstrs)
+					if e.rec != nil && e.cycle >= e.rec.next {
+						e.rec.roll(e)
+					}
+					continue
+				}
+			}
 		}
 		e.Tick()
 		// Tick advances the clock by exactly one cycle, so the recorder
@@ -523,15 +562,26 @@ func (e *Engine) bpuStep(now int64) {
 
 	// Neither the BTB lookup nor the miss handler touches the direction
 	// predictor or RAS, so the recovery snapshot taken here matches the
-	// prediction point exactly.
+	// prediction point exactly. The recycled entry is reset field by field —
+	// building an Entry literal would zero and copy the ~250-byte struct
+	// through a stack temporary on every prediction. Fields NOT reset here
+	// are dead until re-armed: Dir/DirPC behind HasDir, BTBEntry behind
+	// TrainBTB, ActualTaken/ActualNext/ActualKind/SquashClass behind
+	// OnCorrectPath+Mispredicted (verify sets all of them together for every
+	// correct-path entry), Hist overwritten in full by SnapshotInto,
+	// NInstr/Kind/PredTaken/PredNext by predictFromEntry/sequentialEntry,
+	// and FetchDone by the fetch engine before the backend reads it.
 	ent := e.allocEntry()
-	*ent = Entry{
-		ID:         e.nextID + 1,
-		Start:      pc,
-		EntryClass: e.specClass,
-		Hist:       e.dir.Snapshot(),
-		RAScp:      e.ras.Checkpoint(),
-	}
+	ent.ID = e.nextID + 1
+	ent.Start = pc
+	ent.EntryClass = e.specClass
+	ent.OnCorrectPath = false
+	ent.Mispredicted = false
+	ent.HasDir = false
+	ent.TrainBTB = false
+	ent.TrainTarget = false
+	e.dir.SnapshotInto(&ent.Hist)
+	ent.RAScp = e.ras.Checkpoint()
 
 	if hit {
 		e.predictFromEntry(ent, &bent)
@@ -562,13 +612,15 @@ func (e *Engine) predictFromEntry(ent *Entry, bent *btb.Entry) {
 	ft := bent.FallThrough()
 	switch bent.Kind {
 	case isa.CondDirect:
-		p := e.dir.Predict(bent.BranchPC())
-		e.dir.Shift(p.Taken)
+		// Write the prediction straight into the entry: Prediction carries
+		// per-table provider metadata and staging it in a local would cost
+		// an extra struct copy on the hottest path.
+		ent.Dir = e.dir.Predict(bent.BranchPC())
+		e.dir.Shift(ent.Dir.Taken)
 		ent.HasDir = true
-		ent.Dir = p
 		ent.DirPC = bent.BranchPC()
-		ent.PredTaken = p.Taken
-		if p.Taken {
+		ent.PredTaken = ent.Dir.Taken
+		if ent.Dir.Taken {
 			ent.PredNext = bent.Target
 		} else {
 			ent.PredNext = ft
@@ -600,6 +652,7 @@ func (e *Engine) predictFromEntry(ent *Entry, bent *btb.Entry) {
 	default:
 		// A degenerate entry (e.g. synthesised beyond the text segment):
 		// treat as sequential.
+		ent.PredTaken = false
 		ent.PredNext = ft
 	}
 }

@@ -23,6 +23,7 @@ package frontend
 
 import (
 	"boomsim/internal/btb"
+	"boomsim/internal/cache"
 	"boomsim/internal/isa"
 	"boomsim/internal/program"
 )
@@ -78,6 +79,13 @@ type Prefetcher interface {
 	// Tick runs once per cycle for prefetchers with internal timing (e.g.
 	// SHIFT's LLC-resident metadata reads).
 	Tick(now int64)
+	// NextEvent returns the earliest cycle > now at which Tick will act on
+	// its own (e.g. a delayed metadata replay coming due), now itself when
+	// Tick has work this cycle, or cache.NoEvent when it is idle. The
+	// engine's event-horizon cycle skip uses it to prove Tick is a no-op
+	// across a stall window: an early (conservative) answer merely shortens
+	// a skip, a late one breaks cycle accuracy.
+	NextEvent(now int64) int64
 }
 
 // NopPrefetcher is an embeddable no-op implementation of Prefetcher.
@@ -94,3 +102,6 @@ func (NopPrefetcher) OnRetire(uint64, int64) {}
 
 // Tick implements Prefetcher.
 func (NopPrefetcher) Tick(int64) {}
+
+// NextEvent implements Prefetcher: a no-op Tick never has scheduled work.
+func (NopPrefetcher) NextEvent(int64) int64 { return cache.NoEvent }

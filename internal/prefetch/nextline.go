@@ -49,6 +49,10 @@ func (p *NextLine) OnRetire(uint64, int64) {}
 // Tick implements frontend.Prefetcher.
 func (p *NextLine) Tick(int64) {}
 
+// NextEvent implements frontend.Prefetcher: next-line issues synchronously
+// inside OnDemand, so Tick never has scheduled work.
+func (p *NextLine) NextEvent(int64) int64 { return cache.NoEvent }
+
 // PublishStats registers the prefetcher's counters under its namespace of
 // the per-component statistics registry.
 func (p *NextLine) PublishStats(r *stats.Registry) {
@@ -128,6 +132,10 @@ func (p *DIP) OnRetire(uint64, int64) {}
 
 // Tick implements frontend.Prefetcher.
 func (p *DIP) Tick(int64) {}
+
+// NextEvent implements frontend.Prefetcher: DIP issues synchronously inside
+// OnDemand, so Tick never has scheduled work.
+func (p *DIP) NextEvent(int64) int64 { return cache.NoEvent }
 
 // TableEntries returns the table capacity (storage accounting).
 func (p *DIP) TableEntries() int { return len(p.table) }

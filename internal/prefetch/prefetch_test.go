@@ -363,3 +363,47 @@ func BenchmarkTemporalRetire(b *testing.B) {
 		p.OnRetire(uint64(i%4096)*7, int64(i))
 	}
 }
+
+// TestNextEventContracts pins each prefetcher's event-horizon contract.
+// NextLine and DIP act only synchronously inside OnDemand, so they never
+// schedule future work; Temporal's delayed-replay queue makes its head's
+// issueAt the earliest cycle its Tick can do anything.
+func TestNextEventContracts(t *testing.T) {
+	h := hier()
+	if ev := NewNextLine(h, 2).NextEvent(0); ev != cache.NoEvent {
+		t.Fatalf("NextLine.NextEvent = %d, want NoEvent", ev)
+	}
+	if ev := NewDIP(h, 64).NextEvent(0); ev != cache.NoEvent {
+		t.Fatalf("DIP.NextEvent = %d, want NoEvent", ev)
+	}
+
+	cfg := lineCfg()
+	cfg.Lookahead = 4
+	cfg.MetadataLatency = 12
+	p := NewTemporal(h, cfg)
+	if ev := p.NextEvent(0); ev != cache.NoEvent {
+		t.Fatalf("idle Temporal.NextEvent = %d, want NoEvent", ev)
+	}
+	stream := []uint64{100, 101, 205, 206, 310}
+	now := retireSeq(p, stream, 0)
+
+	// A stream-head miss schedules the replay after the metadata round
+	// trip: the queue head's issueAt is the next event, and it is exactly
+	// when Tick first issues.
+	p.OnDemand(100, true, isa.Sequential, now)
+	ev := p.NextEvent(now)
+	if ev == cache.NoEvent {
+		t.Fatal("pending replay must schedule a next event")
+	}
+	if ev <= now {
+		t.Fatalf("replay issueAt %d must be after the trigger at %d (metadata latency)", ev, now)
+	}
+	p.Tick(ev - 1)
+	if got := p.NextEvent(ev - 1); got != ev {
+		t.Fatalf("ticking before issueAt must not drain the queue (next event %d, want %d)", got, ev)
+	}
+	p.Tick(ev)
+	if got := p.NextEvent(ev); got != cache.NoEvent {
+		t.Fatalf("after the issue cycle the queue must be empty, got %d", got)
+	}
+}

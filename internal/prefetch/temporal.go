@@ -312,6 +312,19 @@ func (p *Temporal) Tick(now int64) {
 	p.pending = kept
 }
 
+// NextEvent implements frontend.Prefetcher: the earliest queued replay's
+// issueAt, or cache.NoEvent when the delayed-issue queue is empty. Tick
+// drains the queue in order and stops at the first entry still in the
+// future, so the head's issueAt is exactly when the next drain happens; a
+// head left ready by an exhausted issue budget reports a cycle <= now,
+// which keeps the engine ticking per-cycle while issue is backlogged.
+func (p *Temporal) NextEvent(int64) int64 {
+	if len(p.pending) == 0 {
+		return cache.NoEvent
+	}
+	return p.pending[0].issueAt
+}
+
 // StorageKB estimates the dedicated metadata footprint: ~5 bytes per history
 // record (region address + footprint bits) plus the index. For SHIFT this
 // storage is virtualised into the LLC (the scheme charges LLC capacity

@@ -110,6 +110,14 @@ type Image struct {
 	// consults it once per executed basic block — one of the simulator's
 	// hottest lookups.
 	byStart flatmap.Map
+
+	// lineFirstBlock maps each cache line of the text segment to the index
+	// of the first block whose byte range reaches into or past it (the block
+	// a per-line predecode scan starts from). Precomputing it turns the
+	// binary search at the head of every AppendBranchesInLine /
+	// FirstBranchAtOrAfter call — the hottest predecoder operation — into an
+	// array load.
+	lineFirstBlock []int32
 }
 
 // buildIndex (re)constructs the exact-start lookup table. Generators call it
@@ -119,6 +127,35 @@ func (img *Image) buildIndex() {
 	for i := range img.Blocks {
 		img.byStart.Set(uint64(img.Blocks[i].Addr), int32(i))
 	}
+
+	baseLine := isa.BlockAddr(img.Base)
+	nLines := int((img.Limit - baseLine + isa.BlockBytes - 1) / isa.BlockBytes)
+	img.lineFirstBlock = make([]int32, nLines)
+	bi := 0
+	for li := 0; li < nLines; li++ {
+		line := baseLine + isa.Addr(li)*isa.BlockBytes
+		for bi < len(img.Blocks) && img.Blocks[bi].FallThrough() <= line {
+			bi++
+		}
+		img.lineFirstBlock[li] = int32(bi)
+	}
+}
+
+// firstBlockForLine returns the index of the first block with
+// FallThrough() > line (line must be cache-line aligned) — identical to the
+// binary search `sort.Search(..., FallThrough() > line)` but O(1) via the
+// precomputed per-line index. Out-of-segment lines resolve the same way the
+// search would: 0 below the text segment, len(Blocks) past it.
+func (img *Image) firstBlockForLine(line isa.Addr) int {
+	baseLine := isa.BlockAddr(img.Base)
+	if line < baseLine {
+		return 0
+	}
+	li := int((line - baseLine) / isa.BlockBytes)
+	if li >= len(img.lineFirstBlock) {
+		return len(img.Blocks)
+	}
+	return int(img.lineFirstBlock[li])
 }
 
 // BlockIndex returns the index in Blocks of the block starting exactly at
@@ -182,9 +219,7 @@ func (img *Image) AppendBranchesInLine(dst []PredecodedBranch, lineAddr isa.Addr
 	end := line + isa.BlockBytes
 	// Find the first block that could have a branch in the line: the block
 	// containing the line start, or the first block after it.
-	i := sort.Search(len(img.Blocks), func(i int) bool {
-		return img.Blocks[i].FallThrough() > line
-	})
+	i := img.firstBlockForLine(line)
 	for ; i < len(img.Blocks); i++ {
 		b := &img.Blocks[i]
 		if b.Addr >= end {
@@ -218,9 +253,7 @@ func (img *Image) BranchesInLine(lineAddr isa.Addr) []PredecodedBranch {
 func (img *Image) FirstBranchAtOrAfter(pc isa.Addr) (PredecodedBranch, bool) {
 	line := isa.BlockAddr(pc)
 	end := line + isa.BlockBytes
-	i := sort.Search(len(img.Blocks), func(i int) bool {
-		return img.Blocks[i].FallThrough() > line
-	})
+	i := img.firstBlockForLine(line)
 	for ; i < len(img.Blocks); i++ {
 		b := &img.Blocks[i]
 		if b.Addr >= end {

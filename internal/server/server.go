@@ -69,6 +69,11 @@ type Config struct {
 	// per-job settlement, drain) at slog levels; request-scoped records
 	// carry the client's trace_id when one was sent. Nil discards them.
 	Logger *slog.Logger
+	// NoCycleSkip forces the per-cycle simulation loop for every request
+	// this server runs (boomsimd -no-skip), regardless of what requests
+	// ask for. Results are byte-identical either way; the flag dedicates a
+	// worker to control-leg provenance.
+	NoCycleSkip bool
 }
 
 func (c Config) withDefaults() Config {
@@ -223,8 +228,14 @@ type MatrixResponse struct {
 	Results []boomsim.Result `json:"results"`
 }
 
-func runOptions(req RunRequest) ([]boomsim.Option, error) {
+func (s *Server) runOptions(req RunRequest) ([]boomsim.Option, error) {
 	var opts []boomsim.Option
+	if s.cfg.NoCycleSkip {
+		// Server-wide control mode (boomsimd -no-skip): every simulation
+		// this worker runs uses the per-cycle loop. Identical results with
+		// different provenance — a control fleet for the skipping fleet.
+		opts = append(opts, boomsim.WithCycleSkip(false))
+	}
 	if req.Scheme != "" {
 		opts = append(opts, boomsim.WithScheme(req.Scheme))
 	}
@@ -278,12 +289,15 @@ func runOptions(req RunRequest) ([]boomsim.Option, error) {
 	if req.FlightEvery > 0 {
 		opts = append(opts, boomsim.WithFlightRecorder(req.FlightEvery))
 	}
+	if req.NoCycleSkip {
+		opts = append(opts, boomsim.WithCycleSkip(false))
+	}
 	return opts, nil
 }
 
 // newSim builds a Simulation from one wire request.
-func newSim(req RunRequest) (*boomsim.Simulation, error) {
-	opts, err := runOptions(req)
+func (s *Server) newSim(req RunRequest) (*boomsim.Simulation, error) {
+	opts, err := s.runOptions(req)
 	if err != nil {
 		return nil, err
 	}
@@ -306,7 +320,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	sim, err := newSim(req)
+	sim, err := s.newSim(req)
 	if err != nil {
 		writeError(w, s.statusFor(err), err)
 		return
@@ -412,7 +426,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 	sims := make([]*boomsim.Simulation, len(req.Runs))
 	keys := make([]string, len(req.Runs))
 	for i, rr := range req.Runs {
-		sim, err := newSim(rr)
+		sim, err := s.newSim(rr)
 		if err != nil {
 			writeError(w, s.statusFor(err), fmt.Errorf("runs[%d]: %w", i, err))
 			return
@@ -524,7 +538,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	out := make([]wire.JobResult, len(req.Jobs))
 	var wg sync.WaitGroup
 	for i, jr := range req.Jobs {
-		opts, err := runOptions(jr)
+		opts, err := s.runOptions(jr)
 		if err != nil {
 			out[i] = s.jobError(fmt.Errorf("jobs[%d]: %w", i, err))
 			continue

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 
 	"boomsim/internal/cache"
@@ -22,6 +23,11 @@ import (
 	"boomsim/internal/stats"
 	"boomsim/internal/workload"
 )
+
+// envNoSkip disables event-horizon cycle skipping process-wide, equivalent
+// to DisableCycleSkip on every Spec. CI's golden control leg sets it to
+// prove the shipped per-cycle loop still reproduces the corpus bytes.
+var envNoSkip = os.Getenv("BOOMSIM_NO_SKIP") == "1"
 
 // Spec describes one simulation.
 type Spec struct {
@@ -52,6 +58,13 @@ type Spec struct {
 	// boundary), so recorded and unrecorded runs share warm-arena masters;
 	// the measured counters themselves are unaffected.
 	FlightEvery int64
+	// DisableCycleSkip forces the per-cycle interpretation loop instead of
+	// event-horizon cycle skipping (see internal/frontend/skip.go). Results
+	// are byte-identical either way — the flag exists for control runs and
+	// per-cycle debugging — so the zero value keeps skipping on. It IS
+	// warm-relevant for the arena key: skip-on and skip-off runs never share
+	// a warm master, keeping the control arm's provenance entirely separate.
+	DisableCycleSkip bool
 }
 
 // DefaultSpec fills in the standard methodology: Table I config, 200K warm
@@ -253,6 +266,10 @@ func buildWarm(ctx context.Context, spec Spec, chunk uint64) (*scheme.Instance, 
 		WalkSeed:  spec.WalkSeed,
 		Predictor: spec.Predictor,
 	})
+	// Applied before the warm window so warm and measurement run the same
+	// loop; BOOMSIM_NO_SKIP=1 disables skipping process-wide (the CI golden
+	// control leg uses it to exercise the per-cycle loop end to end).
+	inst.Engine.SetCycleSkip(!spec.DisableCycleSkip && !envNoSkip)
 	// The paper measures from SMARTS checkpoints with warmed caches: all 16
 	// cores run the same binary, so its text is LLC-resident. Preload it.
 	warmLLCWithImage(inst, img)

@@ -67,9 +67,14 @@ func warmKeyOf(spec Spec) (key string, ok bool) {
 	if err != nil {
 		return "", false
 	}
-	return fmt.Sprintf("scheme=%s|workload=%s/%d/%+v|walk=%d|pred=%q|core=%+v|warm=%d",
+	// The skip flag is result-irrelevant (byte-identity; see
+	// internal/frontend/skip.go) but still keyed: a control arm asking for
+	// the per-cycle loop must not be handed a master warmed by the skipping
+	// loop, or the control would no longer exercise what it claims to.
+	return fmt.Sprintf("scheme=%s|workload=%s/%d/%+v|walk=%d|pred=%q|core=%+v|warm=%d|noskip=%t",
 		cfg, spec.Workload.Name, spec.ImageSeed, spec.Workload.Gen,
-		spec.WalkSeed, spec.Predictor, spec.Cfg, spec.WarmInstrs), true
+		spec.WalkSeed, spec.Predictor, spec.Cfg, spec.WarmInstrs,
+		spec.DisableCycleSkip || envNoSkip), true
 }
 
 // forkWarm returns a private fork of the memoised warmed instance for spec.

@@ -139,6 +139,24 @@ func WithWarmReuse(on bool) Option {
 	}
 }
 
+// WithCycleSkip toggles event-horizon cycle skipping (on by default): when
+// every component is provably inert until a known future cycle — fetch
+// blocked on a fill, the BPU stalled on a predecode, the backend draining —
+// the simulation loop jumps straight to that cycle and bulk-accrues the
+// skipped cycles' stall counters, instead of ticking them one at a time.
+// Results are byte-identical either way (the golden corpus and
+// FuzzSkipIdentity pin this), which is why the flag — like WithWarmReuse —
+// does not participate in Key: it is purely a wall-clock trade. Disable it
+// for control runs that must exercise the per-cycle loop, or when debugging
+// with single-cycle flight-recorder traces (WithFlightRecorder(1)), where
+// watching every cycle individually is the point.
+func WithCycleSkip(on bool) Option {
+	return func(s *Simulation) error {
+		s.noCycleSkip = !on
+		return nil
+	}
+}
+
 // WithFootprintKB overrides the workload's calibrated instruction footprint
 // (0 = the profile's own). Smaller footprints generate faster and run
 // hotter; tests and examples use this to stay within CI budgets.
